@@ -1,0 +1,160 @@
+// E2 — "The implementation of the DISCPROCESS as a process-pair ...
+// eliminates the necessity for the protocol termed 'Write Ahead Log' ...
+// checkpoint is the functional equivalent of Write Ahead Log. ... audit
+// records need not be written to disc prior to updating the data base."
+//
+// Measures the update-path cost of the three designs:
+//   (a) TMF: checkpoint-to-backup per update (bus message), audit forced
+//       once per transaction at phase 1;
+//   (b) conventional WAL: log forced once at commit;
+//   (c) strict write-through WAL: log forced on EVERY update (the cost the
+//       checkpoint mechanism avoids).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/wal_engine.h"
+#include "bench_util.h"
+
+namespace encompass::bench {
+namespace {
+
+void TableUpdatePathCost() {
+  Header("E2.a cost per 10-update transaction (simulated time)");
+  printf("%-44s %14s %12s\n", "design", "us per txn", "forces/txn");
+
+  // (a) TMF: one terminal issuing 10-update transactions.
+  {
+    sim::Simulation sim(51);
+    app::Deployment deploy(&sim);
+    app::NodeSpec spec;
+    spec.id = 1;
+    spec.node_config.num_cpus = 4;
+    spec.volumes = {app::VolumeSpec{"$DATA1", {app::FileSpec{"acct"}}, {}}};
+    auto* node = deploy.AddNode(spec);
+    deploy.DefineFile("acct", 1, "$DATA1");
+    apps::banking::SeedAccounts(node->storage().volumes.at("$DATA1").get(),
+                                "acct", 64, 1000);
+    apps::banking::AddBankServerClass(&deploy, 1, "$SC.BANK", "acct");
+    app::ScreenProgram prog("ten-credits");
+    prog.BeginTransaction();
+    for (int i = 0; i < 10; ++i) {
+      prog.Send(1, "$SC.BANK", [i](const app::Fields&) {
+        return apps::banking::BankRequest("credit",
+                                          apps::banking::AccountKey(i), 1);
+      });
+    }
+    prog.EndTransaction();
+    app::TcpConfig cfg;
+    cfg.programs = {{"p", &prog}};
+    auto tcp = os::SpawnPair<app::Tcp>(node->node(), "$TCP1", 2, 3, cfg);
+    sim.Run();
+    const int kTxns = 100;
+    tcp.primary->AttachTerminal("t", "p", kTxns);
+    SimTime start = sim.Now();
+    sim.Run();
+    double per_txn = static_cast<double>(sim.Now() - start) / kTxns;
+    double forces = static_cast<double>(sim.GetStats().Counter("audit.forces")) /
+                    kTxns;
+    printf("%-44s %14.0f %12.1f\n",
+           "TMF (checkpoint per update, force at phase 1)", per_txn, forces);
+    printf("    checkpoints sent: %lld; audit records unforced on update: yes\n",
+           (long long)sim.GetStats().Counter("os.checkpoints_sent"));
+  }
+
+  // (b) and (c): the WAL engine in its two modes.
+  for (bool eager : {false, true}) {
+    baseline::WalEngineConfig cfg;
+    cfg.force_log_each_update = eager;
+    baseline::WalEngine engine(cfg);
+    const int kTxns = 100;
+    SimDuration total = 0;
+    for (int t = 0; t < kTxns; ++t) {
+      SimDuration cost = 0;
+      baseline::TxnId txn = engine.Begin();
+      for (int i = 0; i < 10; ++i) {
+        engine.Update(txn, "k" + std::to_string(i), "v", &cost);
+      }
+      engine.Commit(txn, &cost);
+      total += cost;
+    }
+    printf("%-44s %14.0f %12.1f\n",
+           eager ? "strict WAL (force each update)"
+                 : "conventional WAL (force at commit)",
+           static_cast<double>(total) / kTxns,
+           static_cast<double>(engine.forces()) / kTxns);
+  }
+}
+
+void TableForceBatching() {
+  Header("E2.b audit force batching at phase 1 (force count vs txn size)");
+  printf("%14s %16s %18s\n", "updates/txn", "audit records", "forces per txn");
+  for (int updates : {1, 5, 20, 50}) {
+    sim::Simulation sim(53);
+    app::Deployment deploy(&sim);
+    app::NodeSpec spec;
+    spec.id = 1;
+    spec.node_config.num_cpus = 4;
+    spec.volumes = {app::VolumeSpec{"$DATA1", {app::FileSpec{"acct"}}, {}}};
+    auto* node = deploy.AddNode(spec);
+    deploy.DefineFile("acct", 1, "$DATA1");
+    apps::banking::SeedAccounts(node->storage().volumes.at("$DATA1").get(),
+                                "acct", 64, 1000);
+    apps::banking::AddBankServerClass(&deploy, 1, "$SC.BANK", "acct");
+    app::ScreenProgram prog("n-credits");
+    prog.BeginTransaction();
+    for (int i = 0; i < updates; ++i) {
+      prog.Send(1, "$SC.BANK", [i](const app::Fields&) {
+        return apps::banking::BankRequest("credit",
+                                          apps::banking::AccountKey(i % 64), 1);
+      });
+    }
+    prog.EndTransaction();
+    app::TcpConfig cfg;
+    cfg.programs = {{"p", &prog}};
+    auto tcp = os::SpawnPair<app::Tcp>(node->node(), "$TCP1", 2, 3, cfg);
+    sim.Run();
+    const int kTxns = 20;
+    tcp.primary->AttachTerminal("t", "p", kTxns);
+    sim.Run();
+    printf("%14d %16lld %18.1f\n", updates,
+           (long long)sim.GetStats().Counter("audit.appended"),
+           static_cast<double>(sim.GetStats().Counter("audit.forces")) / kTxns);
+  }
+  printf("(one force per transaction regardless of size — the WAL-eager\n"
+         " design would pay one force per update)\n");
+}
+
+void BM_WalCommit(benchmark::State& state) {
+  const bool eager = state.range(0) != 0;
+  baseline::WalEngineConfig cfg;
+  cfg.force_log_each_update = eager;
+  baseline::WalEngine engine(cfg);
+  SimDuration total = 0;
+  int64_t txns = 0;
+  for (auto _ : state) {
+    SimDuration cost = 0;
+    baseline::TxnId t = engine.Begin();
+    for (int i = 0; i < 10; ++i) {
+      engine.Update(t, "k" + std::to_string(i), "v", &cost);
+    }
+    engine.Commit(t, &cost);
+    total += cost;
+    ++txns;
+  }
+  state.counters["sim_us_per_txn"] = benchmark::Counter(
+      static_cast<double>(total) / static_cast<double>(txns));
+  state.SetItemsProcessed(txns);
+}
+BENCHMARK(BM_WalCommit)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace encompass::bench
+
+int main(int argc, char** argv) {
+  printf("E2: checkpoint-instead-of-WAL on the update path\n");
+  encompass::bench::TableUpdatePathCost();
+  encompass::bench::TableForceBatching();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

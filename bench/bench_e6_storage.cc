@@ -1,0 +1,228 @@
+// E6 — the data-base manager's storage claims: three file organizations,
+// multi-key access with automatic index maintenance, data and index
+// (prefix) compression, the main-memory cache, and key-range partitioning.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "storage/bplus_tree.h"
+#include "storage/file.h"
+#include "storage/partition.h"
+#include "storage/volume.h"
+
+namespace encompass::bench {
+namespace {
+
+using namespace encompass::storage;
+
+void TableOrganizations() {
+  Header("E6.a file organizations: 10k inserts + point reads + full scan");
+  printf("%-18s %12s %12s %12s\n", "organization", "inserted", "read ok",
+         "scanned");
+  for (auto org : {FileOrganization::kKeySequenced, FileOrganization::kRelative,
+                   FileOrganization::kEntrySequenced}) {
+    auto file = MakeFile(org, "f", {});
+    int inserted = 0;
+    std::vector<Bytes> keys;
+    for (int i = 0; i < 10000; ++i) {
+      Bytes key = org == FileOrganization::kEntrySequenced
+                      ? Bytes{}
+                      : EncodeRecnum(static_cast<uint64_t>(i));
+      Bytes assigned;
+      if (file->Insert(Slice(key), Slice("record-" + std::to_string(i)),
+                       &assigned)
+              .ok()) {
+        ++inserted;
+        keys.push_back(assigned);
+      }
+    }
+    int reads = 0;
+    for (const auto& key : keys) {
+      reads += file->Read(Slice(key)).ok() ? 1 : 0;
+    }
+    size_t scanned = 0;
+    file->ForEach([&scanned](const Slice&, const Slice&) { ++scanned; });
+    printf("%-18s %12d %12d %12zu\n", FileOrganizationName(org), inserted,
+           reads, scanned);
+  }
+}
+
+void TableCompression() {
+  Header("E6.b prefix compression ratio by key pattern (5k records)");
+  printf("%-34s %14s\n", "key pattern", "archive/raw");
+  struct Pattern {
+    const char* name;
+    std::function<std::string(int)> make;
+  };
+  const Pattern patterns[] = {
+      {"long shared prefix (\"order/2026/..\")",
+       [](int i) { return "order/2026/region-west/item" + std::to_string(i); }},
+      {"short keys, no prefix",
+       [](int i) { return std::to_string((i * 2654435761u) % 100000); }},
+      {"sequential numeric",
+       [](int i) {
+         char buf[16];
+         snprintf(buf, sizeof(buf), "%010d", i);
+         return std::string(buf);
+       }},
+  };
+  for (const auto& p : patterns) {
+    KeySequencedFile file("f", {});
+    for (int i = 0; i < 5000; ++i) {
+      file.Insert(Slice(p.make(i)), Slice("v"), nullptr);
+    }
+    printf("%-34s %14.2f\n", p.name, file.CompressionRatio());
+  }
+}
+
+void TableCache() {
+  Header("E6.c cache hit rate vs capacity (10k records, zipf reads)");
+  printf("%12s %12s %14s\n", "capacity", "hit rate", "physical reads");
+  for (size_t capacity : {64, 512, 4096, 16384}) {
+    VolumeConfig cfg;
+    cfg.cache_capacity = capacity;
+    Volume vol("$V", cfg);
+    vol.CreateFile("f", FileOrganization::kKeySequenced);
+    for (int i = 0; i < 10000; ++i) {
+      vol.Mutate("f", MutationOp::kInsert, Slice("k" + std::to_string(i)),
+                 Slice("v"));
+    }
+    vol.Flush();
+    // Cold cache, then skewed reads.
+    Bytes image = vol.Archive();
+    Volume cold("$V", cfg);
+    cold.RestoreFromArchive(Slice(image));
+    Random rng(97);
+    for (int i = 0; i < 50000; ++i) {
+      auto k = "k" + std::to_string(rng.Skewed(10000, 0.9));
+      cold.ReadRecord("f", Slice(k));
+    }
+    double hits = static_cast<double>(cold.cache_hits());
+    double total = hits + static_cast<double>(cold.cache_misses());
+    printf("%12zu %11.1f%% %14lld\n", capacity, 100.0 * hits / total,
+           (long long)cold.physical_reads());
+  }
+}
+
+void TableIndexOverheadAndPartitioning() {
+  Header("E6.d alternate keys and partitioning");
+  // Index maintenance overhead (wall clock, relative).
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    KeySequencedFile plain("f", {});
+    for (int i = 0; i < 20000; ++i) {
+      plain.Insert(Slice("k" + std::to_string(i)),
+                   Slice(Record().Set("site", "x").Encode()), nullptr);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    FileOptions opt;
+    opt.schema.alternate_keys = {"site"};
+    KeySequencedFile indexed("f", opt);
+    for (int i = 0; i < 20000; ++i) {
+      indexed.Insert(
+          Slice("k" + std::to_string(i)),
+          Slice(Record().Set("site", "site" + std::to_string(i % 4)).Encode()),
+          nullptr);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    double base = std::chrono::duration<double>(t1 - t0).count();
+    double with = std::chrono::duration<double>(t2 - t1).count();
+    printf("insert overhead of 1 alternate key : %.2fx\n",
+           base > 0 ? with / base : 0.0);
+    printf("alternate-key lookup (site1)       : %zu records\n",
+           indexed.LookupAlternate("site", "site1")->size());
+  }
+  // Partition routing.
+  {
+    PartitionMap map;
+    map.AddPartition(ToBytes("h"), 1, "$DATA1");
+    map.AddPartition(ToBytes("p"), 2, "$DATA2");
+    map.AddPartition({}, 3, "$DATA3");
+    int counts[3] = {0, 0, 0};
+    Random rng(101);
+    for (int i = 0; i < 10000; ++i) {
+      std::string key(1, static_cast<char>('a' + rng.Uniform(26)));
+      counts[map.LocateIndex(Slice(key))]++;
+    }
+    printf("partition routing of 10k uniform keys: %d / %d / %d\n", counts[0],
+           counts[1], counts[2]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// google-benchmark micro loops (wall-clock)
+// --------------------------------------------------------------------------
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BPlusTree tree(4096);
+    for (int i = 0; i < n; ++i) {
+      tree.Insert(Slice("key" + std::to_string(i)), Slice("value"));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeGet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BPlusTree tree(4096);
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(Slice("key" + std::to_string(i)), Slice("value"));
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    auto r = tree.Get(Slice("key" + std::to_string(rng.Uniform(n))));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet)->Arg(10000)->Arg(100000);
+
+void BM_BTreeScan(benchmark::State& state) {
+  BPlusTree tree(4096);
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(Slice("key" + std::to_string(i)), Slice("value"));
+  }
+  for (auto _ : state) {
+    size_t n = 0;
+    tree.ForEach([&n](const Slice&, const Slice&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BTreeScan);
+
+void BM_SerializeCompressed(benchmark::State& state) {
+  BPlusTree tree(4096);
+  for (int i = 0; i < 50000; ++i) {
+    tree.Insert(Slice("shared/prefix/key" + std::to_string(i)), Slice("value"));
+  }
+  for (auto _ : state) {
+    Bytes out;
+    tree.SerializeTo(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(tree.UncompressedDataSize()));
+}
+BENCHMARK(BM_SerializeCompressed);
+
+}  // namespace
+}  // namespace encompass::bench
+
+int main(int argc, char** argv) {
+  printf("E6: storage — organizations, compression, cache, partitioning\n");
+  encompass::bench::TableOrganizations();
+  encompass::bench::TableCompression();
+  encompass::bench::TableCache();
+  encompass::bench::TableIndexOverheadAndPartitioning();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// F2 — Figure 2 (a typical ENCOMPASS configuration). Reproduces the shape
+// of the configuration's scaling story: throughput grows with processors,
+// terminals, and dynamically created servers; the server class expands
+// under load and contracts when idle.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace encompass::bench {
+namespace {
+
+void TableThroughputVsCpus() {
+  Header("F2.a throughput vs processors (24 terminals, CPU-bound workload)");
+  printf("%6s %12s %12s %12s\n", "cpus", "txn/s(sim)", "committed", "failed");
+  for (int cpus : {2, 4, 8, 16}) {
+    // A heavy per-message CPU cost makes the processors the bottleneck, as
+    // on real hardware of the era.
+    BankRig rig = MakeBankRig(/*seed=*/11, cpus, /*accounts=*/200,
+                              /*terminals=*/24, /*iterations=*/30,
+                              /*skew=*/0.0, Millis(500), 100,
+                              /*cpu_service=*/Micros(400));
+    SimTime makespan = RunUntilProgramsDone(rig, 24 * 30);
+    auto* tcp = rig.Primary();
+    printf("%6d %12.1f %12llu %12llu\n", cpus,
+           TxnPerSec(tcp->transactions_committed(), makespan),
+           (unsigned long long)tcp->transactions_committed(),
+           (unsigned long long)tcp->programs_failed());
+  }
+}
+
+void TableThroughputVsTerminals() {
+  Header("F2.b throughput vs terminals (8 cpus, 200 accounts)");
+  printf("%10s %12s %14s %16s\n", "terminals", "txn/s(sim)", "peak servers",
+         "restarts");
+  for (int terminals : {1, 2, 4, 8, 16, 32}) {
+    BankRig rig = MakeBankRig(/*seed=*/13, /*cpus=*/8, /*accounts=*/200,
+                              terminals, /*iterations=*/30);
+    SimTime makespan =
+        RunUntilProgramsDone(rig, static_cast<uint64_t>(terminals) * 30);
+    auto* tcp = rig.Primary();
+    printf("%10d %12.1f %14lld %16llu\n", terminals,
+           TxnPerSec(tcp->transactions_committed(), makespan),
+           (long long)rig.sim->GetStats().Counter("serverclass.spawned"),
+           (unsigned long long)tcp->transactions_restarted());
+  }
+}
+
+void TableDynamicServerClass() {
+  Header("F2.c dynamic server creation/deletion under a load burst");
+  BankRig rig = MakeBankRig(/*seed=*/17, /*cpus=*/8, /*accounts=*/200,
+                            /*terminals=*/24, /*iterations=*/20);
+  rig.sim->RunFor(Seconds(600));
+  rig.sim->Run();
+  auto& stats = rig.sim->GetStats();
+  printf("servers created under load : %lld\n",
+         (long long)stats.Counter("serverclass.spawned"));
+  // Idle period: the class contracts back to its floor.
+  rig.sim->RunFor(Seconds(30));
+  printf("servers deleted when idle  : %lld\n",
+         (long long)stats.Counter("serverclass.reaped"));
+  const auto* depth = stats.FindHistogram("serverclass.queue_depth");
+  if (depth != nullptr) {
+    printf("request queue depth        : p50=%lld p99=%lld max=%lld\n",
+           (long long)depth->Percentile(50), (long long)depth->Percentile(99),
+           (long long)depth->Max());
+  }
+}
+
+void BM_TransferTransaction(benchmark::State& state) {
+  const int terminals = static_cast<int>(state.range(0));
+  uint64_t committed = 0;
+  SimTime sim_elapsed = 0;
+  for (auto _ : state) {
+    BankRig rig = MakeBankRig(/*seed=*/19, /*cpus=*/8, /*accounts=*/200,
+                              terminals, /*iterations=*/10);
+    rig.sim->RunFor(Seconds(600));
+    rig.sim->Run();
+    committed += rig.Primary()->transactions_committed();
+    sim_elapsed += rig.sim->Now();
+  }
+  state.counters["sim_txn_per_s"] =
+      benchmark::Counter(TxnPerSec(committed, sim_elapsed));
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+}
+BENCHMARK(BM_TransferTransaction)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace encompass::bench
+
+int main(int argc, char** argv) {
+  printf("F2: Figure 2 — ENCOMPASS configuration scaling\n");
+  encompass::bench::TableThroughputVsCpus();
+  encompass::bench::TableThroughputVsTerminals();
+  encompass::bench::TableDynamicServerClass();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

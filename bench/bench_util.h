@@ -1,0 +1,98 @@
+// Shared helpers for the experiment/benchmark binaries. Each binary prints
+// the experiment tables that reproduce a figure or claim of the paper
+// (simulated-time metrics, deterministic seeds), then runs its
+// google-benchmark micro-loops (wall-clock metrics).
+
+#ifndef ENCOMPASS_BENCH_BENCH_UTIL_H_
+#define ENCOMPASS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/banking/banking.h"
+#include "encompass/deployment.h"
+#include "encompass/tcp.h"
+
+namespace encompass::bench {
+
+/// A single-node banking world: deployment, accounts seeded, bank server
+/// class up. The standard substrate for throughput experiments.
+struct BankRig {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<app::Deployment> deploy;
+  app::NodeDeployment* node = nullptr;
+  storage::Volume* volume = nullptr;
+  std::unique_ptr<app::ScreenProgram> program;
+  os::PairHandles<app::Tcp> tcp;
+
+  app::Tcp* Primary() {
+    return tcp.primary->IsPrimary() ? tcp.primary : tcp.backup;
+  }
+};
+
+/// Builds a BankRig with `cpus` processors, `accounts` accounts, and
+/// `terminals` transfer terminals each running `iterations` programs
+/// (UINT64_MAX = until stopped). Contention is set by `skew`.
+inline BankRig MakeBankRig(uint64_t seed, int cpus, int accounts, int terminals,
+                           uint64_t iterations, double skew = 0.0,
+                           SimDuration lock_timeout = Millis(500),
+                           int restart_limit = 100,
+                           SimDuration cpu_service = Micros(50)) {
+  BankRig rig;
+  rig.sim = std::make_unique<sim::Simulation>(seed);
+  rig.deploy = std::make_unique<app::Deployment>(rig.sim.get());
+  app::NodeSpec spec;
+  spec.id = 1;
+  spec.node_config.num_cpus = cpus;
+  spec.node_config.cpu_service_time = cpu_service;
+  spec.disc_config.default_lock_timeout = lock_timeout;
+  spec.volumes = {app::VolumeSpec{"$DATA1", {app::FileSpec{"acct"}}, {}}};
+  rig.node = rig.deploy->AddNode(spec);
+  rig.deploy->DefineFile("acct", 1, "$DATA1");
+  rig.volume = rig.node->storage().volumes.at("$DATA1").get();
+  apps::banking::SeedAccounts(rig.volume, "acct", accounts, 1000);
+  app::ServerClassConfig sc;
+  sc.max_servers = cpus * 2;
+  apps::banking::AddBankServerClass(rig.deploy.get(), 1, "$SC.BANK", "acct", sc);
+
+  rig.program = std::make_unique<app::ScreenProgram>(
+      apps::banking::MakeTransferProgram(1, "$SC.BANK", accounts, 100, skew));
+  app::TcpConfig tcfg;
+  tcfg.programs = {{"transfer", rig.program.get()}};
+  tcfg.restart_limit = restart_limit;
+  rig.tcp = os::SpawnPair<app::Tcp>(rig.node->node(), "$TCP1", cpus - 2,
+                                    cpus - 1, tcfg);
+  rig.sim->Run();
+  for (int t = 0; t < terminals; ++t) {
+    rig.tcp.primary->AttachTerminal("term" + std::to_string(t), "transfer",
+                                    iterations);
+  }
+  return rig;
+}
+
+/// Runs the rig until `target` programs finished (completed + failed) or
+/// the cap elapses; returns the makespan in simulated microseconds.
+inline SimTime RunUntilProgramsDone(BankRig& rig, uint64_t target,
+                                    SimDuration cap = Seconds(3600)) {
+  SimTime deadline = rig.sim->Now() + cap;
+  while (rig.sim->Now() < deadline) {
+    app::Tcp* tcp = rig.Primary();
+    if (tcp->programs_completed() + tcp->programs_failed() >= target) break;
+    rig.sim->RunFor(Millis(100));
+  }
+  return rig.sim->Now();
+}
+
+inline void Header(const std::string& title) {
+  printf("\n=== %s ===\n", title.c_str());
+}
+
+inline double TxnPerSec(uint64_t committed, SimTime elapsed_us) {
+  if (elapsed_us <= 0) return 0;
+  return static_cast<double>(committed) * 1e6 / static_cast<double>(elapsed_us);
+}
+
+}  // namespace encompass::bench
+
+#endif  // ENCOMPASS_BENCH_BENCH_UTIL_H_

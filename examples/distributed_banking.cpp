@@ -1,0 +1,104 @@
+// Distributed banking: the accounts file is partitioned by key range across
+// two network nodes, so a transfer between accounts on different nodes is a
+// distributed transaction coordinated by the TMPs with the two-phase commit
+// protocol. Mid-run, the inter-node link is cut and healed: transactions
+// caught by the partition abort and restart; committed distributed work is
+// never half-applied.
+//
+// Build & run:  ./build/examples/distributed_banking
+
+#include <cstdio>
+
+#include "apps/banking/banking.h"
+#include "encompass/deployment.h"
+#include "encompass/tcp.h"
+
+using namespace encompass;
+using namespace encompass::app;
+using namespace encompass::apps::banking;
+
+int main() {
+  sim::Simulation sim(7);
+  Deployment deploy(&sim);
+
+  for (net::NodeId id : {1, 2}) {
+    NodeSpec spec;
+    spec.id = id;
+    spec.node_config.num_cpus = 4;
+    spec.volumes = {
+        VolumeSpec{"$DATA" + std::to_string(id), {FileSpec{"acct"}}, {}}};
+    deploy.AddNode(spec);
+  }
+  deploy.LinkAll();
+
+  // "acct" partitioned: keys < acct00050 on node 1, the rest on node 2.
+  storage::FileDefinition def;
+  def.name = "acct";
+  def.partitions.AddPartition(ToBytes(AccountKey(50)), 1, "$DATA1");
+  def.partitions.AddPartition({}, 2, "$DATA2");
+  deploy.DefinePartitionedFile(def);
+
+  // Seed 50 accounts on each partition.
+  auto* vol1 = deploy.GetNode(1)->storage().volumes.at("$DATA1").get();
+  auto* vol2 = deploy.GetNode(2)->storage().volumes.at("$DATA2").get();
+  for (int i = 0; i < 100; ++i) {
+    storage::Record rec;
+    rec.Set("balance", "1000");
+    (i < 50 ? vol1 : vol2)
+        ->Mutate("acct", storage::MutationOp::kInsert, Slice(AccountKey(i)),
+                 Slice(rec.Encode()));
+  }
+  vol1->Flush();
+  vol2->Flush();
+
+  // Bank servers on node 1 reach both partitions through the file system.
+  AddBankServerClass(&deploy, 1, "$SC.BANK", "acct");
+
+  ScreenProgram transfer =
+      MakeTransferProgram(1, "$SC.BANK", /*accounts=*/100, /*max_amount=*/50);
+  TcpConfig tcp_cfg;
+  tcp_cfg.programs = {{"transfer", &transfer}};
+  // Generous: transactions caught by the 3-second partition may need many
+  // restart attempts before the network heals.
+  tcp_cfg.restart_limit = 200;
+  auto tcp = os::SpawnPair<Tcp>(deploy.GetNode(1)->node(), "$TCP1", 2, 3,
+                                tcp_cfg);
+  sim.Run();
+  for (int t = 0; t < 4; ++t) {
+    tcp.primary->AttachTerminal("term" + std::to_string(t), "transfer", 25);
+  }
+
+  sim.RunFor(Millis(200));
+  printf("t=%6lldms  cutting the node1--node2 link (network partition)\n",
+         static_cast<long long>(sim.Now() / 1000));
+  deploy.cluster().CutLink(1, 2);
+  sim.RunFor(Seconds(3));
+  printf("t=%6lldms  healing the link\n",
+         static_cast<long long>(sim.Now() / 1000));
+  deploy.cluster().RestoreLink(1, 2);
+
+  sim.RunFor(Seconds(300));
+
+  auto& stats = sim.GetStats();
+  long long sum = SumBalances(vol1, "acct") + SumBalances(vol2, "acct");
+  printf("\n-- results -----------------------------------------------\n");
+  printf("programs completed     : %llu\n",
+         static_cast<unsigned long long>(tcp.primary->programs_completed()));
+  printf("programs failed        : %llu\n",
+         static_cast<unsigned long long>(tcp.primary->programs_failed()));
+  printf("txn restarts           : %llu\n",
+         static_cast<unsigned long long>(tcp.primary->transactions_restarted()));
+  printf("distributed phase-1s   : %lld\n",
+         static_cast<long long>(stats.Counter("tmf.phase1_sent")));
+  printf("remote begins          : %lld\n",
+         static_cast<long long>(stats.Counter("tmf.remote_begins")));
+  printf("aborts started         : %lld\n",
+         static_cast<long long>(stats.Counter("tmf.aborts_started")));
+  printf("sum of balances        : $%lld (expected $100000)\n", sum);
+
+  bool ok = tcp.primary->programs_completed() == 100 &&
+            tcp.primary->programs_failed() == 0 && sum == 100000 &&
+            stats.Counter("tmf.phase1_sent") > 0;
+  printf("\n%s\n", ok ? "DISTRIBUTED BANKING OK" : "DISTRIBUTED BANKING FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// The paper's manual override procedure, end to end. "Once a non-home node
+// has replied affirmatively to the phase-one message ... it must hold the
+// transaction's locks until notification of the transaction's final
+// disposition ... If communication is lost at this point, the transaction's
+// locks on the inaccessible node will be held until communication is
+// restored. The manual override for this situation requires the following
+// steps: (1) use of a TMF utility on the home node to determine the
+// transaction's disposition; (2) a telephone conversation (for example)
+// between operators on the home node and on the inaccessible non-home
+// node; and, finally, (3) use of the TMF utility on the non-home node to
+// force the disposition of the transaction."
+//
+// Build & run:  ./build/examples/indoubt_override
+
+#include <cstdio>
+
+#include "encompass/deployment.h"
+#include "test_util.h"
+#include "tmf/file_system.h"
+#include "tmf/transaction_state.h"
+
+using namespace encompass;
+using namespace encompass::app;
+using encompass::testutil::TestClient;
+
+int main() {
+  sim::Simulation sim(8);
+  Deployment deploy(&sim);
+  for (net::NodeId id : {1, 2}) {
+    NodeSpec spec;
+    spec.id = id;
+    spec.node_config.num_cpus = 4;
+    spec.volumes = {VolumeSpec{"$DATA" + std::to_string(id),
+                               {FileSpec{"orders"}},
+                               {}}};
+    deploy.AddNode(spec);
+  }
+  deploy.LinkAll();
+  deploy.DefineFile("orders", 2, "$DATA2");  // the data lives on node 2
+  auto* home_op = deploy.GetNode(1)->node()->Spawn<TestClient>(2);
+  auto* remote_op = deploy.GetNode(2)->node()->Spawn<TestClient>(2);
+  tmf::FileSystem fs(home_op, &deploy.catalog());
+  sim.Run();
+
+  // A distributed transaction: home node 1 writes a record on node 2.
+  auto* begin = home_op->CallRaw(net::Address(1, "$TMP"), tmf::kTmfBegin, {});
+  sim.Run();
+  auto transid = tmf::DecodeTransidPayload(Slice(begin->payload));
+  home_op->set_current_transid(transid->Pack());
+  fs.Insert("orders", Slice("PO-1001"), Slice("approved"),
+            [](const Status&, const Bytes&) {});
+  home_op->set_current_transid(0);
+  sim.Run();
+
+  // END-TRANSACTION; the link dies exactly when the commit record hits the
+  // home node's Monitor Audit Trail — node 2 answered phase 1 and is now
+  // IN DOUBT, holding its locks.
+  home_op->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                   tmf::EncodeTransidPayload(*transid), transid->Pack());
+  auto* mat1 = &deploy.GetNode(1)->storage().monitor_trail;
+  for (int i = 0; i < 2000 && mat1->Lookup(*transid) != 1; ++i) {
+    sim.RunFor(Micros(500));
+  }
+  deploy.cluster().CutLink(1, 2);
+  sim.RunFor(Seconds(2));
+  printf("partition! node 2 is in doubt about %s\n",
+         transid->ToString().c_str());
+  printf("locks held on node 2: %zu\n",
+         deploy.GetNode(2)->disc("$DATA2")->locks().held_count());
+
+  // Step 1: the operator on the non-home node lists transactions stuck
+  // in "ending" (in doubt).
+  auto* list = remote_op->CallRaw(net::Address(2, "$TMP"), tmf::kTmfListTxns, {});
+  sim.RunFor(Millis(10));
+  auto entries = tmf::DecodeTxnList(Slice(list->payload));
+  printf("\n[node 2 operator] TMF utility: LIST TRANSACTIONS\n");
+  for (const auto& e : *entries) {
+    printf("  %s state=%s home=%s parent=node%u\n", e.transid.ToString().c_str(),
+           tmf::TxnStateName(static_cast<tmf::TxnState>(e.state)),
+           e.is_home ? "yes" : "no", e.parent);
+  }
+
+  // Step 2: the operator on the HOME node determines the disposition.
+  auto* status = home_op->CallRaw(net::Address(1, "$TMP"), tmf::kTmfStatus,
+                                  tmf::EncodeTransidPayload(*transid));
+  sim.RunFor(Millis(10));
+  auto disposition = static_cast<tmf::Disposition>(status->payload[0]);
+  printf("\n[node 1 operator] TMF utility: STATUS %s -> %s\n",
+         transid->ToString().c_str(),
+         disposition == tmf::Disposition::kCommitted ? "COMMITTED" : "ABORTED");
+  printf("[telephone] node 1 operator tells node 2 operator: COMMITTED\n");
+
+  // Step 3: the operator on the non-home node forces the disposition.
+  auto* force = remote_op->CallRaw(
+      net::Address(2, "$TMP"), tmf::kTmfForceDisposition,
+      tmf::EncodeForceDisposition(*transid, disposition));
+  sim.RunFor(Seconds(1));
+  printf("\n[node 2 operator] TMF utility: FORCE %s COMMITTED -> %s\n",
+         transid->ToString().c_str(), force->status.ToString().c_str());
+
+  size_t locks_after = deploy.GetNode(2)->disc("$DATA2")->locks().held_count();
+  auto record = deploy.GetNode(2)
+                    ->storage()
+                    .volumes.at("$DATA2")
+                    ->ReadRecord("orders", Slice("PO-1001"));
+  printf("locks held on node 2 after override: %zu\n", locks_after);
+  printf("PO-1001 on node 2: %s\n",
+         record.status.ok() ? ToString(record.value).c_str() : "missing");
+
+  bool ok = force->status.ok() && locks_after == 0 && record.status.ok() &&
+            disposition == tmf::Disposition::kCommitted &&
+            !entries->empty();
+  printf("\n%s\n", ok ? "IN-DOUBT OVERRIDE OK" : "IN-DOUBT OVERRIDE FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Quickstart: bring up a single NonStop node, run a transaction through
+// TMF, and watch a processor failure get absorbed — the in-flight
+// transaction is backed out automatically and the retry commits; no system
+// halt, no restart, no operator action.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "apps/banking/banking.h"
+#include "encompass/deployment.h"
+#include "encompass/tcp.h"
+
+using namespace encompass;
+using namespace encompass::app;
+using namespace encompass::apps::banking;
+
+int main() {
+  sim::Simulation sim(/*seed=*/2024);
+  Deployment deploy(&sim);
+
+  // One node, four processors, one mirrored disc volume with one audited
+  // key-sequenced file.
+  NodeSpec spec;
+  spec.id = 1;
+  spec.node_config.num_cpus = 4;
+  spec.volumes = {VolumeSpec{"$DATA1", {FileSpec{"acct"}}, {}}};
+  NodeDeployment* node = deploy.AddNode(spec);
+  deploy.DefineFile("acct", 1, "$DATA1");
+
+  // Seed 10 accounts with $1000 each and start a bank server class.
+  storage::Volume* volume = node->storage().volumes.at("$DATA1").get();
+  SeedAccounts(volume, "acct", 10, 1000);
+  AddBankServerClass(&deploy, 1, "$SC.BANK", "acct");
+
+  // A terminal program: debit one account, credit another, commit.
+  ScreenProgram transfer = MakeTransferProgram(1, "$SC.BANK",
+                                               /*accounts=*/10,
+                                               /*max_amount=*/100);
+  TcpConfig tcp_cfg;
+  tcp_cfg.programs = {{"transfer", &transfer}};
+  auto tcp = os::SpawnPair<Tcp>(node->node(), "$TCP1", 2, 3, tcp_cfg);
+  sim.Run();
+  tcp.primary->AttachTerminal("term0", "transfer", /*iterations=*/50);
+
+  // Fail CPU 1 (which hosts the DISCPROCESS primary) while transfers run.
+  sim.RunFor(Millis(30));
+  printf("t=%6lldms  injecting CPU 1 failure (DISCPROCESS primary dies)\n",
+         static_cast<long long>(sim.Now() / 1000));
+  node->node()->FailCpu(1);
+
+  sim.RunFor(Seconds(120));
+  sim.Run();
+
+  Tcp* primary = tcp.primary->IsPrimary() ? tcp.primary : tcp.backup;
+  printf("t=%6lldms  workload finished\n",
+         static_cast<long long>(sim.Now() / 1000));
+  printf("\n-- results -----------------------------------------------\n");
+  printf("programs completed : %llu\n",
+         static_cast<unsigned long long>(primary->programs_completed()));
+  printf("programs failed    : %llu\n",
+         static_cast<unsigned long long>(primary->programs_failed()));
+  printf("txns committed     : %llu\n",
+         static_cast<unsigned long long>(primary->transactions_committed()));
+  printf("txn restarts       : %llu\n",
+         static_cast<unsigned long long>(primary->transactions_restarted()));
+  printf("process takeovers  : %lld\n",
+         static_cast<long long>(sim.GetStats().Counter("os.takeovers")));
+  long long total = SumBalances(volume, "acct");
+  printf("sum of balances    : $%lld (expected $10000 — money conserved)\n",
+         total);
+  printf("illegal txn state transitions: %lld\n",
+         static_cast<long long>(sim.GetStats().Counter("tmf.illegal_transitions")));
+
+  bool ok = primary->programs_completed() == 50 &&
+            primary->programs_failed() == 0 && total == 10000;
+  printf("\n%s\n", ok ? "QUICKSTART OK" : "QUICKSTART FAILED");
+  return ok ? 0 : 1;
+}

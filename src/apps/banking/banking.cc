@@ -1,0 +1,183 @@
+#include "apps/banking/banking.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace encompass::apps::banking {
+
+using storage::Record;
+
+std::string AccountKey(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "acct%05d", i);
+  return buf;
+}
+
+Bytes BankRequest(const std::string& op, const std::string& acct,
+                  int64_t amount) {
+  Record r;
+  r.Set("op", op).Set("acct", acct).Set("amount", std::to_string(amount));
+  return r.Encode();
+}
+
+void BankServer::HandleRequest(const net::Message& msg) {
+  auto req = Record::Decode(Slice(msg.payload));
+  if (!req.ok()) {
+    Respond(msg, req.status());
+    return;
+  }
+  const std::string op = req->Get("op");
+  const std::string acct = req->Get("acct");
+  const int64_t amount = strtoll(req->Get("amount").c_str(), nullptr, 10);
+
+  if (op == "open") {
+    Record rec;
+    rec.Set("balance", std::to_string(amount));
+    net::Message request = msg;
+    fs().Insert(file_, Slice(acct), Slice(rec.Encode()),
+                [this, request](const Status& s, const Bytes&) {
+                  Respond(request, s);
+                });
+    return;
+  }
+  if (op == "credit") {
+    ApplyDelta(msg, acct, amount);
+    return;
+  }
+  if (op == "debit") {
+    ApplyDelta(msg, acct, -amount);
+    return;
+  }
+  if (op == "read") {
+    net::Message request = msg;
+    fs().Read(file_, Slice(acct), /*lock=*/true,
+              [this, request](const Status& s, const Bytes& payload) {
+                if (s.IsTimeout()) {
+                  // Possible deadlock: tell the terminal program to execute
+                  // RESTART-TRANSACTION.
+                  Respond(request, Status::RestartRequested("lock timeout"));
+                  return;
+                }
+                Respond(request, s, payload);
+              });
+    return;
+  }
+  Respond(msg, Status::InvalidArgument("unknown op: " + op));
+}
+
+void BankServer::ApplyDelta(const net::Message& msg, const std::string& acct,
+                            int64_t delta) {
+  net::Message request = msg;
+  // Lock at read time (explicit request), then update under the lock.
+  fs().Read(file_, Slice(acct), /*lock=*/true,
+            [this, request, acct, delta](const Status& s, const Bytes& payload) {
+              if (s.IsTimeout()) {
+                Respond(request, Status::RestartRequested("lock timeout"));
+                return;
+              }
+              if (!s.ok()) {
+                Respond(request, s);
+                return;
+              }
+              auto rec = Record::Decode(Slice(payload));
+              if (!rec.ok()) {
+                Respond(request, rec.status());
+                return;
+              }
+              int64_t balance =
+                  strtoll(rec->Get("balance").c_str(), nullptr, 10) + delta;
+              Record updated = *rec;
+              updated.Set("balance", std::to_string(balance));
+              fs().Update(file_, Slice(acct), Slice(updated.Encode()),
+                          [this, request, balance](const Status& s,
+                                                   const Bytes&) {
+                            if (s.IsTimeout()) {
+                              Respond(request,
+                                      Status::RestartRequested("lock timeout"));
+                              return;
+                            }
+                            Record reply;
+                            reply.Set("balance", std::to_string(balance));
+                            Respond(request, s, reply.Encode());
+                          });
+            });
+}
+
+app::ServerClassRouter* AddBankServerClass(app::Deployment* deploy,
+                                           net::NodeId node,
+                                           const std::string& class_name,
+                                           const std::string& account_file,
+                                           app::ServerClassConfig base) {
+  app::NodeDeployment* nd = deploy->GetNode(node);
+  if (nd == nullptr) return nullptr;
+  base.name = class_name;
+  const storage::Catalog* catalog = &deploy->catalog();
+  base.factory = [catalog, account_file](os::Node* n, int cpu) -> net::Pid {
+    auto* server = n->Spawn<BankServer>(cpu, catalog, account_file);
+    return server == nullptr ? 0 : server->id().pid;
+  };
+  // Router pair: primary on the node's last CPU, backup on CPU 0. Guardians
+  // keep the pair redundant across failures.
+  int cpu = nd->spec().node_config.num_cpus - 1;
+  auto* router = app::SpawnServerClass(nd->node(), base, cpu, 0);
+  nd->RegisterRepairablePair<app::ServerClassRouter>(base.name, base);
+  return router;
+}
+
+app::ScreenProgram MakeTransferProgram(net::NodeId server_node,
+                                       const std::string& server_class,
+                                       int num_accounts, int64_t max_amount,
+                                       double skew) {
+  app::ScreenProgram p("transfer");
+  p.Accept([num_accounts, max_amount, skew](app::Fields& f, Random& rng) {
+     int from, to;
+     if (skew > 0) {
+       from = static_cast<int>(rng.Skewed(num_accounts, skew));
+       to = static_cast<int>(rng.Skewed(num_accounts, skew));
+     } else {
+       from = static_cast<int>(rng.Uniform(num_accounts));
+       to = static_cast<int>(rng.Uniform(num_accounts));
+     }
+     if (to == from) to = (from + 1) % num_accounts;
+     f["from"] = AccountKey(from);
+     f["to"] = AccountKey(to);
+     f["amount"] = std::to_string(1 + rng.Uniform(max_amount));
+   })
+      .BeginTransaction()
+      .Send(server_node, server_class,
+            [](const app::Fields& f) {
+              return BankRequest("debit", f.at("from"),
+                                 strtoll(f.at("amount").c_str(), nullptr, 10));
+            })
+      .Send(server_node, server_class,
+            [](const app::Fields& f) {
+              return BankRequest("credit", f.at("to"),
+                                 strtoll(f.at("amount").c_str(), nullptr, 10));
+            })
+      .EndTransaction();
+  return p;
+}
+
+void SeedAccounts(storage::Volume* volume, const std::string& file, int n,
+                  int64_t initial) {
+  for (int i = 0; i < n; ++i) {
+    Record rec;
+    rec.Set("balance", std::to_string(initial));
+    volume->Mutate(file, storage::MutationOp::kInsert, Slice(AccountKey(i)),
+                   Slice(rec.Encode()));
+  }
+  volume->Flush();
+}
+
+int64_t SumBalances(storage::Volume* volume, const std::string& file) {
+  int64_t sum = 0;
+  storage::StructuredFile* f = volume->Find(file);
+  if (f == nullptr) return 0;
+  f->ForEach([&sum](const Slice&, const Slice& value) {
+    auto rec = Record::Decode(value);
+    if (rec.ok()) sum += strtoll(rec->Get("balance").c_str(), nullptr, 10);
+  });
+  return sum;
+}
+
+}  // namespace encompass::apps::banking

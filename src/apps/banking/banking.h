@@ -1,0 +1,69 @@
+// A small banking application over ENCOMPASS: a context-free account server
+// and terminal programs for transfers. Used by the integration tests, the
+// examples, and the benchmark workloads (the classic debit/credit workload
+// of the paper's era).
+
+#ifndef ENCOMPASS_APPS_BANKING_BANKING_H_
+#define ENCOMPASS_APPS_BANKING_BANKING_H_
+
+#include <string>
+
+#include "encompass/deployment.h"
+#include "encompass/screen_program.h"
+#include "encompass/server.h"
+#include "encompass/server_class.h"
+
+namespace encompass::apps::banking {
+
+/// Account server: serves "open", "credit", "debit", and "read" requests on
+/// an account file. Request/reply bodies are encoded storage::Records with
+/// fields op / acct / amount / balance.
+class BankServer : public app::ServerProcess {
+ public:
+  BankServer(const storage::Catalog* catalog, std::string account_file)
+      : ServerProcess(catalog), file_(std::move(account_file)) {}
+
+ protected:
+  void HandleRequest(const net::Message& msg) override;
+
+ private:
+  void ApplyDelta(const net::Message& msg, const std::string& acct,
+                  int64_t delta);
+
+  std::string file_;
+};
+
+/// Builds the request record for an account operation.
+Bytes BankRequest(const std::string& op, const std::string& acct,
+                  int64_t amount = 0);
+
+/// Registers a BankServer server class named `class_name` on `node`.
+app::ServerClassRouter* AddBankServerClass(app::Deployment* deploy,
+                                           net::NodeId node,
+                                           const std::string& class_name,
+                                           const std::string& account_file,
+                                           app::ServerClassConfig base = {});
+
+/// Terminal program: pick two random accounts and an amount, then run
+/// BEGIN / SEND debit / SEND credit / END. Accounts are "acct00000" ..
+/// "acct<n-1>"; the skew parameter concentrates traffic on low-numbered
+/// accounts (0 = uniform).
+app::ScreenProgram MakeTransferProgram(net::NodeId server_node,
+                                       const std::string& server_class,
+                                       int num_accounts, int64_t max_amount,
+                                       double skew = 0.0);
+
+/// Seeds `n` accounts of `initial` balance directly into a volume (setup
+/// convenience for tests and benches; bypasses TMF).
+void SeedAccounts(storage::Volume* volume, const std::string& file, int n,
+                  int64_t initial);
+
+/// Sum of all account balances in a volume file (consistency invariant).
+int64_t SumBalances(storage::Volume* volume, const std::string& file);
+
+/// Account key for index i ("acct00042").
+std::string AccountKey(int i);
+
+}  // namespace encompass::apps::banking
+
+#endif  // ENCOMPASS_APPS_BANKING_BANKING_H_

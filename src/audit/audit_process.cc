@@ -1,0 +1,112 @@
+#include "audit/audit_process.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace encompass::audit {
+
+Bytes EncodeAuditBatch(const std::vector<AuditRecord>& records) {
+  Bytes out;
+  PutVarint32(&out, static_cast<uint32_t>(records.size()));
+  for (const auto& rec : records) {
+    PutLengthPrefixed(&out, Slice(rec.Encode()));
+  }
+  return out;
+}
+
+Result<std::vector<AuditRecord>> DecodeAuditBatch(const Slice& payload) {
+  Slice in = payload;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return DecodeError("audit batch count");
+  // Every record is length-prefixed (>= 1 byte each): a count exceeding the
+  // remaining payload is malformed, and reserving it would be an allocation
+  // bomb on a corrupt message.
+  if (static_cast<uint64_t>(n) > in.size()) {
+    return DecodeError("audit batch count exceeds payload");
+  }
+  std::vector<AuditRecord> records;
+  records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice body;
+    if (!GetLengthPrefixed(&in, &body)) return DecodeError("audit batch entry");
+    auto rec = AuditRecord::Decode(&body);
+    if (!rec.ok()) return rec.status();
+    records.push_back(std::move(*rec));
+  }
+  return records;
+}
+
+void AuditProcess::OnRequest(const net::Message& msg) {
+  // The backup is passive: it only mirrors via checkpoints. (The trail
+  // itself is shared disc state, so there is nothing to mirror here beyond
+  // the name registration handled by the pair base class.)
+  if (!IsPrimary()) {
+    Reply(msg, Status::Unavailable("backup audit process"));
+    return;
+  }
+  switch (msg.tag) {
+    case kAuditAppend: HandleAppend(msg); break;
+    case kAuditForce: HandleForce(msg); break;
+    case kAuditFetchTxn: HandleFetch(msg); break;
+    case kAuditPurge: {
+      // Purging is safe only for audit written before the last archive
+      // point; the caller (operations / the archive utility) owns that
+      // decision, as in real TMF.
+      Slice in(msg.payload);
+      uint64_t up_to_lsn;
+      if (!GetFixed64(&in, &up_to_lsn)) {
+        Reply(msg, Status::InvalidArgument("bad purge payload"));
+        break;
+      }
+      size_t purged = config_.trail->Purge(up_to_lsn);
+      sim()->GetStats().Incr("audit.files_purged",
+                             static_cast<int64_t>(purged));
+      Bytes reply;
+      PutVarint64(&reply, purged);
+      Reply(msg, Status::Ok(), reply);
+      break;
+    }
+    default:
+      Reply(msg, Status::InvalidArgument("unknown audit tag"));
+  }
+}
+
+void AuditProcess::HandleAppend(const net::Message& msg) {
+  auto batch = DecodeAuditBatch(Slice(msg.payload));
+  if (!batch.ok()) {
+    LOG_WARN << DebugName() << ": bad append batch: " << batch.status().ToString();
+    Reply(msg, batch.status());
+    return;
+  }
+  for (auto& rec : *batch) {
+    config_.trail->Append(std::move(rec));
+  }
+  sim()->GetStats().Incr("audit.appended", static_cast<int64_t>(batch->size()));
+  if (msg.request_id != 0) Reply(msg, Status::Ok());
+}
+
+void AuditProcess::HandleForce(const net::Message& msg) {
+  size_t forced = config_.trail->Force();
+  sim()->GetStats().Incr("audit.forces");
+  sim()->GetStats().Incr("audit.forced_records", static_cast<int64_t>(forced));
+  // The force is a physical sequential write; reply when it completes.
+  net::ProcessId requester = msg.src;
+  uint64_t reply_to = msg.request_id;
+  uint32_t tag = msg.tag;
+  SetTimer(config_.force_latency, [this, requester, reply_to, tag]() {
+    SendReply(requester, tag, reply_to, Status::Ok());
+  });
+}
+
+void AuditProcess::HandleFetch(const net::Message& msg) {
+  Slice in(msg.payload);
+  uint64_t packed;
+  if (!GetFixed64(&in, &packed)) {
+    Reply(msg, Status::InvalidArgument("bad fetch payload"));
+    return;
+  }
+  auto records = config_.trail->RecordsForTransaction(Transid::Unpack(packed));
+  Reply(msg, Status::Ok(), EncodeAuditBatch(records));
+}
+
+}  // namespace encompass::audit

@@ -1,0 +1,58 @@
+// AuditProcess: the process-pair that writes audit trails. "All audited
+// discs on a given controller share an AUDITPROCESS and an audit trail." It
+// accepts appended images from DISCPROCESSes (unforced), forces the trail to
+// disc on request (phase one of commit), and serves per-transaction image
+// fetches for the BACKOUTPROCESS and for ROLLFORWARD.
+
+#ifndef ENCOMPASS_AUDIT_AUDIT_PROCESS_H_
+#define ENCOMPASS_AUDIT_AUDIT_PROCESS_H_
+
+#include <string>
+
+#include "audit/audit_trail.h"
+#include "os/process_pair.h"
+
+namespace encompass::audit {
+
+/// Audit protocol tags.
+enum AuditTag : uint32_t {
+  kAuditAppend = net::kTagAudit + 1,   ///< one-way: batch of AuditRecords
+  kAuditForce = net::kTagAudit + 2,    ///< request: force trail to disc
+  kAuditFetchTxn = net::kTagAudit + 3, ///< request: all images of a transid
+  kAuditPurge = net::kTagAudit + 4,    ///< request: drop audit files <= lsn
+                                       ///  (payload: fixed64 up_to_lsn);
+                                       ///  reply payload: varint files purged
+};
+
+/// Encodes a batch of audit records for a kAuditAppend payload.
+Bytes EncodeAuditBatch(const std::vector<AuditRecord>& records);
+/// Decodes a batch; Corruption on malformed input.
+Result<std::vector<AuditRecord>> DecodeAuditBatch(const Slice& payload);
+
+/// Behaviour knobs for the audit process.
+struct AuditProcessConfig {
+  AuditTrail* trail = nullptr;          ///< shared durable trail (disc state)
+  SimDuration force_latency = Millis(8);///< disc force (sequential write) cost
+};
+
+/// The AUDITPROCESS pair.
+class AuditProcess : public os::PairedProcess {
+ public:
+  explicit AuditProcess(AuditProcessConfig config) : config_(config) {}
+
+  std::string DebugName() const override { return pair_name() + "/audit"; }
+
+ protected:
+  void OnRequest(const net::Message& msg) override;
+
+ private:
+  void HandleAppend(const net::Message& msg);
+  void HandleForce(const net::Message& msg);
+  void HandleFetch(const net::Message& msg);
+
+  AuditProcessConfig config_;
+};
+
+}  // namespace encompass::audit
+
+#endif  // ENCOMPASS_AUDIT_AUDIT_PROCESS_H_

@@ -1,0 +1,100 @@
+#include "audit/audit_trail.h"
+
+namespace encompass::audit {
+
+AuditTrail::AuditTrail(std::string name, AuditTrailConfig config)
+    : name_(std::move(name)), config_(config) {
+  files_.push_back(AuditFile{next_file_number_++, {}});
+}
+
+uint64_t AuditTrail::Append(AuditRecord record) {
+  record.lsn = next_lsn_++;
+  if (files_.back().records.size() >= config_.records_per_file) {
+    files_.push_back(AuditFile{next_file_number_++, {}});
+  }
+  uint64_t lsn = record.lsn;
+  files_.back().records.push_back(std::move(record));
+  return lsn;
+}
+
+size_t AuditTrail::Force() {
+  uint64_t new_durable = next_lsn_ - 1;
+  size_t forced = static_cast<size_t>(new_durable - durable_lsn_);
+  durable_lsn_ = new_durable;
+  return forced;
+}
+
+void AuditTrail::DropVolatile() {
+  while (!files_.empty()) {
+    auto& records = files_.back().records;
+    while (!records.empty() && records.back().lsn > durable_lsn_) {
+      records.pop_back();
+    }
+    if (records.empty() && files_.size() > 1) {
+      --next_file_number_;
+      files_.pop_back();
+    } else {
+      break;
+    }
+  }
+  next_lsn_ = durable_lsn_ + 1;
+}
+
+std::vector<AuditRecord> AuditTrail::RecordsForTransaction(
+    const Transid& transid) const {
+  std::vector<AuditRecord> out;
+  for (const auto& file : files_) {
+    for (const auto& rec : file.records) {
+      if (rec.transid == transid) out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<AuditRecord> AuditTrail::DurableRecordsAfter(uint64_t after_lsn) const {
+  std::vector<AuditRecord> out;
+  for (const auto& file : files_) {
+    for (const auto& rec : file.records) {
+      if (rec.lsn > after_lsn && rec.lsn <= durable_lsn_) out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+size_t AuditTrail::Purge(uint64_t up_to_lsn) {
+  size_t purged = 0;
+  while (files_.size() > 1) {
+    const auto& records = files_.front().records;
+    if (records.empty() ||
+        (records.back().lsn <= up_to_lsn && records.back().lsn <= durable_lsn_)) {
+      ++first_file_number_;
+      files_.pop_front();
+      ++purged;
+    } else {
+      break;
+    }
+  }
+  return purged;
+}
+
+size_t AuditTrail::record_count() const {
+  size_t n = 0;
+  for (const auto& f : files_) n += f.records.size();
+  return n;
+}
+
+uint64_t MonitorAuditTrail::AppendForced(const CompletionRecord& record) {
+  records_.push_back(record);
+  return records_.size();
+}
+
+int MonitorAuditTrail::Lookup(const Transid& transid) const {
+  for (const auto& rec : records_) {
+    if (rec.transid == transid) {
+      return rec.completion == Completion::kCommitted ? 1 : 0;
+    }
+  }
+  return -1;
+}
+
+}  // namespace encompass::audit

@@ -1,0 +1,93 @@
+// AuditTrail: "a numbered sequence of disc files whose ... creation and
+// purging is managed by TMF". Like a Volume, an AuditTrail is durable
+// hardware state that outlives the processes writing it — but appended
+// records are volatile until forced to disc (the force happens during phase
+// one of commit). On total node failure the unforced suffix is lost.
+
+#ifndef ENCOMPASS_AUDIT_AUDIT_TRAIL_H_
+#define ENCOMPASS_AUDIT_AUDIT_TRAIL_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "audit/audit_record.h"
+
+namespace encompass::audit {
+
+/// Configuration of one audit trail.
+struct AuditTrailConfig {
+  size_t records_per_file = 4096;  ///< audit file (segment) capacity
+};
+
+/// Durable, numbered sequence of audit files holding AuditRecords.
+class AuditTrail {
+ public:
+  explicit AuditTrail(std::string name, AuditTrailConfig config = {});
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a record (volatile until Force). Returns the assigned LSN
+  /// (monotone from 1).
+  uint64_t Append(AuditRecord record);
+
+  /// Forces all appended records to disc. Returns how many became durable.
+  size_t Force();
+
+  /// Total node failure: the unforced suffix is lost.
+  void DropVolatile();
+
+  /// All records (durable or not) of the given transaction.
+  std::vector<AuditRecord> RecordsForTransaction(const Transid& transid) const;
+
+  /// All durable records with lsn > after_lsn, in LSN order (ROLLFORWARD
+  /// reads only what made it to disc).
+  std::vector<AuditRecord> DurableRecordsAfter(uint64_t after_lsn) const;
+
+  /// Drops whole audit files whose records all have lsn <= up_to_lsn and
+  /// are durable. Returns the number of files purged.
+  size_t Purge(uint64_t up_to_lsn);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  size_t record_count() const;
+  /// Number of audit files currently retained.
+  size_t file_count() const { return files_.size(); }
+  /// Sequence number of the first retained audit file.
+  uint64_t first_file_number() const { return first_file_number_; }
+
+ private:
+  struct AuditFile {
+    uint64_t number;
+    std::vector<AuditRecord> records;
+  };
+
+  std::string name_;
+  AuditTrailConfig config_;
+  std::deque<AuditFile> files_;
+  uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;  // highest LSN forced to disc
+  uint64_t first_file_number_ = 1;
+  uint64_t next_file_number_ = 1;
+};
+
+/// Monitor Audit Trail: per-node history of transaction completion statuses.
+/// Writing (and forcing) a commit record here IS the commit point.
+class MonitorAuditTrail {
+ public:
+  /// Appends and forces a completion record; returns its sequence number.
+  uint64_t AppendForced(const CompletionRecord& record);
+
+  /// Completion status if known: 1 = committed, 0 = aborted, -1 = unknown.
+  int Lookup(const Transid& transid) const;
+
+  const std::vector<CompletionRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<CompletionRecord> records_;
+};
+
+}  // namespace encompass::audit
+
+#endif  // ENCOMPASS_AUDIT_AUDIT_TRAIL_H_

@@ -1,0 +1,117 @@
+#include "common/coding.h"
+
+namespace encompass {
+
+void PutFixed8(Bytes* dst, uint8_t v) { dst->push_back(v); }
+
+void PutFixed16(Bytes* dst, uint16_t v) {
+  dst->push_back(static_cast<uint8_t>(v));
+  dst->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutFixed32(Bytes* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutFixed64(Bytes* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutVarint32(Bytes* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  dst->push_back(static_cast<uint8_t>(v));
+}
+
+void PutVarint64(Bytes* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  dst->push_back(static_cast<uint8_t>(v));
+}
+
+void PutLengthPrefixed(Bytes* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->insert(dst->end(), value.data(), value.data() + value.size());
+}
+
+bool GetFixed8(Slice* input, uint8_t* v) {
+  if (input->size() < 1) return false;
+  *v = (*input)[0];
+  input->RemovePrefix(1);
+  return true;
+}
+
+bool GetFixed16(Slice* input, uint16_t* v) {
+  if (input->size() < 2) return false;
+  *v = static_cast<uint16_t>((*input)[0]) |
+       (static_cast<uint16_t>((*input)[1]) << 8);
+  input->RemovePrefix(2);
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>((*input)[i]) << (8 * i);
+  *v = r;
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>((*input)[i]) << (8 * i);
+  *v = r;
+  input->RemovePrefix(8);
+  return true;
+}
+
+bool GetVarint32(Slice* input, uint32_t* v) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *v = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = (*input)[0];
+    input->RemovePrefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *value = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+bool GetLengthPrefixedBytes(Slice* input, Bytes* value) {
+  Slice s;
+  if (!GetLengthPrefixed(input, &s)) return false;
+  *value = s.ToBytes();
+  return true;
+}
+
+bool GetLengthPrefixedString(Slice* input, std::string* value) {
+  Slice s;
+  if (!GetLengthPrefixed(input, &s)) return false;
+  *value = s.ToString();
+  return true;
+}
+
+}  // namespace encompass

@@ -1,0 +1,21 @@
+// CRC32 (Castagnoli polynomial, software table implementation) used to
+// checksum disc blocks and audit records.
+
+#ifndef ENCOMPASS_COMMON_CRC32_H_
+#define ENCOMPASS_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace encompass {
+
+/// Extends a running CRC32C with the given bytes. Start with crc = 0.
+uint32_t Crc32c(uint32_t crc, const uint8_t* data, size_t n);
+
+/// One-shot CRC32C over a slice.
+inline uint32_t Crc32c(const Slice& s) { return Crc32c(0, s.data(), s.size()); }
+
+}  // namespace encompass
+
+#endif  // ENCOMPASS_COMMON_CRC32_H_

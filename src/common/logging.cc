@@ -1,0 +1,12 @@
+#include "common/logging.h"
+
+namespace encompass {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], msg.c_str());
+}
+
+}  // namespace encompass

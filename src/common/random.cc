@@ -1,0 +1,24 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace encompass {
+
+uint64_t Random::Skewed(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling of a truncated power law. Accurate enough for
+  // workload skew; not an exact Zipf but monotone in theta.
+  const double u = NextDouble();
+  const double exponent = 1.0 - theta;
+  double idx;
+  if (exponent > 1e-9 || exponent < -1e-9) {
+    const double max = std::pow(static_cast<double>(n), exponent);
+    idx = std::pow(u * (max - 1.0) + 1.0, 1.0 / exponent) - 1.0;
+  } else {
+    idx = std::exp(u * std::log(static_cast<double>(n))) - 1.0;
+  }
+  auto r = static_cast<uint64_t>(idx);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace encompass

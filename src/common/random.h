@@ -1,0 +1,69 @@
+// Deterministic PRNG (xoshiro256**). Every stochastic choice in the
+// simulation draws from a seeded instance of this generator so that runs are
+// bit-reproducible.
+
+#ifndef ENCOMPASS_COMMON_RANDOM_H_
+#define ENCOMPASS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace encompass {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, and deterministic
+/// across platforms (unlike std::mt19937 distributions).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Zipf-like skewed pick in [0, n): probability of item i proportional to
+  /// 1/(i+1)^theta. Used for hot-record contention workloads.
+  uint64_t Skewed(uint64_t n, double theta);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace encompass
+
+#endif  // ENCOMPASS_COMMON_RANDOM_H_

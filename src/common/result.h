@@ -1,0 +1,67 @@
+// Result<T>: a value-or-Status pair, the non-throwing analogue of
+// absl::StatusOr used throughout the library.
+
+#ifndef ENCOMPASS_COMMON_RESULT_H_
+#define ENCOMPASS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace encompass {
+
+/// Holds either a T (when status().ok()) or an error Status.
+///
+/// Accessing value() on an error Result is a programming error and asserts in
+/// debug builds; callers must check ok() first (or use ValueOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Must not be OK (an OK status carries no
+  /// value and would leave the Result in a contradictory state).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result is an error.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set
+};
+
+}  // namespace encompass
+
+/// Evaluates a Result-returning expression; on error returns the Status, on
+/// success assigns the value to `lhs` (which must be an existing lvalue).
+#define ENCOMPASS_ASSIGN_OR_RETURN(lhs, expr)              \
+  do {                                                     \
+    auto _res = (expr);                                    \
+    if (!_res.ok()) return _res.status();                  \
+    lhs = std::move(_res.value());                         \
+  } while (0)
+
+#endif  // ENCOMPASS_COMMON_RESULT_H_

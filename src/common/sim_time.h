@@ -1,0 +1,26 @@
+// Simulated-time types. The simulation clock ticks in microseconds; helpers
+// make device latencies in the code read like what they are.
+
+#ifndef ENCOMPASS_COMMON_SIM_TIME_H_
+#define ENCOMPASS_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace encompass {
+
+/// Absolute simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+/// Relative simulated duration in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration Micros(int64_t n) { return n; }
+constexpr SimDuration Millis(int64_t n) { return n * 1000; }
+constexpr SimDuration Seconds(int64_t n) { return n * 1000 * 1000; }
+
+/// Sentinel meaning "no deadline".
+constexpr SimTime kNoDeadline = INT64_MAX;
+
+}  // namespace encompass
+
+#endif  // ENCOMPASS_COMMON_SIM_TIME_H_

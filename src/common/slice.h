@@ -1,0 +1,98 @@
+// Slice: a non-owning view of a byte range, plus helpers for byte buffers.
+
+#ifndef ENCOMPASS_COMMON_SLICE_H_
+#define ENCOMPASS_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace encompass {
+
+/// Owning byte buffer used for record payloads, messages, and audit images.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a std::string to Bytes (copy).
+inline Bytes ToBytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Converts Bytes to a std::string (copy).
+inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// A pointer + length view over bytes owned elsewhere. The viewed storage
+/// must outlive the Slice. Mirrors the LevelDB/RocksDB Slice contract.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const Bytes& b)  // NOLINT(runtime/explicit)
+      : data_(b.data()), size_(b.size()) {}
+  Slice(const char* cstr)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(cstr)), size_(strlen(cstr)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+
+  /// Three-way byte comparison, shorter-is-smaller on common prefix.
+  int Compare(const Slice& other) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    int r = (n == 0) ? 0 : memcmp(data_, other.data_, n);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = 1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) { return a.Compare(b) == 0; }
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) { return a.Compare(b) < 0; }
+
+/// Length of the byte prefix shared by a and b.
+inline size_t SharedPrefixLength(const Slice& a, const Slice& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace encompass
+
+#endif  // ENCOMPASS_COMMON_SLICE_H_

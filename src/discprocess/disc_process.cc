@@ -1,0 +1,601 @@
+#include "discprocess/disc_process.h"
+
+#include "audit/audit_process.h"
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace encompass::discprocess {
+
+namespace {
+
+// Checkpoint entry types.
+constexpr uint8_t kCkptGrantEntry = 1;
+constexpr uint8_t kCkptReleaseEntry = 2;
+constexpr uint8_t kCkptAbortingEntry = 3;
+constexpr uint8_t kCkptReplyEntry = 4;
+constexpr uint8_t kCkptClearAbortingEntry = 5;
+constexpr uint8_t kCkptAuditPush = 6;
+constexpr uint8_t kCkptAuditPop = 7;
+
+void PutLockKey(Bytes* out, const LockKey& key) {
+  PutLengthPrefixed(out, Slice(key.file));
+  PutLengthPrefixed(out, Slice(key.record));
+}
+
+bool GetLockKey(Slice* in, LockKey* key) {
+  return GetLengthPrefixedString(in, &key->file) &&
+         GetLengthPrefixedBytes(in, &key->record);
+}
+
+}  // namespace
+
+void DiscProcess::OnRequest(const net::Message& msg) {
+  if (!IsPrimary()) {
+    // The backup is passive; a request landing here is a routing accident
+    // during the takeover window — the sender's retry will find the primary.
+    Reply(msg, Status::Unavailable("backup disc process"));
+    return;
+  }
+  if (msg.tag == kDiscTxnStateChange) {
+    HandleStateChange(msg);
+    return;
+  }
+
+  auto req = DiscRequest::Decode(Slice(msg.payload));
+  if (!req.ok()) {
+    Reply(msg, req.status());
+    return;
+  }
+
+  // Duplicate suppression: answered requests are replayed from the cache;
+  // requests still being processed (e.g. parked on a lock) are dropped —
+  // the eventual reply answers the retry too (same request id).
+  RequestKey rk{msg.src, msg.request_id};
+  if (msg.request_id != 0) {
+    auto cached = reply_cache_.find(rk);
+    if (cached != reply_cache_.end()) {
+      sim()->GetStats().Incr("disc.dedup_replays");
+      SendReply(msg.src, cached->second.tag, msg.request_id,
+                Status(cached->second.status, ""), cached->second.payload);
+      return;
+    }
+    if (in_flight_.count(rk)) {
+      sim()->GetStats().Incr("disc.dedup_inflight_drops");
+      return;
+    }
+    in_flight_.insert(rk);
+  }
+  HandleOperation(msg, *req);
+}
+
+void DiscProcess::HandleOperation(const net::Message& msg, const DiscRequest& req) {
+  sim()->GetStats().Incr("disc.ops");
+  const Transid transid = Transid::Unpack(msg.transid);
+
+  // Work for a transaction that has begun aborting is rejected — its effects
+  // would be backed out anyway. Backout's own undo ops are exempt. Work for
+  // an already *resolved* transaction (a zombie retransmission delivered
+  // after commit/backout completed) is likewise rejected: granting it locks
+  // would leak them forever.
+  if (transid.valid() && msg.tag != kDiscUndo &&
+      (aborting_.count(transid) || IsResolved(transid))) {
+    FinishWithReply(msg, Status::Aborted("transaction is aborting or resolved"),
+                    {}, 0, nullptr);
+    return;
+  }
+
+  // Audited files may only be modified under a transaction.
+  const bool is_mutation = msg.tag == kDiscInsert || msg.tag == kDiscUpdate ||
+                           msg.tag == kDiscDelete;
+  if (is_mutation) {
+    storage::StructuredFile* file = config_.volume->Find(req.file);
+    if (file != nullptr && file->audited() && !transid.valid()) {
+      FinishWithReply(msg,
+                      Status::InvalidArgument(
+                          "audited file requires a transaction: " + req.file),
+                      {}, 0, nullptr);
+      return;
+    }
+  }
+
+  // Locking. Updates and deletes must hold the record lock ("TMF ensures
+  // that all records updated or deleted ... have been previously locked");
+  // if the application did not lock at read time the lock is acquired here.
+  // Reads lock only on explicit request. Inserts auto-lock the new key
+  // (known keys only; entry-sequenced appends lock after assignment).
+  if (transid.valid()) {
+    switch (msg.tag) {
+      case kDiscRead:
+        if (req.lock &&
+            !EnsureLock(msg, req, transid, LockKey{req.file, req.key})) {
+          return;
+        }
+        break;
+      case kDiscUpdate:
+      case kDiscDelete:
+        if (!EnsureLock(msg, req, transid, LockKey{req.file, req.key})) return;
+        break;
+      case kDiscInsert:
+        if (!req.key.empty() &&
+            !EnsureLock(msg, req, transid, LockKey{req.file, req.key})) {
+          return;
+        }
+        break;
+      case kDiscLockFile:
+        if (!EnsureLock(msg, req, transid, LockKey{req.file, {}})) return;
+        break;
+      default:
+        break;
+    }
+  } else if (msg.tag == kDiscLockFile || (msg.tag == kDiscRead && req.lock)) {
+    FinishWithReply(msg, Status::InvalidArgument("locking requires a transaction"),
+                    {}, 0, nullptr);
+    return;
+  }
+
+  Execute(msg, req);
+}
+
+bool DiscProcess::EnsureLock(const net::Message& msg, const DiscRequest& req,
+                             const Transid& owner, LockKey key) {
+  if (locks_.Holds(owner, key)) return true;
+  auto result = locks_.Acquire(owner, key);
+  if (result == LockManager::AcquireResult::kGranted) {
+    CheckpointBatch batch;
+    CkptGrant(&batch, owner, key);
+    FlushCheckpoint(&batch);
+    return true;
+  }
+  sim()->GetStats().Incr("disc.lock_waits");
+  SimDuration timeout =
+      req.lock_timeout > 0 ? req.lock_timeout : config_.default_lock_timeout;
+  ParkRequest(msg, owner, std::move(key), timeout);
+  return false;
+}
+
+void DiscProcess::ParkRequest(const net::Message& msg, const Transid& owner,
+                              LockKey key, SimDuration timeout) {
+  parked_.push_back(ParkedOp{msg, owner, std::move(key), 0});
+  auto it = std::prev(parked_.end());
+  it->timer = SetTimer(timeout, [this, it]() {
+    // Deadlock detection is by timeout: abandon the wait and tell the
+    // requester, which typically triggers RESTART-TRANSACTION upstream.
+    sim()->GetStats().Incr("disc.lock_timeouts");
+    locks_.CancelWait(it->owner, it->key);
+    net::Message msg = std::move(it->msg);
+    std::string file = it->key.file;
+    parked_.erase(it);
+    FinishWithReply(msg, Status::Timeout("lock wait timeout: " + file), {}, 0,
+                    nullptr);
+  });
+}
+
+void DiscProcess::ResumeGranted(const std::vector<LockGrant>& grants) {
+  for (const auto& grant : grants) {
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+      if (it->owner == grant.owner && it->key == grant.key) {
+        CancelTimer(it->timer);
+        net::Message msg = std::move(it->msg);
+        parked_.erase(it);
+        CheckpointBatch batch;
+        CkptGrant(&batch, grant.owner, grant.key);
+        FlushCheckpoint(&batch);
+        auto req = DiscRequest::Decode(Slice(msg.payload));
+        if (req.ok()) Execute(msg, *req);
+        break;
+      }
+    }
+  }
+}
+
+void DiscProcess::Execute(const net::Message& msg, const DiscRequest& req) {
+  const Transid transid = Transid::Unpack(msg.transid);
+  storage::Volume* vol = config_.volume;
+  CheckpointBatch batch;
+
+  switch (msg.tag) {
+    case kDiscRead: {
+      auto r = vol->ReadRecord(req.file, Slice(req.key));
+      // A locked read of a missing record keeps the key lock (protects the
+      // key for a subsequent insert) and reports NotFound.
+      FinishWithReply(msg, r.status, std::move(r.value), r.disc_ios, &batch);
+      return;
+    }
+    case kDiscSeek: {
+      auto r = vol->SeekRecord(req.file, Slice(req.key), req.inclusive);
+      SeekReply rep;
+      rep.key = std::move(r.key);
+      rep.value = std::move(r.value);
+      FinishWithReply(msg, r.status, rep.Encode(), r.disc_ios, &batch);
+      return;
+    }
+    case kDiscScan: {
+      // Batched browse read: up to max_records from the given position, in
+      // key order, without locking (the paper's unlocked-read mode).
+      uint32_t limit = req.max_records == 0 ? 64 : req.max_records;
+      if (limit > 1024) limit = 1024;
+      ScanReply rep;
+      int total_ios = 0;
+      Bytes pos = req.key;
+      bool inclusive = req.inclusive;
+      while (rep.entries.size() < limit) {
+        auto r = vol->SeekRecord(req.file, Slice(pos), inclusive);
+        if (r.status.IsEndOfFile()) {
+          rep.at_end = true;
+          break;
+        }
+        if (!r.status.ok()) {
+          FinishWithReply(msg, r.status, {}, total_ios, &batch);
+          return;
+        }
+        total_ios += r.disc_ios;
+        pos = r.key;
+        inclusive = false;
+        SeekReply entry;
+        entry.key = std::move(r.key);
+        entry.value = std::move(r.value);
+        rep.entries.push_back(std::move(entry));
+      }
+      sim()->GetStats().Incr("disc.scan_batches");
+      sim()->GetStats().Incr("disc.scan_records",
+                             static_cast<int64_t>(rep.entries.size()));
+      // Sequential access: charge one physical read per distinct block-sized
+      // group instead of per record (sequential reads amortize).
+      int charged = total_ios > 0 ? 1 + static_cast<int>(rep.entries.size() / 16)
+                                  : 0;
+      FinishWithReply(msg, Status::Ok(), rep.Encode(), charged, &batch);
+      return;
+    }
+    case kDiscReadAlt: {
+      auto r = vol->ReadAlternate(req.file, req.field, req.value);
+      FinishWithReply(msg, r.status, std::move(r.value), r.disc_ios, &batch);
+      return;
+    }
+    case kDiscLockFile: {
+      FinishWithReply(msg, Status::Ok(), {}, 0, &batch);
+      return;
+    }
+    case kDiscInsert: {
+      auto r = vol->Mutate(req.file, storage::MutationOp::kInsert, Slice(req.key),
+                           Slice(req.record));
+      if (r.status.ok()) {
+        if (transid.valid() && req.key.empty()) {
+          // Entry-sequenced append: lock the assigned key now. The key is
+          // fresh, so the grant cannot conflict.
+          locks_.ForceGrant(transid, LockKey{req.file, r.key});
+          CkptGrant(&batch, transid, LockKey{req.file, r.key});
+        }
+        EmitAudit(transid, storage::MutationOp::kInsert, Slice(r.key), r,
+                  Slice(req.record), req.file);
+      }
+      Bytes assigned = r.key;
+      FinishWithReply(msg, r.status, std::move(assigned), r.disc_ios, &batch);
+      return;
+    }
+    case kDiscUpdate: {
+      auto r = vol->Mutate(req.file, storage::MutationOp::kUpdate, Slice(req.key),
+                           Slice(req.record));
+      if (r.status.ok()) {
+        EmitAudit(transid, storage::MutationOp::kUpdate, Slice(req.key), r,
+                  Slice(req.record), req.file);
+      }
+      FinishWithReply(msg, r.status, {}, r.disc_ios, &batch);
+      return;
+    }
+    case kDiscDelete: {
+      auto r = vol->Mutate(req.file, storage::MutationOp::kDelete, Slice(req.key),
+                           Slice());
+      if (r.status.ok()) {
+        EmitAudit(transid, storage::MutationOp::kDelete, Slice(req.key), r,
+                  Slice(), req.file);
+      }
+      FinishWithReply(msg, r.status, {}, r.disc_ios, &batch);
+      return;
+    }
+    case kDiscUndo: {
+      auto r = vol->ApplyUndo(req.file, req.undo_op, Slice(req.key),
+                              Slice(req.record));
+      sim()->GetStats().Incr("disc.undo_ops");
+      FinishWithReply(msg, r.status, {}, r.disc_ios, &batch);
+      return;
+    }
+    case kDiscFlushVolume: {
+      int writes = vol->Flush();
+      sim()->GetStats().Incr("disc.flush_writes", writes);
+      FinishWithReply(msg, Status::Ok(), {}, writes > 0 ? 1 : 0, &batch);
+      return;
+    }
+    default:
+      FinishWithReply(msg, Status::InvalidArgument("unknown disc tag"), {}, 0,
+                      &batch);
+  }
+}
+
+void DiscProcess::EmitAudit(const Transid& transid, storage::MutationOp op,
+                            const Slice& key, const storage::OpResult& result,
+                            const Slice& after, const std::string& file) {
+  if (!transid.valid() || config_.audit_process.empty()) return;
+  storage::StructuredFile* f = config_.volume->Find(file);
+  if (f == nullptr || !f->audited()) return;
+  audit::AuditRecord rec;
+  rec.transid = transid;
+  rec.volume = config_.volume->name();
+  rec.file = file;
+  rec.op = op;
+  rec.key = key.ToBytes();
+  rec.before = result.before;
+  rec.after = after.ToBytes();
+  sim()->GetStats().Incr("disc.audit_records");
+  // Unforced (the trail is forced by TMF at phase one of commit) but
+  // *reliable and ordered*: the record joins a checkpointed FIFO that is
+  // delivered to the AUDITPROCESS with acknowledgement and retry — a lost
+  // before-image would make a later backout silently incomplete.
+  Bytes encoded = rec.Encode();
+  if (HasBackup()) {
+    Bytes ckpt;
+    PutFixed8(&ckpt, kCkptAuditPush);
+    PutLengthPrefixed(&ckpt, Slice(encoded));
+    SendCheckpoint(std::move(ckpt));
+  }
+  audit_queue_.push_back(std::move(encoded));
+  PumpAuditQueue();
+}
+
+void DiscProcess::PumpAuditQueue() {
+  if (audit_in_flight_ || audit_queue_.empty() || !IsPrimary()) return;
+  audit_in_flight_ = true;
+  Slice head(audit_queue_.front());
+  auto rec = audit::AuditRecord::Decode(&head);
+  if (!rec.ok()) {  // cannot happen; drop defensively
+    audit_queue_.pop_front();
+    audit_in_flight_ = false;
+    PumpAuditQueue();
+    return;
+  }
+  os::CallOptions opt;
+  opt.timeout = Millis(500);
+  opt.retries = 4;
+  Call(net::Address(node()->id(), config_.audit_process), audit::kAuditAppend,
+       audit::EncodeAuditBatch({*rec}),
+       [this](const Status& s, const net::Message&) {
+         audit_in_flight_ = false;
+         if (s.ok()) {
+           audit_queue_.pop_front();
+           if (HasBackup()) {
+             Bytes ckpt;
+             PutFixed8(&ckpt, kCkptAuditPop);
+             SendCheckpoint(std::move(ckpt));
+           }
+           PumpAuditQueue();
+         } else {
+           // The audit pair is mid-takeover; keep the record and retry.
+           sim()->GetStats().Incr("disc.audit_redelivery");
+           SetTimer(Millis(100), [this]() { PumpAuditQueue(); });
+         }
+       },
+       opt);
+}
+
+void DiscProcess::HandleStateChange(const net::Message& msg) {
+  auto change = TxnStateChange::Decode(Slice(msg.payload));
+  if (!change.ok()) {
+    if (msg.request_id != 0) Reply(msg, change.status());
+    return;
+  }
+  CheckpointBatch batch;
+  switch (change->state) {
+    case DiscTxnState::kAborting:
+      aborting_.insert(change->transid);
+      CkptAborting(&batch, change->transid);
+      break;
+    case DiscTxnState::kEnded:
+    case DiscTxnState::kAborted: {
+      // Phase two (or backout completion): release the transaction's locks
+      // and resume any waiters they unblock.
+      aborting_.erase(change->transid);
+      MarkResolved(change->transid);
+      auto grants = locks_.ReleaseAll(change->transid);
+      CkptRelease(&batch, change->transid);
+      FlushCheckpoint(&batch);
+      sim()->GetStats().Incr("disc.lock_releases");
+      ResumeGranted(grants);
+      if (msg.request_id != 0) Reply(msg, Status::Ok());
+      return;
+    }
+  }
+  FlushCheckpoint(&batch);
+  if (msg.request_id != 0) Reply(msg, Status::Ok());
+}
+
+void DiscProcess::FinishWithReply(const net::Message& msg, const Status& status,
+                                  Bytes payload, int disc_ios,
+                                  CheckpointBatch* batch) {
+  RequestKey rk{msg.src, msg.request_id};
+  CheckpointBatch local;
+  if (batch == nullptr) batch = &local;
+
+  if (msg.request_id != 0) {
+    CacheReply(rk, msg.tag, status, payload);
+    CkptReply(batch, rk, msg.tag, status.code(), payload);
+    in_flight_.erase(rk);
+  }
+  FlushCheckpoint(batch);
+
+  sim()->GetStats().Record("disc.op_ios", disc_ios);
+  SimDuration latency = config_.base_latency + disc_ios * config_.io_latency;
+  net::ProcessId requester = msg.src;
+  uint64_t reply_to = msg.request_id;
+  uint32_t tag = msg.tag;
+  Status::Code code = status.code();
+  if (reply_to == 0) return;
+  SetTimer(latency, [this, requester, tag, reply_to, code,
+                     payload = std::move(payload)]() {
+    SendReply(requester, tag, reply_to, Status(code, ""), payload);
+  });
+}
+
+void DiscProcess::MarkResolved(const Transid& transid) {
+  if (resolved_.insert(transid.Pack()).second) {
+    resolved_order_.push_back(transid.Pack());
+    while (resolved_order_.size() > 8192) {
+      resolved_.erase(resolved_order_.front());
+      resolved_order_.pop_front();
+    }
+  }
+}
+
+void DiscProcess::CacheReply(const RequestKey& rk, uint32_t tag,
+                             const Status& status, const Bytes& payload) {
+  if (reply_cache_.count(rk)) return;
+  reply_cache_[rk] = CachedReply{tag, status.code(), payload};
+  reply_cache_order_.push_back(rk);
+  while (reply_cache_order_.size() > config_.reply_cache_capacity) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+void DiscProcess::CkptGrant(CheckpointBatch* batch, const Transid& owner,
+                            const LockKey& key) {
+  PutFixed8(&batch->delta, kCkptGrantEntry);
+  PutFixed64(&batch->delta, owner.Pack());
+  PutLockKey(&batch->delta, key);
+  batch->empty = false;
+}
+
+void DiscProcess::CkptRelease(CheckpointBatch* batch, const Transid& owner) {
+  PutFixed8(&batch->delta, kCkptReleaseEntry);
+  PutFixed64(&batch->delta, owner.Pack());
+  batch->empty = false;
+}
+
+void DiscProcess::CkptAborting(CheckpointBatch* batch, const Transid& owner) {
+  PutFixed8(&batch->delta, kCkptAbortingEntry);
+  PutFixed64(&batch->delta, owner.Pack());
+  batch->empty = false;
+}
+
+void DiscProcess::CkptReply(CheckpointBatch* batch, const RequestKey& rk,
+                            uint32_t tag, Status::Code status,
+                            const Bytes& payload) {
+  PutFixed8(&batch->delta, kCkptReplyEntry);
+  PutFixed16(&batch->delta, rk.first.node);
+  PutFixed32(&batch->delta, rk.first.pid);
+  PutFixed64(&batch->delta, rk.second);
+  PutFixed32(&batch->delta, tag);
+  PutFixed8(&batch->delta, static_cast<uint8_t>(status));
+  PutLengthPrefixed(&batch->delta, Slice(payload));
+  batch->empty = false;
+}
+
+void DiscProcess::FlushCheckpoint(CheckpointBatch* batch) {
+  if (batch->empty || !HasBackup()) {
+    batch->delta.clear();
+    batch->empty = true;
+    return;
+  }
+  SendCheckpoint(std::move(batch->delta));
+  batch->delta.clear();
+  batch->empty = true;
+}
+
+void DiscProcess::OnCheckpoint(const Slice& delta) {
+  Slice in = delta;
+  while (!in.empty()) {
+    uint8_t type;
+    if (!GetFixed8(&in, &type)) return;
+    switch (type) {
+      case kCkptGrantEntry: {
+        uint64_t packed;
+        LockKey key;
+        if (!GetFixed64(&in, &packed) || !GetLockKey(&in, &key)) return;
+        locks_.ForceGrant(Transid::Unpack(packed), key);
+        break;
+      }
+      case kCkptReleaseEntry: {
+        uint64_t packed;
+        if (!GetFixed64(&in, &packed)) return;
+        Transid t = Transid::Unpack(packed);
+        aborting_.erase(t);
+        MarkResolved(t);
+        locks_.ReleaseAll(t);
+        break;
+      }
+      case kCkptAbortingEntry: {
+        uint64_t packed;
+        if (!GetFixed64(&in, &packed)) return;
+        aborting_.insert(Transid::Unpack(packed));
+        break;
+      }
+      case kCkptClearAbortingEntry: {
+        uint64_t packed;
+        if (!GetFixed64(&in, &packed)) return;
+        aborting_.erase(Transid::Unpack(packed));
+        break;
+      }
+      case kCkptReplyEntry: {
+        uint16_t node;
+        uint32_t pid, tag;
+        uint64_t rid;
+        uint8_t status;
+        Bytes payload;
+        if (!GetFixed16(&in, &node) || !GetFixed32(&in, &pid) ||
+            !GetFixed64(&in, &rid) || !GetFixed32(&in, &tag) ||
+            !GetFixed8(&in, &status) || !GetLengthPrefixedBytes(&in, &payload)) {
+          return;
+        }
+        CacheReply(RequestKey{net::ProcessId{node, pid}, rid}, tag,
+                   Status(static_cast<Status::Code>(status), ""), payload);
+        break;
+      }
+      case kCkptAuditPush: {
+        Bytes encoded;
+        if (!GetLengthPrefixedBytes(&in, &encoded)) return;
+        audit_queue_.push_back(std::move(encoded));
+        break;
+      }
+      case kCkptAuditPop: {
+        if (!audit_queue_.empty()) audit_queue_.pop_front();
+        break;
+      }
+      default:
+        return;  // unknown entry: stop parsing this delta
+    }
+  }
+}
+
+void DiscProcess::OnTakeover() {
+  // Deliver any audit records the old primary had not yet gotten
+  // acknowledged (redelivery is safe: backout and rollforward tolerate
+  // duplicate images).
+  audit_in_flight_ = false;
+  PumpAuditQueue();
+}
+
+void DiscProcess::OnBackupAttached() {
+  // Full-state resynchronization: replay every held lock, the aborting set,
+  // and the reply cache as one checkpoint.
+  CheckpointBatch batch;
+  for (const auto& [rk, cached] : reply_cache_) {
+    CkptReply(&batch, rk, cached.tag, cached.status, cached.payload);
+  }
+  for (const auto& t : aborting_) {
+    CkptAborting(&batch, t);
+  }
+  for (const auto& grant : locks_.AllHeld()) {
+    CkptGrant(&batch, grant.owner, grant.key);
+  }
+  FlushCheckpoint(&batch);
+  for (const auto& encoded : audit_queue_) {
+    Bytes ckpt;
+    PutFixed8(&ckpt, kCkptAuditPush);
+    PutLengthPrefixed(&ckpt, Slice(encoded));
+    SendCheckpoint(std::move(ckpt));
+  }
+}
+
+}  // namespace encompass::discprocess

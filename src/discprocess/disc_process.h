@@ -1,0 +1,138 @@
+// DiscProcess: the I/O process-pair controlling one disc volume. It is the
+// single point of access to the volume's files and the keeper of their lock
+// state ("each DISCPROCESS maintains the locking control information for
+// those records and files resident on its volume only").
+//
+// Fault-tolerance per the paper's design:
+//  * The primary checkpoints each completed operation (lock grants, the
+//    reply, transaction release events) to its backup. The checkpoint is
+//    the functional equivalent of Write-Ahead Log — no disc force happens
+//    on the update path.
+//  * After takeover the backup answers retried requests from its mirrored
+//    reply cache, so requesters never observe a duplicate application.
+//  * Audit images of updates to audited files are sent (unforced) to the
+//    volume's AUDITPROCESS; TMF forces them at phase one of commit.
+
+#ifndef ENCOMPASS_DISCPROCESS_DISC_PROCESS_H_
+#define ENCOMPASS_DISCPROCESS_DISC_PROCESS_H_
+
+#include <deque>
+#include <list>
+#include <map>
+#include <set>
+#include <string>
+
+#include "discprocess/disc_protocol.h"
+#include "discprocess/lock_manager.h"
+#include "os/process_pair.h"
+#include "storage/volume.h"
+
+namespace encompass::discprocess {
+
+/// Configuration of one DISCPROCESS pair.
+struct DiscProcessConfig {
+  storage::Volume* volume = nullptr;   ///< shared durable volume (the discs)
+  std::string audit_process;           ///< AUDITPROCESS name; "" = unaudited volume
+  SimDuration base_latency = Micros(300);   ///< request processing cost
+  SimDuration io_latency = Millis(10);      ///< per physical disc read
+  SimDuration default_lock_timeout = Seconds(1);  ///< deadlock detection
+  size_t reply_cache_capacity = 4096;
+};
+
+/// The DISCPROCESS pair.
+class DiscProcess : public os::PairedProcess {
+ public:
+  explicit DiscProcess(DiscProcessConfig config) : config_(config) {}
+
+  std::string DebugName() const override { return pair_name() + "/disc"; }
+
+  const LockManager& locks() const { return locks_; }
+  storage::Volume* volume() const { return config_.volume; }
+
+ protected:
+  void OnRequest(const net::Message& msg) override;
+  void OnCheckpoint(const Slice& delta) override;
+  void OnBackupAttached() override;
+  void OnTakeover() override;
+
+ private:
+  struct CachedReply {
+    uint32_t tag;
+    Status::Code status;
+    Bytes payload;
+  };
+  using RequestKey = std::pair<net::ProcessId, uint64_t>;
+
+  /// Accumulates one operation's checkpoint entries, flushed as one message.
+  struct CheckpointBatch {
+    Bytes delta;
+    bool empty = true;
+  };
+
+  void HandleOperation(const net::Message& msg, const DiscRequest& req);
+  /// Runs the operation body once required locks are held.
+  void Execute(const net::Message& msg, const DiscRequest& req);
+  /// Lock step: returns true when held/granted; false when parked or failed
+  /// (failure already replied).
+  bool EnsureLock(const net::Message& msg, const DiscRequest& req,
+                  const Transid& owner, LockKey key);
+  void ParkRequest(const net::Message& msg, const Transid& owner, LockKey key,
+                   SimDuration timeout);
+  void ResumeGranted(const std::vector<LockGrant>& grants);
+  void HandleStateChange(const net::Message& msg);
+  void FinishWithReply(const net::Message& msg, const Status& status,
+                       Bytes payload, int disc_ios, CheckpointBatch* batch);
+  void EmitAudit(const Transid& transid, storage::MutationOp op, const Slice& key,
+                 const storage::OpResult& result, const Slice& after,
+                 const std::string& file);
+  /// Drives the reliable, ordered delivery of queued audit records to the
+  /// AUDITPROCESS (one in-flight batch; retried until acknowledged).
+  void PumpAuditQueue();
+  void CacheReply(const RequestKey& rk, uint32_t tag, const Status& status,
+                  const Bytes& payload);
+
+  // Checkpoint encoding helpers.
+  void CkptGrant(CheckpointBatch* batch, const Transid& owner, const LockKey& key);
+  void CkptRelease(CheckpointBatch* batch, const Transid& owner);
+  void CkptAborting(CheckpointBatch* batch, const Transid& owner);
+  void CkptReply(CheckpointBatch* batch, const RequestKey& rk, uint32_t tag,
+                 Status::Code status, const Bytes& payload);
+  void FlushCheckpoint(CheckpointBatch* batch);
+
+  /// Marks a transaction as resolved (committed or backed out). A request
+  /// carrying a resolved transid arriving later — e.g. a retransmission
+  /// finally delivered after a partition heals — must not acquire locks for
+  /// the dead transaction; it is rejected with Aborted.
+  void MarkResolved(const Transid& transid);
+  bool IsResolved(const Transid& transid) const {
+    return resolved_.count(transid.Pack()) != 0;
+  }
+
+  DiscProcessConfig config_;
+  LockManager locks_;
+  std::set<Transid> aborting_;
+  std::set<uint64_t> resolved_;
+  std::deque<uint64_t> resolved_order_;
+
+  std::map<RequestKey, CachedReply> reply_cache_;
+  std::deque<RequestKey> reply_cache_order_;
+  std::set<RequestKey> in_flight_;
+
+  struct ParkedOp {
+    net::Message msg;
+    Transid owner;
+    LockKey key;
+    uint64_t timer = 0;
+  };
+  std::list<ParkedOp> parked_;
+
+  // Audit records awaiting acknowledged delivery. Mirrored to the backup so
+  // a takeover never loses a before-image (the checkpoint IS the paper's
+  // WAL-equivalent). FIFO with one batch in flight preserves LSN order.
+  std::deque<Bytes> audit_queue_;  // encoded AuditRecords
+  bool audit_in_flight_ = false;
+};
+
+}  // namespace encompass::discprocess
+
+#endif  // ENCOMPASS_DISCPROCESS_DISC_PROCESS_H_

@@ -1,0 +1,88 @@
+// Wire protocol of the DISCPROCESS: request encoding shared by the file
+// system (server side), TMF (state changes), and the BACKOUTPROCESS (undo).
+
+#ifndef ENCOMPASS_DISCPROCESS_DISC_PROTOCOL_H_
+#define ENCOMPASS_DISCPROCESS_DISC_PROTOCOL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/slice.h"
+#include "common/transid.h"
+#include "net/message.h"
+#include "storage/file.h"
+
+namespace encompass::discprocess {
+
+/// DISCPROCESS message tags.
+enum DiscTag : uint32_t {
+  kDiscRead = net::kTagDisc + 1,        ///< point read, optional record lock
+  kDiscSeek = net::kTagDisc + 2,        ///< positioned read (>= / > key)
+  kDiscInsert = net::kTagDisc + 3,      ///< insert (auto-locks the new key)
+  kDiscUpdate = net::kTagDisc + 4,      ///< update (ensures the record lock)
+  kDiscDelete = net::kTagDisc + 5,      ///< delete (ensures the record lock)
+  kDiscReadAlt = net::kTagDisc + 6,     ///< alternate-key lookup
+  kDiscLockFile = net::kTagDisc + 7,    ///< file-granularity lock
+  kDiscTxnStateChange = net::kTagDisc + 8,  ///< from TMF: txn state broadcast
+  kDiscUndo = net::kTagDisc + 9,        ///< from BACKOUTPROCESS: compensate
+  kDiscFlushVolume = net::kTagDisc + 10,///< force cached data blocks to disc
+  kDiscScan = net::kTagDisc + 11,       ///< batched range scan (browse read)
+};
+
+/// Transaction states a DISCPROCESS reacts to (subset of the TMF states).
+enum class DiscTxnState : uint8_t {
+  kAborting = 0,  ///< stop accepting work for the transaction; hold locks
+  kEnded = 1,     ///< commit complete: release the transaction's locks
+  kAborted = 2,   ///< backout complete: release the transaction's locks
+};
+
+/// One DISCPROCESS request. Field use depends on the tag; unused fields stay
+/// empty and cost one varint each on the wire.
+struct DiscRequest {
+  std::string file;
+  Bytes key;
+  Bytes record;           ///< insert/update image; kDiscUndo: before-image
+  std::string field;      ///< kDiscReadAlt
+  std::string value;      ///< kDiscReadAlt
+  bool lock = false;      ///< kDiscRead: acquire the record lock first
+  bool inclusive = true;  ///< kDiscSeek / kDiscScan
+  storage::MutationOp undo_op = storage::MutationOp::kInsert;  ///< kDiscUndo
+  SimDuration lock_timeout = 0;  ///< 0 = DISCPROCESS default
+  uint32_t max_records = 0;      ///< kDiscScan batch size (0 = server default)
+
+  Bytes Encode() const;
+  static Result<DiscRequest> Decode(const Slice& payload);
+};
+
+/// Reply payload of kDiscSeek.
+struct SeekReply {
+  Bytes key;
+  Bytes value;
+
+  Bytes Encode() const;
+  static Result<SeekReply> Decode(const Slice& payload);
+};
+
+/// Reply payload of kDiscScan: a batch of records in key order, plus
+/// whether the scan reached the end of this partition's file.
+struct ScanReply {
+  std::vector<SeekReply> entries;
+  bool at_end = false;
+
+  Bytes Encode() const;
+  static Result<ScanReply> Decode(const Slice& payload);
+};
+
+/// Payload of kDiscTxnStateChange.
+struct TxnStateChange {
+  Transid transid;
+  DiscTxnState state = DiscTxnState::kEnded;
+
+  Bytes Encode() const;
+  static Result<TxnStateChange> Decode(const Slice& payload);
+};
+
+}  // namespace encompass::discprocess
+
+#endif  // ENCOMPASS_DISCPROCESS_DISC_PROTOCOL_H_

@@ -1,0 +1,101 @@
+// LockManager: the per-volume concurrency-control state. "Each DISCPROCESS
+// maintains the locking control information for those records and files
+// resident on its volume only" — concurrency control is decentralized; no
+// central lock manager exists. Two granularities (file and record), all
+// locks exclusive, FIFO waiting, deadlock resolution by timeout (the
+// timeout itself lives in the DISCPROCESS, which cancels the wait).
+
+#ifndef ENCOMPASS_DISCPROCESS_LOCK_MANAGER_H_
+#define ENCOMPASS_DISCPROCESS_LOCK_MANAGER_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/transid.h"
+
+namespace encompass::discprocess {
+
+/// Identity of one lockable unit: a whole file, or one record (by primary
+/// key) within a file.
+struct LockKey {
+  std::string file;
+  Bytes record;  ///< empty = file-level lock
+
+  bool file_level() const { return record.empty(); }
+  std::string ToString() const;
+
+  friend bool operator<(const LockKey& a, const LockKey& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return Slice(a.record) < Slice(b.record);
+  }
+  friend bool operator==(const LockKey& a, const LockKey& b) {
+    return a.file == b.file && Slice(a.record) == Slice(b.record);
+  }
+};
+
+/// A lock grant handed out when a release unblocks a waiter.
+struct LockGrant {
+  Transid owner;
+  LockKey key;
+};
+
+/// Exclusive two-granularity lock table for one volume.
+class LockManager {
+ public:
+  enum class AcquireResult {
+    kGranted,  ///< caller now holds the lock (or already did)
+    kQueued,   ///< caller waits in FIFO order
+  };
+
+  /// Requests the lock. A file-level lock conflicts with every record lock
+  /// in that file held by another transaction, and vice versa. Re-acquiring
+  /// a held lock (or a record covered by the caller's file lock) grants.
+  AcquireResult Acquire(const Transid& owner, const LockKey& key);
+
+  /// Grants unconditionally — used by a process-pair backup to mirror the
+  /// primary's grants from checkpoints. Never queues.
+  void ForceGrant(const Transid& owner, const LockKey& key);
+
+  /// Releases every lock held by `owner` (commit phase two, or abort
+  /// completion) and removes it from all wait queues. Returns the waiters
+  /// that acquired locks as a result, in grant order.
+  std::vector<LockGrant> ReleaseAll(const Transid& owner);
+
+  /// Removes `owner` from the wait queue of `key` (lock-wait timeout).
+  /// Returns true if a waiting entry was removed.
+  bool CancelWait(const Transid& owner, const LockKey& key);
+
+  /// True if `owner` holds `key` itself or a covering file lock.
+  bool Holds(const Transid& owner, const LockKey& key) const;
+
+  size_t held_count() const;
+  size_t waiter_count() const;
+  /// Transactions currently holding at least one lock.
+  std::vector<Transid> Holders() const;
+  /// Every held (owner, key) pair — used for full-state checkpoints when a
+  /// fresh backup attaches.
+  std::vector<LockGrant> AllHeld() const;
+
+ private:
+  struct Unit {
+    Transid holder;                // !valid() = free
+    std::deque<Transid> waiters;   // FIFO
+  };
+
+  bool FileLockedByOther(const std::string& file, const Transid& owner) const;
+  bool AnyRecordLockedByOther(const std::string& file, const Transid& owner) const;
+  /// Promotes waiters on units within `file` whose grant conditions now
+  /// hold; appends grants.
+  void PromoteWaiters(const std::string& file, std::vector<LockGrant>* grants);
+
+  std::map<LockKey, Unit> units_;
+  std::map<Transid, std::set<LockKey>> owned_;
+};
+
+}  // namespace encompass::discprocess
+
+#endif  // ENCOMPASS_DISCPROCESS_LOCK_MANAGER_H_

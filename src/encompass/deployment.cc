@@ -1,0 +1,259 @@
+#include "encompass/deployment.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace encompass::app {
+
+void NodeStorage::DropVolatile() {
+  for (auto& [name, volume] : volumes) {
+    (void)name;
+    volume->DropVolatile();
+  }
+  for (auto& [name, trail] : trails) {
+    (void)name;
+    trail->DropVolatile();
+  }
+}
+
+NodeDeployment::NodeDeployment(Deployment* deployment, os::Node* node,
+                               NodeSpec spec)
+    : deployment_(deployment), node_(node), spec_(std::move(spec)) {
+  for (const auto& vspec : spec_.volumes) {
+    auto volume = std::make_unique<storage::Volume>(vspec.name,
+                                                    vspec.volume_config);
+    for (const auto& fspec : vspec.files) {
+      storage::FileOptions opt;
+      opt.audited = fspec.audited;
+      opt.schema = fspec.schema;
+      Status s = volume->CreateFile(fspec.name, fspec.organization, opt);
+      assert(s.ok());
+      (void)s;
+    }
+    storage_.volumes[vspec.name] = std::move(volume);
+    storage_.trails[TrailName(vspec.name)] =
+        std::make_unique<audit::AuditTrail>(TrailName(vspec.name));
+  }
+}
+
+void NodeDeployment::StartServices() {
+  const int cpus = spec_.node_config.num_cpus;
+  assert(cpus >= 2 && "a NonStop node needs at least two processors");
+  repairables_.clear();
+  guardians_.clear();
+  int next_cpu = 0;
+  auto two_cpus = [&](int* a, int* b) {
+    *a = next_cpu % cpus;
+    *b = (next_cpu + 1) % cpus;
+    ++next_cpu;
+  };
+
+  // One AUDITPROCESS + one DISCPROCESS pair per volume.
+  std::vector<std::string> disc_names, audit_names;
+  for (const auto& vspec : spec_.volumes) {
+    const std::string audit_name = "$AUD." + vspec.name;
+    audit::AuditProcessConfig acfg = spec_.audit_config;
+    acfg.trail = storage_.trails.at(TrailName(vspec.name)).get();
+    int a, b;
+    two_cpus(&a, &b);
+    os::SpawnPair<audit::AuditProcess>(node_, audit_name, a, b, acfg);
+    RegisterRepairablePair<audit::AuditProcess>(audit_name, acfg);
+    audit_names.push_back(audit_name);
+
+    discprocess::DiscProcessConfig dcfg = spec_.disc_config;
+    dcfg.volume = storage_.volumes.at(vspec.name).get();
+    dcfg.audit_process = audit_name;
+    two_cpus(&a, &b);
+    os::SpawnPair<discprocess::DiscProcess>(node_, vspec.name, a, b, dcfg);
+    RegisterRepairablePair<discprocess::DiscProcess>(vspec.name, dcfg);
+    disc_names.push_back(vspec.name);
+  }
+
+  // BACKOUTPROCESS.
+  tmf::BackoutConfig bcfg;
+  bcfg.audit_processes = audit_names;
+  int a, b;
+  two_cpus(&a, &b);
+  os::SpawnPair<tmf::BackoutProcess>(node_, "$BACKOUT", a, b, bcfg);
+  RegisterRepairablePair<tmf::BackoutProcess>("$BACKOUT", bcfg);
+
+  // TMP.
+  tmf::TmpConfig tcfg = spec_.tmp_config;
+  tcfg.disc_processes = disc_names;
+  tcfg.audit_processes = audit_names;
+  tcfg.backout_process = "$BACKOUT";
+  tcfg.monitor_trail = &storage_.monitor_trail;
+  two_cpus(&a, &b);
+  os::SpawnPair<tmf::TmpProcess>(node_, "$TMP", a, b, tcfg);
+  RegisterRepairablePair<tmf::TmpProcess>("$TMP", tcfg);
+
+  EnsureGuardians();
+}
+
+void NodeDeployment::RegisterRepairable(const std::string& name,
+                                        std::function<void(int cpu)> attach_backup,
+                                        std::function<void(int, int)> respawn) {
+  repairables_.push_back(
+      Repairable{name, std::move(attach_backup), std::move(respawn)});
+}
+
+void NodeDeployment::EnsureGuardians() {
+  // Exactly one guardian per alive CPU: any single-CPU failure leaves at
+  // least one to drive the repair.
+  for (auto it = guardians_.begin(); it != guardians_.end();) {
+    if (node_->Find(*it) == nullptr) it = guardians_.erase(it);
+    else ++it;
+  }
+  for (int cpu = 0; cpu < spec_.node_config.num_cpus; ++cpu) {
+    if (!node_->CpuUp(cpu)) continue;
+    bool covered = false;
+    for (net::Pid pid : guardians_) {
+      os::Process* p = node_->Find(pid);
+      if (p != nullptr && p->cpu() == cpu) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      auto* g = node_->Spawn<ServiceGuardian>(cpu, this);
+      if (g != nullptr) guardians_.push_back(g->id().pid);
+    }
+  }
+}
+
+void NodeDeployment::RepairServices() {
+  auto pick_cpu = [this](int avoid) {
+    for (int cpu = 0; cpu < spec_.node_config.num_cpus; ++cpu) {
+      if (cpu != avoid && node_->CpuUp(cpu)) return cpu;
+    }
+    return -1;
+  };
+  for (const auto& service : repairables_) {
+    net::Pid pid = node_->LookupName(service.name);
+    if (pid == 0 || node_->Find(pid) == nullptr) {
+      // Both members died (a multiple-module failure): respawn the pair
+      // with fresh state. Transactions with state on the old pair resolve
+      // through timeouts, backout, and — for data — ROLLFORWARD.
+      int a = pick_cpu(-1);
+      int b = pick_cpu(a);
+      if (a >= 0 && b >= 0) {
+        node_->sim()->GetStats().Incr("deploy.pair_respawns");
+        service.respawn(a, b);
+      }
+      continue;
+    }
+    auto* p = dynamic_cast<os::PairedProcess*>(node_->Find(pid));
+    if (p != nullptr && p->IsPrimary() && !p->HasBackup()) {
+      int cpu = pick_cpu(p->cpu());
+      if (cpu >= 0) {
+        node_->sim()->GetStats().Incr("deploy.backup_reattached");
+        service.attach_backup(cpu);
+      }
+    }
+  }
+  EnsureGuardians();
+}
+
+void ServiceGuardian::OnCpuDown(int) { ScheduleRepair(); }
+void ServiceGuardian::OnCpuUp(int) { ScheduleRepair(); }
+
+void ServiceGuardian::ScheduleRepair() {
+  // Delay past the regroup/takeover window, then let exactly one guardian
+  // (the lowest surviving pid) act.
+  SetTimer(Millis(50), [this]() {
+    for (net::Pid pid : nd_->guardians_) {
+      os::Process* p = nd_->node_->Find(pid);
+      if (p != nullptr) {
+        if (pid == id().pid) nd_->RepairServices();
+        return;
+      }
+    }
+  });
+}
+
+tmf::TmpProcess* NodeDeployment::tmp() const {
+  net::Pid pid = node_->LookupName("$TMP");
+  return pid == 0 ? nullptr : static_cast<tmf::TmpProcess*>(node_->Find(pid));
+}
+
+discprocess::DiscProcess* NodeDeployment::disc(const std::string& volume) const {
+  net::Pid pid = node_->LookupName(volume);
+  return pid == 0 ? nullptr
+                  : static_cast<discprocess::DiscProcess*>(node_->Find(pid));
+}
+
+Deployment::Deployment(sim::Simulation* sim, net::NetworkConfig net_config)
+    : sim_(sim), cluster_(sim, net_config) {}
+
+NodeDeployment* Deployment::AddNode(NodeSpec spec) {
+  os::Node* node = cluster_.AddNode(spec.id, spec.node_config);
+  auto nd = std::make_unique<NodeDeployment>(this, node, std::move(spec));
+  NodeDeployment* raw = nd.get();
+  nodes_[node->id()] = std::move(nd);
+  raw->StartServices();
+  return raw;
+}
+
+NodeDeployment* Deployment::GetNode(net::NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void Deployment::LinkAll(SimDuration latency) {
+  std::vector<net::NodeId> ids;
+  for (const auto& [id, nd] : nodes_) {
+    (void)nd;
+    ids.push_back(id);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      cluster_.Link(ids[i], ids[j], latency);
+    }
+  }
+}
+
+Status Deployment::DefineFile(const std::string& fname, net::NodeId node,
+                              const std::string& volume) {
+  NodeDeployment* nd = GetNode(node);
+  if (nd == nullptr) return Status::NotFound("no such node");
+  storage::Volume* vol = nd->storage().volumes.count(volume)
+                             ? nd->storage().volumes.at(volume).get()
+                             : nullptr;
+  if (vol == nullptr || vol->Find(fname) == nullptr) {
+    return Status::NotFound("file not deployed on " + volume);
+  }
+  storage::FileDefinition def;
+  def.name = fname;
+  def.organization = vol->Find(fname)->organization();
+  def.audited = vol->Find(fname)->audited();
+  def.schema = vol->Find(fname)->schema();
+  def.partitions = storage::PartitionMap(node, volume);
+  return catalog_.DefineFile(std::move(def));
+}
+
+Status Deployment::DefinePartitionedFile(const storage::FileDefinition& def) {
+  return catalog_.DefineFile(def);
+}
+
+void Deployment::CrashNode(net::NodeId id) {
+  NodeDeployment* nd = GetNode(id);
+  if (nd == nullptr) return;
+  cluster_.CrashNode(id);
+  // Main memory (caches, unforced audit buffers) is gone.
+  nd->storage().DropVolatile();
+  sim_->GetStats().Incr("deploy.node_crashes");
+}
+
+void Deployment::RestartNode(net::NodeId id) {
+  NodeDeployment* nd = GetNode(id);
+  if (nd == nullptr) return;
+  for (int cpu = 0; cpu < nd->spec().node_config.num_cpus; ++cpu) {
+    nd->node()->ReloadCpu(cpu);
+  }
+  cluster_.ReconnectNode(id);
+  nd->StartServices();
+  sim_->GetStats().Incr("deploy.node_restarts");
+}
+
+}  // namespace encompass::app

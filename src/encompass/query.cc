@@ -1,0 +1,170 @@
+#include "encompass/query.h"
+
+#include <cstdlib>
+
+#include "discprocess/disc_protocol.h"
+
+namespace encompass::app {
+
+namespace {
+
+bool BothNumeric(const std::string& a, const std::string& b, double* da,
+                 double* db) {
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  if (a.empty() || b.empty()) return false;
+  *da = strtod(a.c_str(), &end_a);
+  *db = strtod(b.c_str(), &end_b);
+  return *end_a == '\0' && *end_b == '\0';
+}
+
+}  // namespace
+
+bool Matches(const storage::Record& record, const Predicate& predicate) {
+  const std::string lhs = record.Get(predicate.field);
+  const std::string& rhs = predicate.value;
+  if (predicate.op == CompareOp::kContains) {
+    return lhs.find(rhs) != std::string::npos;
+  }
+  int cmp;
+  double dl, dr;
+  if (BothNumeric(lhs, rhs, &dl, &dr)) {
+    cmp = dl < dr ? -1 : (dl > dr ? 1 : 0);
+  } else {
+    cmp = lhs.compare(rhs);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (predicate.op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+    case CompareOp::kContains: return false;  // handled above
+  }
+  return false;
+}
+
+struct QueryEngine::ScanState {
+  std::string file;
+  std::vector<Predicate> predicates;
+  size_t limit = 0;
+  SelectCallback cb;
+  std::vector<Row> rows;
+  Bytes next_key;
+  bool inclusive = true;
+};
+
+void QueryEngine::Select(const std::string& file,
+                         std::vector<Predicate> predicates, size_t limit,
+                         SelectCallback cb) {
+  auto state = std::make_shared<ScanState>();
+  state->file = file;
+  state->predicates = std::move(predicates);
+  state->limit = limit;
+  state->cb = std::move(cb);
+  ScanStep(state);
+}
+
+void QueryEngine::ScanStep(std::shared_ptr<ScanState> state) {
+  // Batched scans: one DISCPROCESS round trip fetches up to 64 records.
+  fs_->Scan(state->file, Slice(state->next_key), state->inclusive,
+            /*max_records=*/64,
+            [this, state](const Status& s, const Bytes& payload) {
+              auto next_partition = [this, state]() {
+                const storage::FileDefinition* def = catalog_->Find(state->file);
+                if (def != nullptr) {
+                  size_t p = def->partitions.LocateIndex(Slice(state->next_key));
+                  if (p + 1 < def->partitions.partition_count()) {
+                    state->next_key = def->partitions.entries()[p].upper_bound;
+                    state->inclusive = true;
+                    ScanStep(state);
+                    return true;
+                  }
+                }
+                return false;
+              };
+              if (!s.ok()) {
+                state->cb(s, std::move(state->rows));
+                return;
+              }
+              auto rep = discprocess::ScanReply::Decode(Slice(payload));
+              if (!rep.ok()) {
+                state->cb(rep.status(), std::move(state->rows));
+                return;
+              }
+              for (auto& entry : rep->entries) {
+                auto record = storage::Record::Decode(Slice(entry.value));
+                if (!record.ok()) continue;
+                bool all = true;
+                for (const auto& p : state->predicates) {
+                  if (!Matches(*record, p)) {
+                    all = false;
+                    break;
+                  }
+                }
+                if (all) {
+                  state->rows.push_back(Row{entry.key, std::move(*record)});
+                  if (state->limit != 0 && state->rows.size() >= state->limit) {
+                    state->cb(Status::Ok(), std::move(state->rows));
+                    return;
+                  }
+                }
+                state->next_key = entry.key;
+                state->inclusive = false;
+              }
+              if (!rep->entries.empty() && !rep->at_end) {
+                state->next_key = rep->entries.back().key;
+                state->inclusive = false;
+                ScanStep(state);
+                return;
+              }
+              // End of this partition: hop to the next or finish.
+              if (!next_partition()) {
+                state->cb(Status::Ok(), std::move(state->rows));
+              }
+            });
+}
+
+void QueryEngine::Compute(const std::string& file,
+                          std::vector<Predicate> predicates,
+                          const std::string& field, Aggregate aggregate,
+                          ComputeCallback cb) {
+  Select(file, std::move(predicates), 0,
+         [field, aggregate, cb = std::move(cb)](const Status& s,
+                                                std::vector<Row> rows) {
+           if (!s.ok()) {
+             cb(s, 0.0);
+             return;
+           }
+           if (aggregate == Aggregate::kCount) {
+             cb(Status::Ok(), static_cast<double>(rows.size()));
+             return;
+           }
+           double sum = 0, mn = 0, mx = 0;
+           size_t n = 0;
+           for (const auto& row : rows) {
+             const std::string v = row.record.Get(field);
+             char* end = nullptr;
+             double d = strtod(v.c_str(), &end);
+             if (v.empty() || *end != '\0') continue;
+             if (n == 0) mn = mx = d;
+             mn = d < mn ? d : mn;
+             mx = d > mx ? d : mx;
+             sum += d;
+             ++n;
+           }
+           switch (aggregate) {
+             case Aggregate::kSum: cb(Status::Ok(), sum); return;
+             case Aggregate::kMin: cb(Status::Ok(), mn); return;
+             case Aggregate::kMax: cb(Status::Ok(), mx); return;
+             case Aggregate::kAvg:
+               cb(Status::Ok(), n == 0 ? 0.0 : sum / static_cast<double>(n));
+               return;
+             case Aggregate::kCount: return;  // handled above
+           }
+         });
+}
+
+}  // namespace encompass::app

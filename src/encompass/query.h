@@ -1,0 +1,71 @@
+// QueryEngine: a small non-procedural relational query/report facility (the
+// ENCOMPASS query/report language analogue). It scans a (possibly
+// partitioned, possibly multi-node) file through the FileSystem, filters by
+// predicates over record fields, and computes projections and aggregates.
+
+#ifndef ENCOMPASS_ENCOMPASS_QUERY_H_
+#define ENCOMPASS_ENCOMPASS_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/record.h"
+#include "tmf/file_system.h"
+
+namespace encompass::app {
+
+/// Comparison operators for predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+/// One predicate over a record field. Comparisons are numeric when both
+/// sides parse as numbers, lexicographic otherwise.
+struct Predicate {
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  std::string value;
+};
+
+/// True if the record satisfies the predicate.
+bool Matches(const storage::Record& record, const Predicate& predicate);
+
+/// A selected row: primary key + decoded record.
+struct Row {
+  Bytes key;
+  storage::Record record;
+};
+
+/// Aggregate kinds for Compute.
+enum class Aggregate { kCount, kSum, kMin, kMax, kAvg };
+
+/// Client-side query engine bound to one process.
+class QueryEngine {
+ public:
+  QueryEngine(os::Process* owner, const storage::Catalog* catalog)
+      : fs_(std::make_unique<tmf::FileSystem>(owner, catalog)),
+        catalog_(catalog) {}
+
+  using SelectCallback = std::function<void(const Status&, std::vector<Row>)>;
+  using ComputeCallback = std::function<void(const Status&, double)>;
+
+  /// SELECT * FROM file WHERE predicates [LIMIT limit]. Scans all
+  /// partitions in key order. limit 0 = unlimited.
+  void Select(const std::string& file, std::vector<Predicate> predicates,
+              size_t limit, SelectCallback cb);
+
+  /// Aggregate `field` over matching records (kCount ignores the field).
+  void Compute(const std::string& file, std::vector<Predicate> predicates,
+               const std::string& field, Aggregate aggregate, ComputeCallback cb);
+
+ private:
+  struct ScanState;
+  void ScanStep(std::shared_ptr<ScanState> state);
+
+  std::unique_ptr<tmf::FileSystem> fs_;
+  const storage::Catalog* catalog_;
+};
+
+}  // namespace encompass::app
+
+#endif  // ENCOMPASS_ENCOMPASS_QUERY_H_

@@ -1,0 +1,143 @@
+// ScreenProgram: the Screen COBOL analogue — a scripted sequence of verbs
+// interpreted by the TCP for each terminal. Programs are immutable and
+// shared; all per-terminal state (the "screen fields", program counter,
+// transaction mode) lives in the TCP's terminal context, which is
+// checkpointed to the TCP's backup.
+
+#ifndef ENCOMPASS_ENCOMPASS_SCREEN_PROGRAM_H_
+#define ENCOMPASS_ENCOMPASS_SCREEN_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/address.h"
+
+namespace encompass::app {
+
+/// The terminal's screen data: named fields, as mapped by the program.
+using Fields = std::map<std::string, std::string>;
+
+/// What a SEND reply handler tells the TCP to do next.
+enum class SendDirective {
+  kContinue,            ///< proceed to the next verb
+  kRestartTransaction,  ///< RESTART-TRANSACTION: back out, retry from BEGIN
+  kAbortTransaction,    ///< ABORT-TRANSACTION: back out, continue after END
+  kFailProgram,         ///< unrecoverable: count a failure, end the program
+};
+
+/// Default reply policy: OK continues; lock timeouts, restart requests and
+/// system aborts restart the transaction; anything else fails the program.
+SendDirective DefaultReplyPolicy(Fields& fields, const Status& status,
+                                 const Slice& reply);
+
+/// One Screen COBOL program (a verb list). Build fluently:
+///
+///   ScreenProgram p("transfer");
+///   p.Accept([](Fields& f, Random& rng) { f["from"] = ...; })
+///    .BeginTransaction()
+///    .Send(1, "$SC.DEBIT", BuildDebit, OnDebitReply)
+///    .Send(1, "$SC.CREDIT", BuildCredit)
+///    .EndTransaction();
+class ScreenProgram {
+ public:
+  enum class VerbType : uint8_t {
+    kAccept,   ///< read terminal input into screen fields
+    kCompute,  ///< local data mapping / validation
+    kBegin,    ///< BEGIN-TRANSACTION
+    kSend,     ///< SEND to an application server class
+    kEnd,      ///< END-TRANSACTION
+    kAbort,    ///< ABORT-TRANSACTION (unconditional)
+    kRestart,  ///< RESTART-TRANSACTION (unconditional)
+  };
+
+  struct Verb {
+    VerbType type;
+    std::function<void(Fields&, encompass::Random&)> accept;
+    std::function<void(Fields&)> compute;
+    // kSend:
+    net::NodeId server_node = 0;
+    std::string server_class;
+    std::function<Bytes(const Fields&)> build_request;
+    std::function<SendDirective(Fields&, const Status&, const Slice&)> on_reply;
+  };
+
+  explicit ScreenProgram(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Verb>& verbs() const { return verbs_; }
+
+  ScreenProgram& Accept(std::function<void(Fields&, encompass::Random&)> fn) {
+    Verb v;
+    v.type = VerbType::kAccept;
+    v.accept = std::move(fn);
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+  ScreenProgram& Compute(std::function<void(Fields&)> fn) {
+    Verb v;
+    v.type = VerbType::kCompute;
+    v.compute = std::move(fn);
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+  ScreenProgram& BeginTransaction() {
+    Verb v;
+    v.type = VerbType::kBegin;
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+  /// SEND a request built from the screen fields to a server class. The
+  /// reply handler may map reply data back into fields and chooses what
+  /// happens next (default policy if omitted).
+  ScreenProgram& Send(
+      net::NodeId node, std::string server_class,
+      std::function<Bytes(const Fields&)> build_request,
+      std::function<SendDirective(Fields&, const Status&, const Slice&)>
+          on_reply = DefaultReplyPolicy) {
+    Verb v;
+    v.type = VerbType::kSend;
+    v.server_node = node;
+    v.server_class = std::move(server_class);
+    v.build_request = std::move(build_request);
+    v.on_reply = std::move(on_reply);
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+  ScreenProgram& EndTransaction() {
+    Verb v;
+    v.type = VerbType::kEnd;
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+  ScreenProgram& AbortTransaction() {
+    Verb v;
+    v.type = VerbType::kAbort;
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+  ScreenProgram& RestartTransaction() {
+    Verb v;
+    v.type = VerbType::kRestart;
+    verbs_.push_back(std::move(v));
+    return *this;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Verb> verbs_;
+};
+
+}  // namespace encompass::app
+
+#endif  // ENCOMPASS_ENCOMPASS_SCREEN_PROGRAM_H_

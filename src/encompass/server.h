@@ -1,0 +1,75 @@
+// Application servers. "The structure of an application server program is
+// simple and single-threaded: (1) read the transaction request message;
+// (2) perform the data base function requested; (3) reply. A server must be
+// 'context free' in the sense that it retains no memory from the servicing
+// of one request to the next."
+//
+// Subclasses implement HandleRequest and finish with Respond. The current
+// process transid is set from the incoming message before HandleRequest
+// runs, so data base calls made through the FileSystem automatically carry
+// the transaction.
+
+#ifndef ENCOMPASS_ENCOMPASS_SERVER_H_
+#define ENCOMPASS_ENCOMPASS_SERVER_H_
+
+#include <memory>
+
+#include "os/process.h"
+#include "storage/partition.h"
+#include "tmf/file_system.h"
+
+namespace encompass::app {
+
+/// Server protocol tags.
+enum ServerTag : uint32_t {
+  kServerRequest = net::kTagServer + 1,
+};
+
+/// Base class for application server programs.
+class ServerProcess : public os::Process {
+ public:
+  explicit ServerProcess(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  void OnMessage(const net::Message& msg) final {
+    if (msg.tag != kServerRequest) return;
+    // "When the application server reads the transaction request message,
+    // the terminal's current transid becomes the current process transid."
+    set_current_transid(msg.transid);
+    busy_ = true;
+    HandleRequest(msg);
+  }
+
+  bool busy() const { return busy_; }
+
+ protected:
+  /// Performs the data base function for one request; must end with a call
+  /// to Respond(msg, ...). May issue asynchronous FileSystem calls first.
+  virtual void HandleRequest(const net::Message& msg) = 0;
+
+  /// Sends the reply and returns the server to the idle (context-free)
+  /// state. A RestartRequested status tells the terminal program to execute
+  /// RESTART-TRANSACTION (e.g. after a lock-wait timeout / deadlock).
+  void Respond(const net::Message& request, const Status& status,
+               Bytes reply = {}) {
+    Reply(request, status, std::move(reply));
+    set_current_transid(0);
+    busy_ = false;
+  }
+
+  /// Lazily constructed file-system access layer.
+  tmf::FileSystem& fs() {
+    if (!fs_) fs_ = std::make_unique<tmf::FileSystem>(this, catalog_);
+    return *fs_;
+  }
+
+  const storage::Catalog* catalog() const { return catalog_; }
+
+ private:
+  const storage::Catalog* catalog_;
+  std::unique_ptr<tmf::FileSystem> fs_;
+  bool busy_ = false;
+};
+
+}  // namespace encompass::app
+
+#endif  // ENCOMPASS_ENCOMPASS_SERVER_H_

@@ -1,0 +1,68 @@
+// Process addressing. A process is identified by (node, pid); messages may
+// also be addressed by symbolic process *name* ("$DATA1", "$TMP"), resolved
+// at the destination node on delivery — which is what makes process-pair
+// takeover transparent to senders.
+
+#ifndef ENCOMPASS_NET_ADDRESS_H_
+#define ENCOMPASS_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace encompass::net {
+
+/// Network node number (a "system" of up to 16 processors).
+using NodeId = uint16_t;
+
+/// Node-scoped process number (unique within a node for the life of a run).
+using Pid = uint32_t;
+
+/// Fully resolved process identity.
+struct ProcessId {
+  NodeId node = 0;
+  Pid pid = 0;
+
+  bool valid() const { return pid != 0; }
+  std::string ToString() const {
+    return "\\" + std::to_string(node) + ".#" + std::to_string(pid);
+  }
+  friend bool operator==(const ProcessId& a, const ProcessId& b) {
+    return a.node == b.node && a.pid == b.pid;
+  }
+  friend bool operator!=(const ProcessId& a, const ProcessId& b) { return !(a == b); }
+  friend bool operator<(const ProcessId& a, const ProcessId& b) {
+    return a.node != b.node ? a.node < b.node : a.pid < b.pid;
+  }
+};
+
+/// Message destination: either a concrete pid, or a symbolic name to be
+/// resolved by the destination node's name registry at delivery time.
+struct Address {
+  NodeId node = 0;
+  Pid pid = 0;          ///< 0 means "resolve `name` at the node"
+  std::string name;     ///< used when pid == 0
+
+  Address() = default;
+  Address(ProcessId id)  // NOLINT(runtime/explicit)
+      : node(id.node), pid(id.pid) {}
+  Address(NodeId n, std::string process_name)
+      : node(n), name(std::move(process_name)) {}
+
+  bool by_name() const { return pid == 0; }
+  std::string ToString() const {
+    if (by_name()) return "\\" + std::to_string(node) + "." + name;
+    return ProcessId{node, pid}.ToString();
+  }
+};
+
+}  // namespace encompass::net
+
+template <>
+struct std::hash<encompass::net::ProcessId> {
+  size_t operator()(const encompass::net::ProcessId& p) const noexcept {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(p.node) << 32) | p.pid);
+  }
+};
+
+#endif  // ENCOMPASS_NET_ADDRESS_H_

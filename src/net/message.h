@@ -1,0 +1,58 @@
+// Message: the single communication unit of the simulated Guardian message
+// system. All interprocess communication — same CPU, across the
+// interprocessor bus, or across the network — uses this struct.
+
+#ifndef ENCOMPASS_NET_MESSAGE_H_
+#define ENCOMPASS_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/address.h"
+
+namespace encompass::net {
+
+/// Message tag namespaces. Each subsystem allocates tags within its block so
+/// traces are attributable.
+enum TagBlock : uint32_t {
+  kTagSystem = 0x0100,      ///< OS-level: regroup, name service, checkpoints
+  kTagDisc = 0x0200,        ///< DISCPROCESS requests
+  kTagAudit = 0x0300,       ///< AUDITPROCESS requests
+  kTagTmf = 0x0400,         ///< TMF/TMP protocol
+  kTagServer = 0x0500,      ///< application server requests
+  kTagTcp = 0x0600,         ///< terminal control
+  kTagApp = 0x0700,         ///< application-defined
+};
+
+/// System tags (kTagSystem block).
+enum SystemTag : uint32_t {
+  kTagCheckpoint = kTagSystem + 1,     ///< primary -> backup state delta
+  kTagTakeoverPing = kTagSystem + 2,   ///< pair liveness probe
+  kTagSendFailed = kTagSystem + 3,     ///< returned to sender: undeliverable
+};
+
+/// One interprocess message.
+struct Message {
+  ProcessId src;        ///< sender (always a concrete pid)
+  Address dst;          ///< receiver (pid or name)
+  uint32_t tag = 0;     ///< message type
+  uint64_t request_id = 0;  ///< nonzero: sender expects a reply correlated by this
+  uint64_t reply_to = 0;    ///< nonzero: this message answers that request_id
+  Status::Code status = Status::Code::kOk;  ///< result code on replies
+  uint64_t transid = 0;     ///< packed Transid appended by the file system (0=none)
+  Bytes payload;
+
+  bool is_reply() const { return reply_to != 0; }
+
+  std::string ToString() const {
+    return "msg[tag=" + std::to_string(tag) + " " + src.ToString() + " -> " +
+           dst.ToString() + " req=" + std::to_string(request_id) +
+           " reply_to=" + std::to_string(reply_to) + "]";
+  }
+};
+
+}  // namespace encompass::net
+
+#endif  // ENCOMPASS_NET_MESSAGE_H_

@@ -1,0 +1,184 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace encompass::net {
+
+void Network::AddNode(NodeId id, DeliverFn deliver) {
+  nodes_[id] = std::move(deliver);
+}
+
+void Network::AddLink(NodeId a, NodeId b, SimDuration latency) {
+  assert(nodes_.count(a) && nodes_.count(b) && a != b);
+  links_[Key(a, b)] = Link{latency > 0 ? latency : config_.link_latency, true};
+}
+
+void Network::SetLinkUp(NodeId a, NodeId b, bool up) {
+  auto it = links_.find(Key(a, b));
+  if (it == links_.end() || it->second.up == up) return;
+  auto before = ReachableSets();
+  it->second.up = up;
+  sim_->GetStats().Incr(up ? "net.link_restored" : "net.link_cut");
+  NotifyReachabilityChanges(before);
+}
+
+void Network::IsolateNode(NodeId id) {
+  auto before = ReachableSets();
+  bool changed = false;
+  for (auto& [key, link] : links_) {
+    if ((key.a == id || key.b == id) && link.up) {
+      link.up = false;
+      changed = true;
+    }
+  }
+  if (changed) {
+    sim_->GetStats().Incr("net.node_isolated");
+    NotifyReachabilityChanges(before);
+  }
+}
+
+void Network::ReconnectNode(NodeId id) {
+  auto before = ReachableSets();
+  bool changed = false;
+  for (auto& [key, link] : links_) {
+    if ((key.a == id || key.b == id) && !link.up) {
+      link.up = true;
+      changed = true;
+    }
+  }
+  if (changed) {
+    sim_->GetStats().Incr("net.node_reconnected");
+    NotifyReachabilityChanges(before);
+  }
+}
+
+bool Network::LinkUp(NodeId a, NodeId b) const {
+  auto it = links_.find(Key(a, b));
+  return it != links_.end() && it->second.up;
+}
+
+bool Network::Reachable(NodeId from, NodeId to) const {
+  if (from == to) return nodes_.count(from) > 0;
+  return !Route(from, to).empty();
+}
+
+std::vector<NodeId> Network::Route(NodeId from, NodeId to) const {
+  if (!nodes_.count(from) || !nodes_.count(to)) return {};
+  if (from == to) return {from};
+  // BFS over up links gives the min-hop path; ties break toward smaller node
+  // ids because links_ is an ordered map — deterministic routing.
+  std::map<NodeId, NodeId> parent;
+  std::deque<NodeId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [key, link] : links_) {
+      if (!link.up) continue;
+      NodeId next;
+      if (key.a == cur) next = key.b;
+      else if (key.b == cur) next = key.a;
+      else continue;
+      if (parent.count(next)) continue;
+      parent[next] = cur;
+      if (next == to) {
+        std::vector<NodeId> path{to};
+        for (NodeId n = to; n != from; n = parent[n]) path.push_back(parent[n]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+void Network::Send(Message msg) {
+  sim_->GetStats().Incr("net.sent");
+  Transmit(std::move(msg), 0);
+}
+
+void Network::Transmit(Message msg, int attempt) {
+  auto path = Route(msg.src.node, msg.dst.node);
+  if (path.empty() || (config_.loss_probability > 0 &&
+                       sim_->Rng().Bernoulli(config_.loss_probability))) {
+    // No route now (or the transmission was lost): the end-to-end protocol
+    // retries with pacing; after max_retries the sender is notified.
+    if (attempt >= config_.max_retries) {
+      sim_->GetStats().Incr("net.undeliverable");
+      if (msg.request_id != 0) {
+        Message fail;
+        fail.src = ProcessId{msg.dst.node, 0};
+        fail.dst = Address(msg.src);
+        fail.tag = kTagSendFailed;
+        fail.reply_to = msg.request_id;
+        fail.status = Status::Code::kPartitioned;
+        auto it = nodes_.find(msg.src.node);
+        if (it != nodes_.end()) {
+          // Local notification at the sender's node: no network traversal.
+          sim_->After(Micros(1), [deliver = it->second, fail]() { deliver(fail); });
+        }
+      }
+      return;
+    }
+    sim_->GetStats().Incr("net.retransmits");
+    sim_->After(config_.retry_interval, [this, msg = std::move(msg), attempt]() {
+      Transmit(msg, attempt + 1);
+    });
+    return;
+  }
+
+  SimDuration latency = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = links_.find(Key(path[i], path[i + 1]));
+    latency += (it != links_.end()) ? it->second.latency : config_.link_latency;
+  }
+  sim_->GetStats().Record("net.route_hops", static_cast<int64_t>(path.size() - 1));
+
+  NodeId dst_node = msg.dst.node;
+  sim_->After(latency, [this, msg = std::move(msg), attempt, dst_node]() {
+    // End-to-end verification at arrival time: if the partition happened
+    // while the packet was in flight, the protocol retransmits.
+    if (!Reachable(msg.src.node, dst_node)) {
+      Transmit(msg, attempt + 1);
+      return;
+    }
+    sim_->GetStats().Incr("net.delivered");
+    auto it = nodes_.find(dst_node);
+    if (it != nodes_.end()) it->second(msg);
+  });
+}
+
+std::map<NodeId, std::set<NodeId>> Network::ReachableSets() const {
+  std::map<NodeId, std::set<NodeId>> result;
+  for (const auto& [id, fn] : nodes_) {
+    (void)fn;
+    for (const auto& [other, fn2] : nodes_) {
+      (void)fn2;
+      if (id != other && Reachable(id, other)) result[id].insert(other);
+    }
+  }
+  return result;
+}
+
+void Network::NotifyReachabilityChanges(
+    const std::map<NodeId, std::set<NodeId>>& before) {
+  if (!reachability_fn_) return;
+  auto after = ReachableSets();
+  for (const auto& [id, fn] : nodes_) {
+    (void)fn;
+    const auto& was = before.count(id) ? before.at(id) : std::set<NodeId>{};
+    const auto& now = after.count(id) ? after.at(id) : std::set<NodeId>{};
+    for (NodeId peer : was) {
+      if (!now.count(peer)) reachability_fn_(id, peer, false);
+    }
+    for (NodeId peer : now) {
+      if (!was.count(peer)) reachability_fn_(id, peer, true);
+    }
+  }
+}
+
+}  // namespace encompass::net

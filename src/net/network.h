@@ -1,0 +1,106 @@
+// The inter-node data-communications network (the paper's EXPAND analogue):
+// a graph of nodes and point-to-point links with
+//   * dynamic best-path (min-hop) message routing,
+//   * automatic re-routing when a line fails,
+//   * an end-to-end protocol that retransmits until delivery or gives up and
+//     notifies the sender (so transient glitches are invisible, partitions
+//     are not), and
+//   * reachability-change notification, which the OS layer turns into
+//     NodeUp/NodeDown events.
+
+#ifndef ENCOMPASS_NET_NETWORK_H_
+#define ENCOMPASS_NET_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/simulation.h"
+
+namespace encompass::net {
+
+/// Tunables for the simulated network.
+struct NetworkConfig {
+  SimDuration link_latency = Millis(15);   ///< one-way latency per hop
+  SimDuration retry_interval = Millis(50); ///< end-to-end retransmit pacing
+  int max_retries = 6;                     ///< retransmits before giving up
+  double loss_probability = 0.0;           ///< per-transmission random loss
+};
+
+/// Simulated wide-area network connecting Tandem nodes.
+class Network {
+ public:
+  /// Hands an arriving message to its destination node.
+  using DeliverFn = std::function<void(Message)>;
+  /// observer learns that peer became (un)reachable.
+  using ReachabilityFn = std::function<void(NodeId observer, NodeId peer, bool up)>;
+
+  Network(sim::Simulation* sim, NetworkConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  /// Registers a node and its delivery sink. Must be called before any
+  /// link touching `id` is added.
+  void AddNode(NodeId id, DeliverFn deliver);
+
+  /// Adds a bidirectional link (initially up). latency <= 0 uses the default.
+  void AddLink(NodeId a, NodeId b, SimDuration latency = 0);
+
+  /// Cuts or restores a link, triggering rerouting and reachability events.
+  void SetLinkUp(NodeId a, NodeId b, bool up);
+
+  /// Cuts every link touching `id` (models total communication loss or a
+  /// whole-node failure from the network's point of view).
+  void IsolateNode(NodeId id);
+  /// Restores every link touching `id`.
+  void ReconnectNode(NodeId id);
+
+  bool LinkUp(NodeId a, NodeId b) const;
+
+  /// True if a path of up links exists between the nodes (a == b is true).
+  bool Reachable(NodeId from, NodeId to) const;
+
+  /// Min-hop route from -> to (inclusive of both endpoints); empty if
+  /// unreachable or unknown nodes.
+  std::vector<NodeId> Route(NodeId from, NodeId to) const;
+
+  /// Sends a message toward dst.node. Delivery is asynchronous; on final
+  /// failure the sender receives a kTagSendFailed notice (if it asked for a
+  /// reply) and the message is counted as undeliverable.
+  void Send(Message msg);
+
+  void SetReachabilityListener(ReachabilityFn fn) { reachability_fn_ = std::move(fn); }
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct LinkKey {
+    NodeId a, b;  // a < b
+    bool operator<(const LinkKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+  struct Link {
+    SimDuration latency;
+    bool up = true;
+  };
+
+  static LinkKey Key(NodeId a, NodeId b) {
+    return a < b ? LinkKey{a, b} : LinkKey{b, a};
+  }
+
+  void Transmit(Message msg, int attempt);
+  void NotifyReachabilityChanges(const std::map<NodeId, std::set<NodeId>>& before);
+  std::map<NodeId, std::set<NodeId>> ReachableSets() const;
+
+  sim::Simulation* sim_;
+  NetworkConfig config_;
+  std::map<NodeId, DeliverFn> nodes_;
+  std::map<LinkKey, Link> links_;
+  ReachabilityFn reachability_fn_;
+};
+
+}  // namespace encompass::net
+
+#endif  // ENCOMPASS_NET_NETWORK_H_

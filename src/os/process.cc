@@ -1,0 +1,181 @@
+#include "os/process.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "os/cluster.h"
+#include "os/node.h"
+
+namespace encompass::os {
+
+Process::~Process() {
+  *self_ = nullptr;  // disarm outstanding timers
+}
+
+void Process::Attach(Node* node, int cpu, net::Pid pid) {
+  assert(node_ == nullptr && "process attached twice");
+  node_ = node;
+  cpu_ = cpu;
+  pid_ = pid;
+}
+
+net::ProcessId Process::id() const {
+  return net::ProcessId{node_ ? node_->id() : net::NodeId{0}, pid_};
+}
+
+Cluster* Process::cluster() const { return node_->cluster(); }
+
+sim::Simulation* Process::sim() const { return node_->sim(); }
+
+std::string Process::DebugName() const { return id().ToString(); }
+
+void Process::Send(const net::Address& dst, uint32_t tag, Bytes payload) {
+  net::Message msg;
+  msg.src = id();
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.transid = current_transid_;
+  msg.payload = std::move(payload);
+  node_->Route(std::move(msg));
+}
+
+uint64_t Process::Call(const net::Address& dst, uint32_t tag, Bytes payload,
+                       RpcCallback cb, CallOptions options) {
+  net::Message msg;
+  msg.src = id();
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.request_id = next_request_id_++;
+  msg.transid = current_transid_;
+  msg.payload = std::move(payload);
+
+  PendingCall pending;
+  pending.original = msg;
+  pending.cb = std::move(cb);
+  pending.retries_left = options.retries;
+  pending.timeout = options.timeout;
+  pending.retry_backoff = options.retry_backoff;
+  uint64_t request_id = msg.request_id;
+  pending_calls_.emplace(request_id, std::move(pending));
+
+  node_->Route(std::move(msg));
+  StartCallTimer(request_id);
+  return request_id;
+}
+
+void Process::StartCallTimer(uint64_t request_id) {
+  auto it = pending_calls_.find(request_id);
+  if (it == pending_calls_.end()) return;
+  it->second.timer = SetTimer(it->second.timeout, [this, request_id]() {
+    auto pit = pending_calls_.find(request_id);
+    if (pit == pending_calls_.end()) return;
+    if (pit->second.retries_left > 0) {
+      // Transparent file-system retry: resend the identical request (same
+      // request id). A name-addressed destination re-resolves at delivery,
+      // so a retried request reaches the pair's new primary after takeover.
+      --pit->second.retries_left;
+      sim()->GetStats().Incr("os.call_retries");
+      node_->Route(pit->second.original);
+      StartCallTimer(request_id);
+      return;
+    }
+    net::Message empty;
+    empty.reply_to = request_id;
+    ResolveCall(request_id, Status::Timeout("no reply from " +
+                                            pit->second.original.dst.ToString()),
+                empty);
+  });
+}
+
+void Process::Reply(const net::Message& request, const Status& status,
+                    Bytes payload) {
+  if (request.request_id == 0) return;  // one-way message: nothing to answer
+  net::Message msg;
+  msg.src = id();
+  msg.dst = net::Address(request.src);
+  msg.tag = request.tag;
+  msg.reply_to = request.request_id;
+  msg.status = status.code();
+  msg.transid = request.transid;
+  msg.payload = std::move(payload);
+  node_->Route(std::move(msg));
+}
+
+void Process::SendReply(net::ProcessId requester, uint32_t tag, uint64_t reply_to,
+                        const Status& status, Bytes payload) {
+  if (reply_to == 0) return;
+  net::Message msg;
+  msg.src = id();
+  msg.dst = net::Address(requester);
+  msg.tag = tag;
+  msg.reply_to = reply_to;
+  msg.status = status.code();
+  msg.payload = std::move(payload);
+  node_->Route(std::move(msg));
+}
+
+void Process::CancelCall(uint64_t request_id) {
+  auto it = pending_calls_.find(request_id);
+  if (it == pending_calls_.end()) return;
+  CancelTimer(it->second.timer);
+  pending_calls_.erase(it);
+}
+
+void Process::ResolveCall(uint64_t request_id, const Status& status,
+                          const net::Message& msg) {
+  auto it = pending_calls_.find(request_id);
+  if (it == pending_calls_.end()) return;
+  CancelTimer(it->second.timer);
+  RpcCallback cb = std::move(it->second.cb);
+  pending_calls_.erase(it);
+  cb(status, msg);
+}
+
+uint64_t Process::SetTimer(SimDuration delay, std::function<void()> fn) {
+  std::weak_ptr<Process*> guard = self_;
+  return sim()->After(delay, [guard, fn = std::move(fn)]() {
+    auto locked = guard.lock();
+    if (locked && *locked != nullptr) fn();
+  });
+}
+
+void Process::CancelTimer(uint64_t timer_id) {
+  if (timer_id != 0) sim()->Cancel(timer_id);
+}
+
+void Process::DeliverToProcess(const net::Message& msg) {
+  if (msg.is_reply()) {
+    if (msg.tag == net::kTagSendFailed) {
+      net::Message empty;
+      empty.reply_to = msg.reply_to;
+      // A send-failure may still be retried transparently.
+      auto it = pending_calls_.find(msg.reply_to);
+      if (it != pending_calls_.end() && it->second.retries_left > 0) {
+        --it->second.retries_left;
+        sim()->GetStats().Incr("os.call_retries");
+        CancelTimer(it->second.timer);
+        // Back off before resending: a fast failure (dead pid / unbound
+        // name) usually means a takeover is in progress.
+        uint64_t request_id = msg.reply_to;
+        it->second.timer = SetTimer(it->second.retry_backoff, [this, request_id]() {
+          auto pit = pending_calls_.find(request_id);
+          if (pit == pending_calls_.end()) return;
+          node_->Route(pit->second.original);
+          StartCallTimer(request_id);
+        });
+        return;
+      }
+      ResolveCall(msg.reply_to,
+                  Status(msg.status, "undeliverable"), empty);
+      return;
+    }
+    Status status = (msg.status == Status::Code::kOk)
+                        ? Status::Ok()
+                        : Status(msg.status, "");
+    ResolveCall(msg.reply_to, status, msg);
+    return;
+  }
+  OnMessage(msg);
+}
+
+}  // namespace encompass::os

@@ -1,0 +1,60 @@
+#include "os/process_pair.h"
+
+#include "common/logging.h"
+
+namespace encompass::os {
+
+void PairedProcess::ConfigurePair(const std::string& name, Role role) {
+  pair_name_ = name;
+  role_ = role;
+}
+
+void PairedProcess::SetPeer(net::ProcessId peer) { peer_ = peer; }
+
+void PairedProcess::OnStart() {
+  if (IsPrimary() && !pair_name_.empty()) {
+    node()->RegisterName(pair_name_, id().pid);
+  }
+  OnPairStart();
+}
+
+void PairedProcess::OnMessage(const net::Message& msg) {
+  if (msg.tag == net::kTagCheckpoint) {
+    sim()->GetStats().Incr("os.checkpoints_received");
+    OnCheckpoint(Slice(msg.payload));
+    return;
+  }
+  OnRequest(msg);
+}
+
+void PairedProcess::SendCheckpoint(Bytes delta) {
+  if (!peer_.valid()) return;
+  sim()->GetStats().Incr("os.checkpoints_sent");
+  Send(net::Address(peer_), net::kTagCheckpoint, std::move(delta));
+}
+
+void PairedProcess::OnCpuDown(int cpu) {
+  if (peer_.valid() && node()->Find(peer_.pid) == nullptr) {
+    // Our peer died with that CPU.
+    peer_ = net::ProcessId{};
+    if (role_ == Role::kBackup) {
+      role_ = Role::kPrimary;
+      if (!pair_name_.empty()) node()->RegisterName(pair_name_, id().pid);
+      sim()->GetStats().Incr("os.takeovers");
+      LOG_INFO << DebugName() << " takeover at " << sim()->Now() << "us";
+      OnTakeover();
+    } else {
+      sim()->GetStats().Incr("os.backup_lost");
+      OnBackupLost();
+    }
+  }
+  OnPairCpuDown(cpu);
+}
+
+void PairedProcess::NotifyBackupAttached() {
+  // Defer past the backup's OnStart so the full-state checkpoint is not
+  // processed before the backup has initialized.
+  SetTimer(Micros(2), [this]() { OnBackupAttached(); });
+}
+
+}  // namespace encompass::os

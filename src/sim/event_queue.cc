@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace encompass::sim {
+
+EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  if (cancelled_.insert(id).second) {
+    if (live_count_ > 0) --live_count_;
+  }
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  return heap_.empty() ? kNoDeadline : heap_.top().when;
+}
+
+std::function<void()> EventQueue::PopNext(SimTime* when) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  auto& top = const_cast<Event&>(heap_.top());
+  *when = top.when;
+  std::function<void()> fn = std::move(top.fn);
+  heap_.pop();
+  --live_count_;
+  return fn;
+}
+
+}  // namespace encompass::sim

@@ -1,0 +1,64 @@
+// The event queue at the heart of the deterministic simulation: a priority
+// queue of (time, sequence) -> callback, with cancellation support.
+
+#ifndef ENCOMPASS_SIM_EVENT_QUEUE_H_
+#define ENCOMPASS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace encompass::sim {
+
+/// Handle for a scheduled event; used to cancel timers.
+using EventId = uint64_t;
+
+/// Min-heap of timed callbacks. Ties at the same timestamp fire in schedule
+/// order (sequence number), which is what makes the simulation deterministic.
+class EventQueue {
+ public:
+  /// Schedules `fn` to fire at absolute time `when`. Returns a handle.
+  EventId Schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op. O(1): the event is tombstoned and skipped on pop.
+  void Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; kNoDeadline if empty.
+  SimTime NextTime() const;
+
+  /// Pops and returns the earliest event's callback, setting *when to its
+  /// scheduled time. Precondition: !empty().
+  std::function<void()> PopNext(SimTime* when);
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace encompass::sim
+
+#endif  // ENCOMPASS_SIM_EVENT_QUEUE_H_

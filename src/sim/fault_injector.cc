@@ -1,0 +1,23 @@
+#include "sim/fault_injector.h"
+
+#include "common/logging.h"
+
+namespace encompass::sim {
+
+void FaultInjector::InjectAt(SimTime when, std::string description,
+                             std::function<void()> action) {
+  ++scheduled_;
+  sim_->At(when, [this, description = std::move(description),
+                  action = std::move(action)]() {
+    LOG_INFO << "fault @" << sim_->Now() << "us: " << description;
+    journal_.push_back(FaultEvent{sim_->Now(), description});
+    action();
+  });
+}
+
+void FaultInjector::InjectAfter(SimDuration delay, std::string description,
+                                std::function<void()> action) {
+  InjectAt(sim_->Now() + delay, std::move(description), std::move(action));
+}
+
+}  // namespace encompass::sim

@@ -1,0 +1,51 @@
+// FaultInjector: a scripted schedule of named fault actions applied at
+// simulated times, with a journal of what fired. Concrete fault effects
+// (failing a CPU, cutting a link, dropping a disc path) are provided by the
+// OS and network layers as callbacks; this class owns *when* and *what was
+// logged*, keeping experiments declarative and reproducible.
+
+#ifndef ENCOMPASS_SIM_FAULT_INJECTOR_H_
+#define ENCOMPASS_SIM_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace encompass::sim {
+
+/// A record of one injected fault.
+struct FaultEvent {
+  SimTime when;
+  std::string description;
+};
+
+/// Declarative fault schedule bound to a Simulation.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulation* sim) : sim_(sim) {}
+
+  /// Schedules `action` at absolute simulated time `when`, journaling it
+  /// under `description` when it fires.
+  void InjectAt(SimTime when, std::string description, std::function<void()> action);
+
+  /// Schedules `action` `delay` microseconds from now.
+  void InjectAfter(SimDuration delay, std::string description,
+                   std::function<void()> action);
+
+  /// Journal of faults that have actually fired, in firing order.
+  const std::vector<FaultEvent>& journal() const { return journal_; }
+
+  /// Number of scheduled faults that have not yet fired.
+  size_t pending() const { return scheduled_ - journal_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::vector<FaultEvent> journal_;
+  size_t scheduled_ = 0;
+};
+
+}  // namespace encompass::sim
+
+#endif  // ENCOMPASS_SIM_FAULT_INJECTOR_H_

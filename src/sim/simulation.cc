@@ -1,0 +1,27 @@
+#include "sim/simulation.h"
+
+namespace encompass::sim {
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  SimTime when;
+  auto fn = queue_.PopNext(&when);
+  now_ = when;
+  fn();
+  return true;
+}
+
+size_t Simulation::Run(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace encompass::sim

@@ -1,0 +1,68 @@
+// Simulation: the deterministic run context shared by every simulated
+// component — clock, event queue, PRNG, and statistics.
+
+#ifndef ENCOMPASS_SIM_SIMULATION_H_
+#define ENCOMPASS_SIM_SIMULATION_H_
+
+#include <functional>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace encompass::sim {
+
+/// One deterministic simulated world. All simulated components hold a
+/// pointer to their Simulation; nothing in the library touches wall-clock
+/// time or global randomness.
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  encompass::Random& Rng() { return rng_; }
+  Stats& GetStats() { return stats_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (>= 0).
+  EventId After(SimDuration delay, std::function<void()> fn) {
+    return queue_.Schedule(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time (clamped to now).
+  EventId At(SimTime when, std::function<void()> fn) {
+    return queue_.Schedule(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  /// Runs one event. Returns false if the queue was empty.
+  bool Step();
+
+  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events processed.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  /// Runs all events with time <= deadline, then advances the clock to
+  /// exactly `deadline` (even if no event fired).
+  void RunUntil(SimTime deadline);
+
+  /// RunUntil(Now() + d).
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  bool Idle() const { return queue_.empty(); }
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  encompass::Random rng_;
+  Stats stats_;
+};
+
+}  // namespace encompass::sim
+
+#endif  // ENCOMPASS_SIM_SIMULATION_H_

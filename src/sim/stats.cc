@@ -1,0 +1,57 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace encompass::sim {
+
+void Histogram::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+int64_t Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  Sort();
+  return samples_.front();
+}
+
+int64_t Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  Sort();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (int64_t v : samples_) sum += static_cast<double>(v);
+  return sum / static_cast<double>(samples_.size());
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  Sort();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<size_t>(rank);
+  return samples_[idx];
+}
+
+std::string Stats::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << " = " << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << name << ": n=" << hist.count() << " min=" << hist.Min()
+        << " mean=" << hist.Mean() << " p50=" << hist.Percentile(50)
+        << " p99=" << hist.Percentile(99) << " max=" << hist.Max() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace encompass::sim

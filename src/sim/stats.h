@@ -1,0 +1,69 @@
+// Named counters and latency histograms collected during a simulation run.
+// Benchmarks and EXPERIMENTS.md rows are generated from these.
+
+#ifndef ENCOMPASS_SIM_STATS_H_
+#define ENCOMPASS_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace encompass::sim {
+
+/// A simple sample-keeping histogram (the simulation produces at most a few
+/// million samples per run, so exact percentiles are affordable).
+class Histogram {
+ public:
+  void Add(int64_t v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  size_t count() const { return samples_.size(); }
+  int64_t Min() const;
+  int64_t Max() const;
+  double Mean() const;
+  /// p in [0, 100]. Returns 0 for an empty histogram.
+  int64_t Percentile(double p) const;
+
+ private:
+  void Sort() const;
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Registry of counters and histograms, keyed by dotted names
+/// ("tmf.commit", "disc.io.read", ...).
+class Stats {
+ public:
+  void Incr(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
+  int64_t Counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  void Record(const std::string& name, int64_t value) { histograms_[name].Add(value); }
+  const Histogram* FindHistogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  void Clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+  /// Multi-line human-readable dump of all counters and histogram summaries.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace encompass::sim
+
+#endif  // ENCOMPASS_SIM_STATS_H_

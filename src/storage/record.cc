@@ -1,0 +1,31 @@
+#include "storage/record.h"
+
+namespace encompass::storage {
+
+Bytes Record::Encode() const {
+  Bytes out;
+  PutVarint32(&out, static_cast<uint32_t>(fields_.size()));
+  for (const auto& [name, value] : fields_) {
+    PutLengthPrefixed(&out, Slice(name));
+    PutLengthPrefixed(&out, Slice(value));
+  }
+  return out;
+}
+
+Result<Record> Record::Decode(const Slice& data) {
+  Slice in = data;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return DecodeError("record field count");
+  Record rec;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name, value;
+    if (!GetLengthPrefixedString(&in, &name) ||
+        !GetLengthPrefixedString(&in, &value)) {
+      return DecodeError("record field");
+    }
+    rec.Set(name, value);
+  }
+  return rec;
+}
+
+}  // namespace encompass::storage

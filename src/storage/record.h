@@ -1,0 +1,61 @@
+// Record: the logical data record of the ENCOMPASS data base — a set of
+// named fields, serialized deterministically. The data dictionary (schema)
+// names the fields that serve as alternate (secondary) keys.
+
+#ifndef ENCOMPASS_STORAGE_RECORD_H_
+#define ENCOMPASS_STORAGE_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace encompass::storage {
+
+/// A logical record: ordered field name -> value map.
+class Record {
+ public:
+  Record() = default;
+
+  /// Builder-style field setter.
+  Record& Set(const std::string& field, const std::string& value) {
+    fields_[field] = value;
+    return *this;
+  }
+
+  /// Value of a field, or "" if absent.
+  std::string Get(const std::string& field) const {
+    auto it = fields_.find(field);
+    return it == fields_.end() ? "" : it->second;
+  }
+
+  bool Has(const std::string& field) const { return fields_.count(field) > 0; }
+  size_t field_count() const { return fields_.size(); }
+  const std::map<std::string, std::string>& fields() const { return fields_; }
+
+  /// Deterministic serialization (fields in name order).
+  Bytes Encode() const;
+
+  /// Parses an encoded record; Corruption on malformed input.
+  static Result<Record> Decode(const Slice& data);
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+/// Data-dictionary entry for a file: which fields are alternate keys.
+/// (The primary key is the record's file key, stored outside the record.)
+struct FileSchema {
+  std::vector<std::string> alternate_keys;
+};
+
+}  // namespace encompass::storage
+
+#endif  // ENCOMPASS_STORAGE_RECORD_H_

@@ -1,0 +1,444 @@
+#include "storage/volume.h"
+
+#include "common/coding.h"
+
+namespace encompass::storage {
+
+Volume::Volume(std::string name, VolumeConfig config)
+    : name_(std::move(name)), config_(config) {}
+
+Status Volume::CreateFile(const std::string& fname, FileOrganization org,
+                          FileOptions options) {
+  if (files_.count(fname)) return Status::AlreadyExists("file exists: " + fname);
+  options.block_size = config_.block_size;
+  files_[fname] = MakeFile(org, fname, std::move(options));
+  return Status::Ok();
+}
+
+Status Volume::DropFile(const std::string& fname) {
+  if (files_.erase(fname) == 0) return Status::NotFound("no file: " + fname);
+  // Ledger entries for the dropped file can no longer be undone; purge them.
+  std::vector<UndoEntry> kept;
+  for (auto& e : undo_ledger_) {
+    if (e.file != fname) kept.push_back(std::move(e));
+  }
+  undo_ledger_ = std::move(kept);
+  return Status::Ok();
+}
+
+StructuredFile* Volume::Find(const std::string& fname) const {
+  auto it = files_.find(fname);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Volume::FileNames() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [n, f] : files_) {
+    (void)f;
+    names.push_back(n);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string CacheKey(const std::string& fname, const Slice& key) {
+  std::string s = fname;
+  s.push_back('\0');
+  s.append(reinterpret_cast<const char*>(key.data()), key.size());
+  return s;
+}
+}  // namespace
+
+bool Volume::CacheHit(const std::string& fname, const Slice& key) {
+  auto it = cache_.find(CacheKey(fname, key));
+  if (it == cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return true;
+}
+
+void Volume::CacheTouch(const std::string& fname, const Slice& key) {
+  std::string ck = CacheKey(fname, key);
+  auto it = cache_.find(ck);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(ck);
+  cache_[ck] = lru_.begin();
+  if (cache_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void Volume::CacheErase(const std::string& fname, const Slice& key) {
+  auto it = cache_.find(CacheKey(fname, key));
+  if (it == cache_.end()) return;
+  lru_.erase(it->second);
+  cache_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Record operations
+// ---------------------------------------------------------------------------
+
+OpResult Volume::Mutate(const std::string& fname, MutationOp op, const Slice& key,
+                        const Slice& record) {
+  OpResult out;
+  if (!Usable()) {
+    out.status = Status::IoError("volume " + name_ + ": all drives down");
+    return out;
+  }
+  StructuredFile* file = Find(fname);
+  if (file == nullptr) {
+    out.status = Status::NotFound("no file: " + fname);
+    return out;
+  }
+
+  // Capture the before-image (needed for audit and for the volatile ledger).
+  if (op != MutationOp::kInsert && !key.empty()) {
+    auto prior = file->Read(key);
+    if (prior.ok()) {
+      out.before = std::move(*prior);
+      out.existed = true;
+    }
+  }
+
+  UndoEntry undo;
+  undo.file = fname;
+  undo.op = op;
+  undo.before = out.before;
+  undo.existed = out.existed;
+
+  switch (op) {
+    case MutationOp::kInsert: {
+      Bytes assigned;
+      out.status = file->Insert(key, record, &assigned);
+      if (out.status.ok()) {
+        out.key = assigned;
+        undo.key = assigned;
+        CacheTouch(fname, Slice(assigned));
+      }
+      break;
+    }
+    case MutationOp::kUpdate:
+      out.status = file->Update(key, record);
+      if (out.status.ok()) {
+        out.key = key.ToBytes();
+        undo.key = key.ToBytes();
+        CacheTouch(fname, key);
+      }
+      break;
+    case MutationOp::kDelete:
+      out.status = file->Delete(key);
+      if (out.status.ok()) {
+        out.key = key.ToBytes();
+        undo.key = key.ToBytes();
+        CacheErase(fname, key);
+      }
+      break;
+  }
+
+  if (out.status.ok()) {
+    // Write-back: the update lives in cache/memory only until Flush. This is
+    // the paper's "audit records need not be written to disc prior to
+    // updating the data base" — nothing is forced here.
+    undo_ledger_.push_back(std::move(undo));
+    // A drive that is down misses this write and becomes stale.
+    for (int d = 0; d < drive_count(); ++d) {
+      if (!drive_up_[d]) drive_stale_[d] = true;
+    }
+  }
+  return out;
+}
+
+OpResult Volume::ApplyUndo(const std::string& fname, MutationOp original_op,
+                           const Slice& key, const Slice& before) {
+  OpResult out;
+  if (!Usable()) {
+    out.status = Status::IoError("volume " + name_ + ": all drives down");
+    return out;
+  }
+  StructuredFile* file = Find(fname);
+  if (file == nullptr) {
+    out.status = Status::NotFound("no file: " + fname);
+    return out;
+  }
+  auto current = file->Read(key);
+
+  UndoEntry undo;
+  undo.file = fname;
+  undo.key = key.ToBytes();
+
+  switch (original_op) {
+    case MutationOp::kInsert:
+      if (!current.ok()) {
+        out.status = Status::Ok();  // already compensated
+        return out;
+      }
+      undo.op = MutationOp::kDelete;
+      undo.before = std::move(*current);
+      undo.existed = true;
+      out.status = PhysicalRemove(file, key);
+      if (out.status.ok()) CacheErase(fname, key);
+      break;
+    case MutationOp::kUpdate:
+      if (!current.ok()) {
+        out.status = current.status();
+        return out;
+      }
+      if (Slice(*current) == before) {
+        out.status = Status::Ok();  // already compensated
+        return out;
+      }
+      undo.op = MutationOp::kUpdate;
+      undo.before = std::move(*current);
+      undo.existed = true;
+      out.status = file->Update(key, before);
+      if (out.status.ok()) CacheTouch(fname, key);
+      break;
+    case MutationOp::kDelete:
+      if (current.ok()) {
+        out.status = Status::Ok();  // already compensated
+        return out;
+      }
+      undo.op = MutationOp::kInsert;
+      out.status = file->Insert(key, before, nullptr);
+      if (out.status.ok()) CacheTouch(fname, key);
+      break;
+  }
+  if (out.status.ok()) {
+    undo_ledger_.push_back(std::move(undo));
+    for (int d = 0; d < drive_count(); ++d) {
+      if (!drive_up_[d]) drive_stale_[d] = true;
+    }
+  }
+  return out;
+}
+
+OpResult Volume::ReadRecord(const std::string& fname, const Slice& key) {
+  OpResult out;
+  if (!Usable()) {
+    out.status = Status::IoError("volume " + name_ + ": all drives down");
+    return out;
+  }
+  StructuredFile* file = Find(fname);
+  if (file == nullptr) {
+    out.status = Status::NotFound("no file: " + fname);
+    return out;
+  }
+  auto r = file->Read(key);
+  out.status = r.ok() ? Status::Ok() : r.status();
+  if (r.ok()) {
+    out.value = std::move(*r);
+    out.key = key.ToBytes();
+    if (CacheHit(fname, key)) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+      out.disc_ios = file->access_depth();
+      physical_reads_ += out.disc_ios;
+      CacheTouch(fname, key);
+    }
+  }
+  return out;
+}
+
+OpResult Volume::SeekRecord(const std::string& fname, const Slice& key,
+                            bool inclusive) {
+  OpResult out;
+  if (!Usable()) {
+    out.status = Status::IoError("volume " + name_ + ": all drives down");
+    return out;
+  }
+  StructuredFile* file = Find(fname);
+  if (file == nullptr) {
+    out.status = Status::NotFound("no file: " + fname);
+    return out;
+  }
+  auto r = file->Seek(key, inclusive);
+  out.status = r.ok() ? Status::Ok() : r.status();
+  if (r.ok()) {
+    out.key = std::move(r->key);
+    out.value = std::move(r->value);
+    if (CacheHit(fname, Slice(out.key))) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+      out.disc_ios = file->access_depth();
+      physical_reads_ += out.disc_ios;
+      CacheTouch(fname, Slice(out.key));
+    }
+  }
+  return out;
+}
+
+OpResult Volume::ReadAlternate(const std::string& fname, const std::string& field,
+                               const std::string& value) {
+  OpResult out;
+  if (!Usable()) {
+    out.status = Status::IoError("volume " + name_ + ": all drives down");
+    return out;
+  }
+  StructuredFile* file = Find(fname);
+  if (file == nullptr) {
+    out.status = Status::NotFound("no file: " + fname);
+    return out;
+  }
+  auto r = file->LookupAlternate(field, value);
+  out.status = r.ok() ? Status::Ok() : r.status();
+  if (r.ok()) {
+    for (const auto& pk : *r) PutLengthPrefixed(&out.value, Slice(pk));
+    out.disc_ios = 1;  // one index probe
+    ++physical_reads_;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Durability boundary
+// ---------------------------------------------------------------------------
+
+int Volume::Flush() {
+  int writes = static_cast<int>(undo_ledger_.size()) * UpDrives();
+  physical_writes_ += writes;
+  undo_ledger_.clear();
+  return writes;
+}
+
+Status Volume::PhysicalRemove(StructuredFile* file, const Slice& key) {
+  if (file->organization() == FileOrganization::kEntrySequenced) {
+    return static_cast<EntrySequencedFile*>(file)->RemoveEntry(key);
+  }
+  return file->Delete(key);
+}
+
+void Volume::DropVolatile() {
+  for (auto it = undo_ledger_.rbegin(); it != undo_ledger_.rend(); ++it) {
+    StructuredFile* file = Find(it->file);
+    if (file == nullptr) continue;
+    switch (it->op) {
+      case MutationOp::kInsert:
+        PhysicalRemove(file, Slice(it->key));
+        break;
+      case MutationOp::kUpdate:
+        if (it->existed) file->Update(Slice(it->key), Slice(it->before));
+        break;
+      case MutationOp::kDelete:
+        if (it->existed) file->Insert(Slice(it->key), Slice(it->before), nullptr);
+        break;
+    }
+  }
+  undo_ledger_.clear();
+  // Main memory is gone with the node: the cache is cold.
+  lru_.clear();
+  cache_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Mirrored drives
+// ---------------------------------------------------------------------------
+
+bool Volume::DriveUp(int drive) const {
+  return drive >= 0 && drive < drive_count() && drive_up_[drive];
+}
+
+void Volume::FailDrive(int drive) {
+  if (drive < 0 || drive >= drive_count()) return;
+  drive_up_[drive] = false;
+}
+
+Result<size_t> Volume::ReviveDrive(int drive) {
+  if (drive < 0 || drive >= drive_count()) {
+    return Status::InvalidArgument("no such drive");
+  }
+  if (drive_up_[drive]) return size_t{0};
+  if (!Usable()) return Status::IoError("no survivor to copy from");
+  size_t copied = 0;
+  if (drive_stale_[drive]) {
+    for (const auto& [n, f] : files_) {
+      (void)n;
+      copied += f->record_count();
+    }
+    physical_writes_ += static_cast<int64_t>(copied);
+    drive_stale_[drive] = false;
+  }
+  drive_up_[drive] = true;
+  return copied;
+}
+
+bool Volume::Usable() const { return UpDrives() > 0; }
+
+int Volume::UpDrives() const {
+  int n = 0;
+  for (int d = 0; d < drive_count(); ++d) n += drive_up_[d] ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Archive
+// ---------------------------------------------------------------------------
+
+Bytes Volume::Archive() const {
+  Bytes out;
+  PutLengthPrefixed(&out, Slice(name_));
+  PutVarint64(&out, files_.size());
+  for (const auto& [fname, file] : files_) {
+    PutLengthPrefixed(&out, Slice(fname));
+    PutFixed8(&out, static_cast<uint8_t>(file->organization()));
+    PutFixed8(&out, file->audited() ? 1 : 0);
+    PutVarint32(&out, static_cast<uint32_t>(file->schema().alternate_keys.size()));
+    for (const auto& f : file->schema().alternate_keys) {
+      PutLengthPrefixed(&out, Slice(f));
+    }
+    file->ArchiveTo(&out);
+  }
+  return out;
+}
+
+Status Volume::RestoreFromArchive(const Slice& archive) {
+  Slice in = archive;
+  std::string archived_name;
+  if (!GetLengthPrefixedString(&in, &archived_name)) {
+    return DecodeError("volume name");
+  }
+  uint64_t nfiles;
+  if (!GetVarint64(&in, &nfiles)) return DecodeError("file count");
+
+  std::map<std::string, std::unique_ptr<StructuredFile>> restored;
+  for (uint64_t i = 0; i < nfiles; ++i) {
+    std::string fname;
+    uint8_t org_byte, audited;
+    if (!GetLengthPrefixedString(&in, &fname) || !GetFixed8(&in, &org_byte) ||
+        !GetFixed8(&in, &audited)) {
+      return DecodeError("file header");
+    }
+    uint32_t nalt;
+    if (!GetVarint32(&in, &nalt)) return DecodeError("schema");
+    FileOptions options;
+    options.audited = audited != 0;
+    options.block_size = config_.block_size;
+    for (uint32_t k = 0; k < nalt; ++k) {
+      std::string field;
+      if (!GetLengthPrefixedString(&in, &field)) return DecodeError("alt key");
+      options.schema.alternate_keys.push_back(field);
+    }
+    auto file = MakeFile(static_cast<FileOrganization>(org_byte), fname,
+                         std::move(options));
+    if (file == nullptr) return Status::Corruption("bad file organization");
+    ENCOMPASS_RETURN_IF_ERROR(file->RestoreFrom(&in));
+    restored[fname] = std::move(file);
+  }
+  files_ = std::move(restored);
+  undo_ledger_.clear();
+  lru_.clear();
+  cache_.clear();
+  return Status::Ok();
+}
+
+}  // namespace encompass::storage

@@ -1,0 +1,158 @@
+// Volume: one logical disc volume — the unit a DISCPROCESS pair controls.
+// Models what the paper's storage architecture needs:
+//   * mirrored drives (write-both / read-either, drive failure and revive),
+//   * a main-memory cache with an explicit durable/volatile boundary: data
+//     base updates are NOT forced to disc at update time (the NonStop claim);
+//     unflushed updates are lost on total node failure (DropVolatile), which
+//     is exactly the case ROLLFORWARD recovers,
+//   * structured files (the three organizations) living on the volume, and
+//   * whole-volume archives for ROLLFORWARD.
+//
+// A Volume is passive hardware: latency is charged by the DISCPROCESS using
+// the disc_ios count each operation reports.
+
+#ifndef ENCOMPASS_STORAGE_VOLUME_H_
+#define ENCOMPASS_STORAGE_VOLUME_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/file.h"
+
+namespace encompass::storage {
+
+/// Volume creation parameters.
+struct VolumeConfig {
+  bool mirrored = true;        ///< two physical drives
+  size_t block_size = 4096;    ///< node size for key-sequenced files
+  size_t cache_capacity = 4096;///< cached records ("most recently referenced
+                               ///  blocks of data in main memory")
+};
+
+/// Outcome of one volume operation.
+struct OpResult {
+  Status status;
+  int disc_ios = 0;   ///< physical reads this op required (0 on cache hit)
+  Bytes value;        ///< Read/Seek: record image
+  Bytes key;          ///< Seek: located key; Insert: assigned key
+  Bytes before;       ///< Mutate: prior record image (for the audit trail)
+  bool existed = false;  ///< Mutate: a prior image existed
+};
+
+/// A mirrored logical disc volume holding structured files.
+class Volume {
+ public:
+  explicit Volume(std::string name, VolumeConfig config = {});
+
+  const std::string& name() const { return name_; }
+  const VolumeConfig& config() const { return config_; }
+
+  // -- Files -------------------------------------------------------------------
+
+  Status CreateFile(const std::string& fname, FileOrganization org,
+                    FileOptions options = {});
+  Status DropFile(const std::string& fname);
+  StructuredFile* Find(const std::string& fname) const;
+  std::vector<std::string> FileNames() const;
+
+  // -- Record operations ---------------------------------------------------------
+
+  /// Applies a mutation, captures the before-image, and registers the change
+  /// in the volatile ledger (unforced write-back). For an entry-sequenced
+  /// append pass an empty key; the assigned key comes back in OpResult::key.
+  OpResult Mutate(const std::string& fname, MutationOp op, const Slice& key,
+                  const Slice& record);
+
+  /// Applies the compensating change for a mutation being backed out:
+  /// insert -> physical removal, update -> restore the before-image,
+  /// delete -> re-insert the before-image. Idempotent: re-undoing an already
+  /// compensated mutation is a no-op (a takeover can replay backout work).
+  /// The compensation itself enters the volatile ledger like any write.
+  OpResult ApplyUndo(const std::string& fname, MutationOp original_op,
+                     const Slice& key, const Slice& before);
+
+  /// Point read through the cache.
+  OpResult ReadRecord(const std::string& fname, const Slice& key);
+
+  /// Positions to the first record with key >= (inclusive) or > the given key.
+  OpResult SeekRecord(const std::string& fname, const Slice& key, bool inclusive);
+
+  /// Alternate-key lookup; OpResult::value holds length-prefixed primary keys.
+  OpResult ReadAlternate(const std::string& fname, const std::string& field,
+                         const std::string& value);
+
+  // -- Durability boundary ---------------------------------------------------------
+
+  /// Forces all volatile updates to disc (clears the ledger). Returns the
+  /// number of physical writes performed (x up drives).
+  int Flush();
+  size_t VolatileCount() const { return undo_ledger_.size(); }
+  /// Total node failure: every unflushed update is lost. Reverts the ledger
+  /// in reverse order, restoring the last flushed state.
+  void DropVolatile();
+
+  // -- Mirrored drives ---------------------------------------------------------------
+
+  int drive_count() const { return config_.mirrored ? 2 : 1; }
+  bool DriveUp(int drive) const;
+  /// Fails one physical drive. Service continues on the mirror.
+  void FailDrive(int drive);
+  /// Revives a failed drive by copying from the survivor; returns the number
+  /// of records copied (the caller charges proportional time).
+  Result<size_t> ReviveDrive(int drive);
+  /// At least one drive is up.
+  bool Usable() const;
+  int UpDrives() const;
+
+  // -- Archive (for ROLLFORWARD) -------------------------------------------------------
+
+  /// Self-contained snapshot of every file (schema + content). Call at a
+  /// transaction-consistent point (online fuzzy archives are out of scope).
+  Bytes Archive() const;
+  Status RestoreFromArchive(const Slice& archive);
+
+  // -- Statistics ---------------------------------------------------------------------
+
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_misses() const { return cache_misses_; }
+  int64_t physical_reads() const { return physical_reads_; }
+  int64_t physical_writes() const { return physical_writes_; }
+
+ private:
+  struct UndoEntry {
+    std::string file;
+    MutationOp op;
+    Bytes key;
+    Bytes before;
+    bool existed;
+  };
+
+  /// Physically removes a record regardless of organization (undo of insert).
+  Status PhysicalRemove(StructuredFile* file, const Slice& key);
+  void CacheTouch(const std::string& fname, const Slice& key);
+  bool CacheHit(const std::string& fname, const Slice& key);
+  void CacheErase(const std::string& fname, const Slice& key);
+
+  std::string name_;
+  VolumeConfig config_;
+  std::map<std::string, std::unique_ptr<StructuredFile>> files_;
+  std::vector<UndoEntry> undo_ledger_;
+  bool drive_up_[2] = {true, true};
+  bool drive_stale_[2] = {false, false};
+
+  // LRU cache over "file\0key" strings.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, std::list<std::string>::iterator> cache_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t physical_reads_ = 0;
+  int64_t physical_writes_ = 0;
+};
+
+}  // namespace encompass::storage
+
+#endif  // ENCOMPASS_STORAGE_VOLUME_H_

@@ -1,0 +1,171 @@
+#include "tmf/file_system.h"
+
+namespace encompass::tmf {
+
+namespace {
+os::CallOptions DiscCallOptions() {
+  os::CallOptions opt;
+  opt.timeout = Seconds(3);
+  opt.retries = 2;  // transparent across DISCPROCESS takeover
+  return opt;
+}
+}  // namespace
+
+void FileSystem::Read(const std::string& file, const Slice& key, bool lock,
+                      Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.key = key.ToBytes();
+  req.lock = lock;
+  req.lock_timeout = lock_timeout_;
+  DiscOp(discprocess::kDiscRead, file, key, std::move(req), std::move(cb));
+}
+
+void FileSystem::Seek(const std::string& file, const Slice& key, bool inclusive,
+                      Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.key = key.ToBytes();
+  req.inclusive = inclusive;
+  DiscOp(discprocess::kDiscSeek, file, key, std::move(req), std::move(cb));
+}
+
+void FileSystem::Scan(const std::string& file, const Slice& key, bool inclusive,
+                      uint32_t max_records, Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.key = key.ToBytes();
+  req.inclusive = inclusive;
+  req.max_records = max_records;
+  DiscOp(discprocess::kDiscScan, file, key, std::move(req), std::move(cb));
+}
+
+void FileSystem::Insert(const std::string& file, const Slice& key,
+                        const Slice& record, Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.key = key.ToBytes();
+  req.record = record.ToBytes();
+  req.lock_timeout = lock_timeout_;
+  DiscOp(discprocess::kDiscInsert, file, key, std::move(req), std::move(cb));
+}
+
+void FileSystem::Update(const std::string& file, const Slice& key,
+                        const Slice& record, Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.key = key.ToBytes();
+  req.record = record.ToBytes();
+  req.lock_timeout = lock_timeout_;
+  DiscOp(discprocess::kDiscUpdate, file, key, std::move(req), std::move(cb));
+}
+
+void FileSystem::Delete(const std::string& file, const Slice& key, Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.key = key.ToBytes();
+  req.lock_timeout = lock_timeout_;
+  DiscOp(discprocess::kDiscDelete, file, key, std::move(req), std::move(cb));
+}
+
+void FileSystem::ReadAlternate(const std::string& file, const std::string& field,
+                               const std::string& value,
+                               const Slice& partition_key, Callback cb) {
+  discprocess::DiscRequest req;
+  req.file = file;
+  req.field = field;
+  req.value = value;
+  DiscOp(discprocess::kDiscReadAlt, file, partition_key, std::move(req),
+         std::move(cb));
+}
+
+void FileSystem::LockFile(const std::string& file, Callback cb) {
+  const storage::FileDefinition* def = catalog_->Find(file);
+  if (def == nullptr) {
+    cb(Status::NotFound("undefined file: " + file), {});
+    return;
+  }
+  // Lock every partition; report the first failure.
+  auto pending = std::make_shared<int>(
+      static_cast<int>(def->partitions.entries().size()));
+  auto first_error = std::make_shared<Status>();
+  auto done = std::make_shared<Callback>(std::move(cb));
+  for (const auto& part : def->partitions.entries()) {
+    discprocess::DiscRequest req;
+    req.file = file;
+    req.lock_timeout = lock_timeout_;
+    SendToPartition(discprocess::kDiscLockFile, part, std::move(req),
+                    [pending, first_error, done](const Status& s, const Bytes& b) {
+                      if (!s.ok() && first_error->ok()) *first_error = s;
+                      if (--*pending == 0) (*done)(*first_error, b);
+                    });
+  }
+}
+
+void FileSystem::DiscOp(uint32_t tag, const std::string& file,
+                        const Slice& routing_key, discprocess::DiscRequest req,
+                        Callback cb) {
+  const storage::FileDefinition* def = catalog_->Find(file);
+  if (def == nullptr) {
+    cb(Status::NotFound("undefined file: " + file), {});
+    return;
+  }
+  const storage::PartitionEntry& part = def->partitions.Locate(routing_key);
+  SendToPartition(tag, part, std::move(req), std::move(cb));
+}
+
+void FileSystem::SendToPartition(uint32_t tag,
+                                 const storage::PartitionEntry& part,
+                                 discprocess::DiscRequest req, Callback cb) {
+  net::Address dst(part.node, part.volume_process);
+  auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  // Capture the transid now: the call may be issued from a later event
+  // (after the remote-begin round trip), when the owner's current transid
+  // may have changed.
+  uint64_t transid = owner_->current_transid();
+  auto issue = [this, dst, tag, req = std::move(req), shared_cb, transid]() {
+    uint64_t saved = owner_->current_transid();
+    owner_->set_current_transid(transid);
+    owner_->Call(dst, tag, req.Encode(),
+                 [shared_cb](const Status& s, const net::Message& m) {
+                   (*shared_cb)(s, m.payload);
+                 },
+                 DiscCallOptions());
+    owner_->set_current_transid(saved);
+  };
+  if (part.node == owner_->id().node || owner_->current_transid() == 0) {
+    issue();
+    return;
+  }
+  // First transmission of this transid to another node: remote begin.
+  EnsureRemote(part.node, [issue = std::move(issue), shared_cb](const Status& s) {
+    if (!s.ok()) {
+      (*shared_cb)(s, {});
+      return;
+    }
+    issue();
+  });
+}
+
+void FileSystem::EnsureRemote(net::NodeId dest,
+                              std::function<void(const Status&)> cb) {
+  uint64_t transid = owner_->current_transid();
+  if (transid == 0 || dest == owner_->id().node ||
+      ensured_.count({transid, dest})) {
+    cb(Status::Ok());
+    return;
+  }
+  os::CallOptions opt;
+  opt.timeout = Seconds(3);
+  opt.retries = 1;
+  owner_->Call(net::Address(owner_->id().node, "$TMP"), kTmfEnsureRemote,
+               EncodeEnsureRemote(Transid::Unpack(transid), dest),
+               [this, transid, dest, cb = std::move(cb)](const Status& s,
+                                                         const net::Message&) {
+                 if (s.ok()) ensured_.insert({transid, dest});
+                 cb(s);
+               },
+               opt);
+}
+
+}  // namespace encompass::tmf

@@ -1,0 +1,96 @@
+#include "tmf/rollforward.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace encompass::tmf {
+
+namespace {
+
+/// Applies one committed after-image idempotently.
+Status RedoApply(storage::Volume* volume, const audit::AuditRecord& rec) {
+  switch (rec.op) {
+    case storage::MutationOp::kInsert: {
+      auto r = volume->Mutate(rec.file, storage::MutationOp::kInsert,
+                              Slice(rec.key), Slice(rec.after));
+      if (r.status.IsAlreadyExists()) {
+        r = volume->Mutate(rec.file, storage::MutationOp::kUpdate, Slice(rec.key),
+                           Slice(rec.after));
+      }
+      return r.status;
+    }
+    case storage::MutationOp::kUpdate: {
+      auto r = volume->Mutate(rec.file, storage::MutationOp::kUpdate,
+                              Slice(rec.key), Slice(rec.after));
+      if (r.status.IsNotFound()) {
+        r = volume->Mutate(rec.file, storage::MutationOp::kInsert, Slice(rec.key),
+                           Slice(rec.after));
+      }
+      return r.status;
+    }
+    case storage::MutationOp::kDelete: {
+      auto r = volume->Mutate(rec.file, storage::MutationOp::kDelete,
+                              Slice(rec.key), Slice());
+      if (r.status.IsNotFound()) return Status::Ok();  // already gone
+      return r.status;
+    }
+  }
+  return Status::InvalidArgument("bad audit op");
+}
+
+}  // namespace
+
+Result<RollforwardReport> Rollforward(const RollforwardInput& input) {
+  if (input.volume == nullptr || input.archive == nullptr ||
+      input.trail == nullptr) {
+    return Status::InvalidArgument("rollforward needs volume, archive, trail");
+  }
+  RollforwardReport report;
+
+  ENCOMPASS_RETURN_IF_ERROR(
+      input.volume->RestoreFromArchive(Slice(*input.archive)));
+
+  auto records = input.trail->DurableRecordsAfter(input.archive_lsn);
+  report.redo_considered = records.size();
+
+  // Resolve each transaction's disposition once.
+  std::map<Transid, Disposition> dispositions;
+  for (const auto& rec : records) {
+    if (dispositions.count(rec.transid)) continue;
+    Disposition d = Disposition::kUnknown;
+    if (input.monitor_trail != nullptr) {
+      int r = input.monitor_trail->Lookup(rec.transid);
+      if (r == 1) d = Disposition::kCommitted;
+      else if (r == 0) d = Disposition::kAborted;
+    }
+    if (d == Disposition::kUnknown && input.resolve_remote) {
+      // The transaction was in "ending" (or never resolved locally) at
+      // failure time: negotiate with other nodes.
+      d = input.resolve_remote(rec.transid);
+      ++report.negotiated;
+    }
+    dispositions[rec.transid] = d;
+  }
+
+  std::set<Transid> committed, discarded;
+  for (const auto& rec : records) {
+    if (dispositions[rec.transid] == Disposition::kCommitted) {
+      ENCOMPASS_RETURN_IF_ERROR(RedoApply(input.volume, rec));
+      ++report.redo_applied;
+      committed.insert(rec.transid);
+    } else {
+      // Aborted, or unknown even after negotiation: presumed abort — the
+      // updates never reappear.
+      discarded.insert(rec.transid);
+    }
+  }
+  report.txns_committed = committed.size();
+  report.txns_discarded = discarded.size();
+
+  input.volume->Flush();
+  return report;
+}
+
+}  // namespace encompass::tmf

@@ -1,0 +1,54 @@
+// ROLLFORWARD: recovery from total node failure. "TMF's approach ... is
+// based on occasional archived copies of audited data base files, plus an
+// archive of all audit trails written since the data base files were
+// archived. TMF reconstructs any files open at the time of a total node
+// failure by using the after-images from the audit trail to reapply the
+// updates of committed transactions. ROLLFORWARD negotiates with other
+// nodes of the network about transactions which were in 'ending' state at
+// the time of the node failure."
+//
+// This is a utility over durable objects (archives, trails, the Monitor
+// Audit Trail), run after the node reloads; it is not a process.
+
+#ifndef ENCOMPASS_TMF_ROLLFORWARD_H_
+#define ENCOMPASS_TMF_ROLLFORWARD_H_
+
+#include <functional>
+#include <vector>
+
+#include "audit/audit_trail.h"
+#include "common/result.h"
+#include "storage/volume.h"
+#include "tmf/tmf_protocol.h"
+
+namespace encompass::tmf {
+
+/// Inputs to one volume's rollforward.
+struct RollforwardInput {
+  storage::Volume* volume = nullptr;          ///< target volume to rebuild
+  const Bytes* archive = nullptr;             ///< archived copy of the volume
+  const audit::AuditTrail* trail = nullptr;   ///< this volume's audit trail
+  uint64_t archive_lsn = 0;                   ///< trail LSN at archive time
+  const audit::MonitorAuditTrail* monitor_trail = nullptr;  ///< local MAT
+  /// Negotiation with other nodes for transactions whose local disposition
+  /// is unknown (they were in "ending" at failure time). Unknown after
+  /// negotiation means the updates are discarded (presumed abort).
+  std::function<Disposition(const Transid&)> resolve_remote;
+};
+
+/// What a rollforward run did.
+struct RollforwardReport {
+  size_t redo_considered = 0;   ///< durable after-images since the archive
+  size_t redo_applied = 0;      ///< images of committed transactions applied
+  size_t txns_committed = 0;    ///< distinct committed transactions replayed
+  size_t txns_discarded = 0;    ///< distinct aborted/unknown transactions
+  size_t negotiated = 0;        ///< dispositions resolved via other nodes
+};
+
+/// Rebuilds `input.volume` from the archive plus committed after-images.
+/// The volume is flushed (fully durable) on success.
+Result<RollforwardReport> Rollforward(const RollforwardInput& input);
+
+}  // namespace encompass::tmf
+
+#endif  // ENCOMPASS_TMF_ROLLFORWARD_H_

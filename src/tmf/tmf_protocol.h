@@ -1,0 +1,149 @@
+// TMF wire protocol: client-to-TMP verbs, TMP-to-TMP distributed commit
+// messages (critical-response and safe-delivery classes), and the backout
+// request.
+
+#ifndef ENCOMPASS_TMF_TMF_PROTOCOL_H_
+#define ENCOMPASS_TMF_TMF_PROTOCOL_H_
+
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/transid.h"
+#include "net/message.h"
+
+namespace encompass::tmf {
+
+/// TMF message tags.
+enum TmfTag : uint32_t {
+  // Client verbs (to the local TMP).
+  kTmfBegin = net::kTagTmf + 1,   ///< -> reply carries the new packed transid
+  kTmfEnd = net::kTagTmf + 2,     ///< commit; reply when ended (or Aborted)
+  kTmfAbort = net::kTagTmf + 3,   ///< voluntary abort; reply when backed out
+  kTmfEnsureRemote = net::kTagTmf + 4,  ///< register a remote participant
+
+  // TMP-to-TMP: critical-response class (destination must be accessible and
+  // must reply affirmatively for the state change to proceed).
+  kTmfRemoteBegin = net::kTagTmf + 5,  ///< broadcast transid active at dest
+  kTmfPhase1 = net::kTagTmf + 6,       ///< force audit; prepare to commit
+
+  // TMP-to-TMP: safe-delivery class (delivery guaranteed eventually; the
+  /// reply only acknowledges receipt).
+  kTmfPhase2 = net::kTagTmf + 7,       ///< commit decided: release locks
+  kTmfAbortTxn = net::kTagTmf + 8,     ///< abort decided: back out
+
+  // Utilities (the TMF operator-utility surface the paper's manual
+  // override procedure uses).
+  kTmfStatus = net::kTagTmf + 9,            ///< disposition query
+  kTmfForceDisposition = net::kTagTmf + 10, ///< manual in-doubt override
+  kBackoutTxn = net::kTagTmf + 11,          ///< TMP -> BACKOUTPROCESS
+  kTmfListTxns = net::kTagTmf + 12,         ///< enumerate tracked txns
+};
+
+/// One row of a kTmfListTxns reply.
+struct TxnListEntry {
+  Transid transid;
+  uint8_t state = 0;       ///< TxnState
+  bool is_home = false;
+  net::NodeId parent = 0;
+};
+
+/// Encodes a kTmfListTxns reply payload.
+inline Bytes EncodeTxnList(const std::vector<TxnListEntry>& entries) {
+  Bytes out;
+  PutVarint32(&out, static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    PutFixed64(&out, e.transid.Pack());
+    PutFixed8(&out, e.state);
+    PutFixed8(&out, e.is_home ? 1 : 0);
+    PutFixed16(&out, e.parent);
+  }
+  return out;
+}
+
+/// Decodes a kTmfListTxns reply payload.
+inline Result<std::vector<TxnListEntry>> DecodeTxnList(const Slice& payload) {
+  Slice in = payload;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return DecodeError("txn list count");
+  // Each entry occupies 12 bytes: a count larger than the remaining payload
+  // is malformed (and must not drive a giant allocation).
+  if (static_cast<uint64_t>(n) * 12 > in.size()) {
+    return DecodeError("txn list count exceeds payload");
+  }
+  std::vector<TxnListEntry> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TxnListEntry e;
+    uint64_t packed;
+    uint8_t home;
+    if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &e.state) ||
+        !GetFixed8(&in, &home) || !GetFixed16(&in, &e.parent)) {
+      return DecodeError("txn list entry");
+    }
+    e.transid = Transid::Unpack(packed);
+    e.is_home = home != 0;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+/// Dispositions reported by kTmfStatus.
+enum class Disposition : uint8_t {
+  kAborted = 0,
+  kCommitted = 1,
+  kUnknown = 2,
+};
+
+inline Bytes EncodeTransidPayload(const Transid& t) {
+  Bytes out;
+  PutFixed64(&out, t.Pack());
+  return out;
+}
+
+inline Result<Transid> DecodeTransidPayload(const Slice& payload) {
+  Slice in = payload;
+  uint64_t packed;
+  if (!GetFixed64(&in, &packed)) return DecodeError("transid payload");
+  return Transid::Unpack(packed);
+}
+
+inline Bytes EncodeEnsureRemote(const Transid& t, net::NodeId dest) {
+  Bytes out;
+  PutFixed64(&out, t.Pack());
+  PutFixed16(&out, dest);
+  return out;
+}
+
+inline bool DecodeEnsureRemote(const Slice& payload, Transid* t,
+                               net::NodeId* dest) {
+  Slice in = payload;
+  uint64_t packed;
+  uint16_t node;
+  if (!GetFixed64(&in, &packed) || !GetFixed16(&in, &node)) return false;
+  *t = Transid::Unpack(packed);
+  *dest = node;
+  return true;
+}
+
+inline Bytes EncodeForceDisposition(const Transid& t, Disposition d) {
+  Bytes out;
+  PutFixed64(&out, t.Pack());
+  PutFixed8(&out, static_cast<uint8_t>(d));
+  return out;
+}
+
+inline bool DecodeForceDisposition(const Slice& payload, Transid* t,
+                                   Disposition* d) {
+  Slice in = payload;
+  uint64_t packed;
+  uint8_t disp;
+  if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &disp)) return false;
+  *t = Transid::Unpack(packed);
+  *d = static_cast<Disposition>(disp);
+  return true;
+}
+
+}  // namespace encompass::tmf
+
+#endif  // ENCOMPASS_TMF_TMF_PROTOCOL_H_

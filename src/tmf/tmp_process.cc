@@ -1,0 +1,824 @@
+#include "tmf/tmp_process.h"
+
+#include <cassert>
+#include <memory>
+
+#include "audit/audit_process.h"
+#include "common/logging.h"
+#include "discprocess/disc_protocol.h"
+#include "os/cluster.h"
+
+namespace encompass::tmf {
+
+namespace {
+
+// Checkpoint entry types.
+constexpr uint8_t kCkptTxnUpsert = 1;
+constexpr uint8_t kCkptTxnRemove = 2;
+constexpr uint8_t kCkptSafeAdd = 3;
+constexpr uint8_t kCkptSafeRemove = 4;
+constexpr uint8_t kCkptSeq = 5;
+
+}  // namespace
+
+bool TmpProcess::GetTxnState(const Transid& t, TxnState* state) const {
+  auto it = txns_.find(t);
+  if (it == txns_.end()) return false;
+  *state = it->second.state;
+  return true;
+}
+
+void TmpProcess::OnRequest(const net::Message& msg) {
+  if (!IsPrimary()) {
+    Reply(msg, Status::Unavailable("backup tmp"));
+    return;
+  }
+  switch (msg.tag) {
+    case kTmfBegin: HandleBegin(msg); break;
+    case kTmfEnd: HandleEnd(msg); break;
+    case kTmfAbort: HandleAbort(msg); break;
+    case kTmfEnsureRemote: HandleEnsureRemote(msg); break;
+    case kTmfRemoteBegin: HandleRemoteBegin(msg); break;
+    case kTmfPhase1: HandlePhase1(msg); break;
+    case kTmfPhase2: HandlePhase2(msg); break;
+    case kTmfAbortTxn: HandleAbortTxn(msg); break;
+    case kTmfStatus: HandleStatus(msg); break;
+    case kTmfForceDisposition: HandleForceDisposition(msg); break;
+    case kTmfListTxns: {
+      std::vector<TxnListEntry> entries;
+      for (const auto& [transid, txn] : txns_) {
+        TxnListEntry e;
+        e.transid = transid;
+        e.state = static_cast<uint8_t>(txn.state);
+        e.is_home = txn.is_home;
+        e.parent = txn.parent;
+        entries.push_back(e);
+      }
+      Reply(msg, Status::Ok(), EncodeTxnList(entries));
+      break;
+    }
+    default:
+      Reply(msg, Status::InvalidArgument("unknown tmf tag"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction table and state machine
+// ---------------------------------------------------------------------------
+
+TmpProcess::TxnEntry* TmpProcess::FindTxn(const Transid& t) {
+  auto it = txns_.find(t);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+TmpProcess::TxnEntry* TmpProcess::CreateTxn(const Transid& t, bool is_home,
+                                            net::NodeId parent) {
+  TxnEntry entry;
+  entry.transid = t;
+  entry.state = TxnState::kActive;
+  entry.is_home = is_home;
+  entry.parent = parent;
+  auto [it, inserted] = txns_.emplace(t, std::move(entry));
+  (void)inserted;
+  // BEGIN (or remote begin) broadcasts the transid in "active" state to all
+  // processors of this node.
+  sim()->GetStats().Incr("tmf.state_broadcasts", node()->AliveCpuCount());
+  sim()->GetStats().Incr("tmf.txns_seen");
+  CheckpointTxn(it->second, /*removed=*/false);
+  ArmAutoAbort(t);
+  return &it->second;
+}
+
+void TmpProcess::ArmAutoAbort(const Transid& t) {
+  if (config_.auto_abort_timeout <= 0) return;
+  SetTimer(config_.auto_abort_timeout, [this, t]() {
+    TxnEntry* txn = FindTxn(t);
+    if (txn == nullptr) return;
+    // Still "active" after the whole timeout: the requester is gone (e.g.
+    // its CPU failed and the abort request was lost in the takeover
+    // window). Abort so the locks release. In-doubt transactions (ending,
+    // non-home) are never touched — they wait for the home's disposition.
+    if (txn->state == TxnState::kActive) {
+      sim()->GetStats().Incr("tmf.auto_aborts");
+      StartAbort(t, "transaction abandoned (auto-abort timeout)");
+    } else if (txn->state == TxnState::kEnding && txn->is_home) {
+      // A home transaction stuck in ending means the phase-1 continuation
+      // was lost (e.g. TMP takeover races); re-arm and let takeover logic
+      // resolve it. Re-check later.
+      ArmAutoAbort(t);
+    }
+  });
+}
+
+void TmpProcess::SetState(TxnEntry* txn, TxnState to) {
+  if (txn->state == to) return;
+  if (!LegalTransition(txn->state, to)) {
+    // Counted rather than fatal: benches assert this stays zero.
+    sim()->GetStats().Incr("tmf.illegal_transitions");
+    LOG_ERROR << DebugName() << " illegal transition " << TxnStateName(txn->state)
+              << " -> " << TxnStateName(to) << " for " << txn->transid.ToString();
+    return;
+  }
+  sim()->GetStats().Incr(std::string("tmf.transition.") +
+                         TxnStateName(txn->state) + "->" + TxnStateName(to));
+  txn->state = to;
+  // State changes are broadcast to every processor within the node,
+  // regardless of participation (cheap and reliable over the IPC bus).
+  sim()->GetStats().Incr("tmf.state_broadcasts", node()->AliveCpuCount());
+  CheckpointTxn(*txn, /*removed=*/false);
+}
+
+void TmpProcess::DropTxn(const Transid& transid) {
+  auto it = txns_.find(transid);
+  if (it == txns_.end()) return;
+  CheckpointTxn(it->second, /*removed=*/true);
+  txns_.erase(it);
+}
+
+void TmpProcess::NotifyLocalDiscs(const Transid& t, uint8_t disc_state) {
+  discprocess::TxnStateChange change;
+  change.transid = t;
+  change.state = static_cast<discprocess::DiscTxnState>(disc_state);
+  for (const auto& name : config_.disc_processes) {
+    // Reliable delivery: a one-way message sent in a takeover window (pair
+    // name momentarily unbound) would be lost, leaving the transaction's
+    // locks held forever. The retried call re-resolves the name and reaches
+    // the new primary.
+    os::CallOptions opt;
+    opt.timeout = Millis(500);
+    opt.retries = 6;
+    Call(net::Address(node()->id(), name), discprocess::kDiscTxnStateChange,
+         change.Encode(), [](const Status&, const net::Message&) {}, opt);
+  }
+}
+
+Disposition TmpProcess::LookupDisposition(const Transid& t) const {
+  if (config_.monitor_trail != nullptr) {
+    int r = config_.monitor_trail->Lookup(t);
+    if (r == 1) return Disposition::kCommitted;
+    if (r == 0) return Disposition::kAborted;
+  }
+  return Disposition::kUnknown;
+}
+
+// ---------------------------------------------------------------------------
+// Client verbs
+// ---------------------------------------------------------------------------
+
+void TmpProcess::HandleBegin(const net::Message& msg) {
+  Transid t;
+  t.home_node = node()->id();
+  os::Process* caller = node()->Find(msg.src.pid);
+  t.cpu = static_cast<uint8_t>(
+      (msg.src.node == node()->id() && caller != nullptr) ? caller->cpu() : cpu());
+  t.seq = ++next_seq_;
+  // Mirror the sequence counter so a takeover never reuses a transid.
+  Bytes ckpt;
+  PutFixed8(&ckpt, kCkptSeq);
+  PutFixed64(&ckpt, next_seq_);
+  SendCheckpoint(std::move(ckpt));
+
+  CreateTxn(t, /*is_home=*/true, /*parent=*/0);
+  sim()->GetStats().Incr("tmf.begins");
+  Reply(msg, Status::Ok(), EncodeTransidPayload(t));
+}
+
+void TmpProcess::HandleEnd(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  TxnEntry* txn = FindTxn(*t);
+  if (txn == nullptr) {
+    Disposition d = LookupDisposition(*t);
+    if (d == Disposition::kCommitted) Reply(msg, Status::Ok());
+    else if (d == Disposition::kAborted) Reply(msg, Status::Aborted());
+    else Reply(msg, Status::NotFound("unknown transaction"));
+    return;
+  }
+  if (txn->state == TxnState::kAborting || txn->state == TxnState::kAborted) {
+    // END-TRANSACTION rejected: the system aborted the transaction.
+    Reply(msg, Status::Aborted("transaction aborted by system"));
+    return;
+  }
+  txn->client = msg.src;
+  txn->client_req = msg.request_id;
+  txn->client_tag = msg.tag;
+  CheckpointTxn(*txn, false);
+  if (txn->state == TxnState::kEnding) return;  // duplicate END: in progress
+
+  sim()->GetStats().Incr("tmf.ends");
+  SetState(txn, TxnState::kEnding);
+  Transid transid = *t;
+  RunPhase1(txn, [this, transid](bool ok) {
+    TxnEntry* txn = FindTxn(transid);
+    if (txn == nullptr) return;
+    if (ok && txn->state == TxnState::kEnding) {
+      CompleteCommit(transid);
+    } else if (txn->state == TxnState::kEnding) {
+      StartAbort(transid, "phase 1 failed");
+    }
+  });
+}
+
+void TmpProcess::HandleAbort(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  TxnEntry* txn = FindTxn(*t);
+  if (txn == nullptr) {
+    Reply(msg, LookupDisposition(*t) == Disposition::kAborted
+                   ? Status::Ok()
+                   : Status::NotFound("unknown transaction"));
+    return;
+  }
+  txn->client = msg.src;
+  txn->client_req = msg.request_id;
+  txn->client_tag = msg.tag;
+  CheckpointTxn(*txn, false);
+  sim()->GetStats().Incr("tmf.voluntary_aborts");
+  StartAbort(*t, "ABORT-TRANSACTION");
+}
+
+void TmpProcess::HandleEnsureRemote(const net::Message& msg) {
+  Transid t;
+  net::NodeId dest;
+  if (!DecodeEnsureRemote(Slice(msg.payload), &t, &dest)) {
+    Reply(msg, Status::InvalidArgument("bad ensure-remote payload"));
+    return;
+  }
+  TxnEntry* txn = FindTxn(t);
+  if (txn == nullptr || txn->state == TxnState::kAborting ||
+      txn->state == TxnState::kAborted) {
+    Reply(msg, Status::Aborted("transaction not active"));
+    return;
+  }
+  if (dest == node()->id() || txn->children.count(dest)) {
+    Reply(msg, Status::Ok());
+    return;
+  }
+  // "Remote transaction begin" is a critical-response message: it must be
+  // delivered and acknowledged before any transid transmission to `dest`.
+  sim()->GetStats().Incr("tmf.remote_begins");
+  net::Message request = msg;
+  os::CallOptions opt;
+  opt.timeout = config_.phase1_timeout;
+  Call(Tmp(dest), kTmfRemoteBegin, EncodeTransidPayload(t),
+       [this, request, t, dest](const Status& s, const net::Message&) {
+         TxnEntry* txn = FindTxn(t);
+         if (!s.ok() || txn == nullptr) {
+           Reply(request, s.ok() ? Status::Aborted() : s);
+           return;
+         }
+         txn->children.insert(dest);
+         CheckpointTxn(*txn, false);
+         Reply(request, Status::Ok());
+       },
+       opt);
+}
+
+// ---------------------------------------------------------------------------
+// TMP-to-TMP protocol
+// ---------------------------------------------------------------------------
+
+void TmpProcess::HandleRemoteBegin(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  if (FindTxn(*t) != nullptr) {
+    Reply(msg, Status::Ok());  // idempotent
+    return;
+  }
+  if (LookupDisposition(*t) == Disposition::kAborted) {
+    Reply(msg, Status::Aborted("previously aborted at this node"));
+    return;
+  }
+  CreateTxn(*t, /*is_home=*/false, /*parent=*/msg.src.node);
+  Reply(msg, Status::Ok());
+}
+
+void TmpProcess::HandlePhase1(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  TxnEntry* txn = FindTxn(*t);
+  if (txn == nullptr) {
+    // No updates here (or already resolved): committed -> affirmative,
+    // aborted -> negative (forces network consensus to abort).
+    Disposition d = LookupDisposition(*t);
+    Reply(msg, d == Disposition::kAborted ? Status::Aborted() : Status::Ok());
+    return;
+  }
+  if (txn->state == TxnState::kAborting || txn->state == TxnState::kAborted) {
+    // Unilateral abort happened before phase 1: respond negatively.
+    Reply(msg, Status::Aborted("unilaterally aborted"));
+    return;
+  }
+  SetState(txn, TxnState::kEnding);
+  sim()->GetStats().Incr("tmf.phase1_received");
+  net::Message request = msg;
+  Transid transid = *t;
+  RunPhase1(txn, [this, request, transid](bool ok) {
+    TxnEntry* txn = FindTxn(transid);
+    if (txn == nullptr) {
+      Reply(request, Status::Ok());
+      return;
+    }
+    if (!ok) {
+      Reply(request, Status::Aborted("subtree phase 1 failed"));
+      StartAbort(transid, "phase 1 failed in subtree");
+      return;
+    }
+    // Affirmative reply: from here on this node holds the transaction's
+    // locks until the final disposition arrives (in-doubt).
+    Reply(request, Status::Ok());
+  });
+}
+
+void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
+  // Phase one: write-force every local audit trail, and transitively ask
+  // each child node to do likewise (critical-response).
+  auto pending = std::make_shared<int>(0);
+  auto failed = std::make_shared<bool>(false);
+  auto finish = [pending, failed, done = std::move(done)]() {
+    if (--*pending == 0) done(!*failed);
+  };
+
+  *pending = static_cast<int>(config_.audit_processes.size()) +
+             static_cast<int>(txn->children.size());
+  if (*pending == 0) {
+    done(true);
+    return;
+  }
+  os::CallOptions force_opt;
+  force_opt.timeout = config_.force_timeout;
+  force_opt.retries = 2;
+  for (const auto& name : config_.audit_processes) {
+    sim()->GetStats().Incr("tmf.audit_forces");
+    Call(net::Address(node()->id(), name), audit::kAuditForce, {},
+         [failed, finish](const Status& s, const net::Message&) {
+           if (!s.ok()) *failed = true;
+           finish();
+         },
+         force_opt);
+  }
+  os::CallOptions p1_opt;
+  p1_opt.timeout = config_.phase1_timeout;
+  for (net::NodeId child : txn->children) {
+    sim()->GetStats().Incr("tmf.phase1_sent");
+    Call(Tmp(child), kTmfPhase1, EncodeTransidPayload(txn->transid),
+         [failed, finish](const Status& s, const net::Message&) {
+           if (!s.ok()) *failed = true;
+           finish();
+         },
+         p1_opt);
+  }
+}
+
+void TmpProcess::CompleteCommit(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding) return;
+  // The commit record force on the Monitor Audit Trail is the commit point.
+  SetTimer(config_.mat_force_latency, [this, transid]() {
+    TxnEntry* txn = FindTxn(transid);
+    if (txn == nullptr || txn->state != TxnState::kEnding) return;
+    if (config_.monitor_trail != nullptr) {
+      config_.monitor_trail->AppendForced(
+          audit::CompletionRecord{transid, audit::Completion::kCommitted});
+    }
+    SetState(txn, TxnState::kEnded);
+    sim()->GetStats().Incr("tmf.commits");
+    // Phase two: unlock everywhere. Locally via targeted state-change
+    // messages; remotely via safe-delivery (inaccessibility of a node does
+    // not impede END-TRANSACTION completion on the home node).
+    NotifyLocalDiscs(transid,
+                     static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
+    for (net::NodeId child : txn->children) {
+      QueueSafeDelivery(child, kTmfPhase2, transid);
+    }
+    ReplyToClient(txn, Status::Ok());
+    DropTxn(transid);
+  });
+}
+
+void TmpProcess::HandlePhase2(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  // Safe-delivery semantics: the reply acknowledges receipt only.
+  Reply(msg, Status::Ok());
+  TxnEntry* txn = FindTxn(*t);
+  if (txn == nullptr) {
+    if (LookupDisposition(*t) != Disposition::kUnknown) return;  // processed
+    // Orphan: the entry was lost (e.g. a TMP takeover raced the
+    // remote-begin checkpoint) but local DISCPROCESSes may still hold the
+    // transaction's locks. Recreate the entry and run the commit pipeline —
+    // every step is idempotent.
+    sim()->GetStats().Incr("tmf.orphan_phase2");
+    txn = CreateTxn(*t, /*is_home=*/false, msg.src.node);
+  }
+  sim()->GetStats().Incr("tmf.phase2_received");
+  if (config_.monitor_trail != nullptr) {
+    config_.monitor_trail->AppendForced(
+        audit::CompletionRecord{*t, audit::Completion::kCommitted});
+  }
+  if (txn->state == TxnState::kActive) SetState(txn, TxnState::kEnding);
+  SetState(txn, TxnState::kEnded);
+  NotifyLocalDiscs(*t, static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
+  for (net::NodeId child : txn->children) {
+    QueueSafeDelivery(child, kTmfPhase2, *t);
+  }
+  DropTxn(*t);
+}
+
+void TmpProcess::HandleAbortTxn(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  Reply(msg, Status::Ok());  // acknowledge receipt
+  if (FindTxn(*t) == nullptr) {
+    if (LookupDisposition(*t) != Disposition::kUnknown) return;  // processed
+    // Orphan (see HandlePhase2): recreate the entry so the abort pipeline
+    // releases whatever local state the transaction left behind. The
+    // BACKOUTPROCESS finds this node's images in the local audit trails.
+    sim()->GetStats().Incr("tmf.orphan_aborts");
+    CreateTxn(*t, /*is_home=*/false, msg.src.node);
+  }
+  StartAbort(*t, "abort from parent node");
+}
+
+// ---------------------------------------------------------------------------
+// Abort and backout
+// ---------------------------------------------------------------------------
+
+void TmpProcess::StartAbort(const Transid& transid, const std::string& reason) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr) return;
+  if (txn->state == TxnState::kAborting || txn->state == TxnState::kAborted) {
+    return;  // already under way
+  }
+  LOG_DEBUG << DebugName() << " aborting " << transid.ToString() << ": " << reason;
+  sim()->GetStats().Incr("tmf.aborts_started");
+  SetState(txn, TxnState::kAborting);
+  // Locks stay held during backout; DISCPROCESSes reject new work for the
+  // transaction. Children learn via safe-delivery.
+  NotifyLocalDiscs(transid,
+                   static_cast<uint8_t>(discprocess::DiscTxnState::kAborting));
+  for (net::NodeId child : txn->children) {
+    QueueSafeDelivery(child, kTmfAbortTxn, transid);
+  }
+  os::CallOptions opt;
+  opt.timeout = config_.backout_timeout;
+  opt.retries = 2;
+  Call(net::Address(node()->id(), config_.backout_process), kBackoutTxn,
+       EncodeTransidPayload(transid),
+       [this, transid](const Status& s, const net::Message&) {
+         if (!s.ok()) {
+           LOG_WARN << DebugName() << " backout of " << transid.ToString()
+                    << " failed: " << s.ToString();
+         }
+         FinishAbort(transid);
+       },
+       opt);
+}
+
+void TmpProcess::FinishAbort(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kAborting) return;
+  if (config_.monitor_trail != nullptr) {
+    config_.monitor_trail->AppendForced(
+        audit::CompletionRecord{transid, audit::Completion::kAborted});
+  }
+  SetState(txn, TxnState::kAborted);
+  sim()->GetStats().Incr("tmf.backouts");
+  NotifyLocalDiscs(transid,
+                   static_cast<uint8_t>(discprocess::DiscTxnState::kAborted));
+  // END callers learn their transaction aborted; ABORT callers get success.
+  ReplyToClient(txn, txn->client_tag == kTmfAbort
+                         ? Status::Ok()
+                         : Status::Aborted("transaction backed out"));
+  DropTxn(transid);
+}
+
+void TmpProcess::ReplyToClient(TxnEntry* txn, const Status& status,
+                               Bytes payload) {
+  if (txn->client_req == 0) return;
+  SendReply(txn->client, txn->client_tag, txn->client_req, status,
+            std::move(payload));
+  txn->client_req = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Utilities
+// ---------------------------------------------------------------------------
+
+void TmpProcess::HandleStatus(const net::Message& msg) {
+  auto t = DecodeTransidPayload(Slice(msg.payload));
+  if (!t.ok()) {
+    Reply(msg, t.status());
+    return;
+  }
+  Disposition d = LookupDisposition(*t);
+  Bytes payload;
+  PutFixed8(&payload, static_cast<uint8_t>(d));
+  Reply(msg, Status::Ok(), payload);
+}
+
+void TmpProcess::HandleForceDisposition(const net::Message& msg) {
+  Transid t;
+  Disposition d;
+  if (!DecodeForceDisposition(Slice(msg.payload), &t, &d)) {
+    Reply(msg, Status::InvalidArgument("bad force-disposition payload"));
+    return;
+  }
+  TxnEntry* txn = FindTxn(t);
+  if (txn == nullptr) {
+    Reply(msg, Status::NotFound("transaction not held here"));
+    return;
+  }
+  sim()->GetStats().Incr("tmf.forced_dispositions");
+  if (d == Disposition::kCommitted) {
+    if (config_.monitor_trail != nullptr) {
+      config_.monitor_trail->AppendForced(
+          audit::CompletionRecord{t, audit::Completion::kCommitted});
+    }
+    if (txn->state == TxnState::kActive) SetState(txn, TxnState::kEnding);
+    SetState(txn, TxnState::kEnded);
+    NotifyLocalDiscs(t, static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
+    for (net::NodeId child : txn->children) {
+      QueueSafeDelivery(child, kTmfPhase2, t);
+    }
+    DropTxn(t);
+  } else {
+    StartAbort(t, "manual override");
+  }
+  Reply(msg, Status::Ok());
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+// ---------------------------------------------------------------------------
+
+void TmpProcess::OnNodeDown(net::NodeId peer) {
+  if (!IsPrimary()) return;
+  std::vector<Transid> to_abort;
+  for (auto& [transid, txn] : txns_) {
+    if (txn.state != TxnState::kActive) {
+      // kEnding: a home/intermediate node's phase-1 call to the peer fails
+      // by itself; a child that answered phase 1 affirmatively is in-doubt
+      // and must hold its locks. kAborting: already on the way out.
+      continue;
+    }
+    if (txn.children.count(peer) != 0) {
+      to_abort.push_back(transid);  // participant lost: automatic abort
+    } else if (!txn.is_home && txn.parent == peer) {
+      to_abort.push_back(transid);  // lost our introducer: unilateral abort
+      sim()->GetStats().Incr("tmf.unilateral_aborts");
+    }
+  }
+  for (const auto& t : to_abort) {
+    StartAbort(t, "communication lost with node " + std::to_string(peer));
+  }
+}
+
+void TmpProcess::OnNodeUp(net::NodeId) {
+  if (IsPrimary()) TrySafeDeliveries();
+}
+
+// ---------------------------------------------------------------------------
+// Safe delivery
+// ---------------------------------------------------------------------------
+
+void TmpProcess::QueueSafeDelivery(net::NodeId dest, uint32_t tag,
+                                   const Transid& transid) {
+  safe_queue_.push_back(SafeDelivery{dest, tag, transid, false});
+  sim()->GetStats().Incr("tmf.safe_queued");
+  Bytes ckpt;
+  PutFixed8(&ckpt, kCkptSafeAdd);
+  PutFixed16(&ckpt, dest);
+  PutFixed32(&ckpt, tag);
+  PutFixed64(&ckpt, transid.Pack());
+  SendCheckpoint(std::move(ckpt));
+  TrySafeDeliveries();
+}
+
+void TmpProcess::TrySafeDeliveries() {
+  for (auto it = safe_queue_.begin(); it != safe_queue_.end(); ++it) {
+    if (it->in_flight) continue;
+    it->in_flight = true;
+    net::NodeId dest = it->dest;
+    uint32_t tag = it->tag;
+    Transid transid = it->transid;
+    os::CallOptions opt;
+    opt.timeout = Seconds(2);
+    Call(Tmp(dest), tag, EncodeTransidPayload(transid),
+         [this, dest, tag, transid](const Status& s, const net::Message&) {
+           for (auto qit = safe_queue_.begin(); qit != safe_queue_.end(); ++qit) {
+             if (qit->dest == dest && qit->tag == tag &&
+                 qit->transid == transid) {
+               if (s.ok()) {
+                 safe_queue_.erase(qit);
+                 sim()->GetStats().Incr("tmf.safe_delivered");
+                 Bytes ckpt;
+                 PutFixed8(&ckpt, kCkptSafeRemove);
+                 PutFixed16(&ckpt, dest);
+                 PutFixed32(&ckpt, tag);
+                 PutFixed64(&ckpt, transid.Pack());
+                 SendCheckpoint(std::move(ckpt));
+               } else {
+                 qit->in_flight = false;
+               }
+               break;
+             }
+           }
+           if (!safe_queue_.empty() && safe_timer_ == 0) {
+             safe_timer_ = SetTimer(config_.safe_retry_interval, [this]() {
+               safe_timer_ = 0;
+               TrySafeDeliveries();
+             });
+           }
+         },
+         opt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pair checkpointing and takeover
+// ---------------------------------------------------------------------------
+
+void TmpProcess::CheckpointTxn(const TxnEntry& txn, bool removed) {
+  if (!HasBackup()) return;
+  Bytes out;
+  if (removed) {
+    PutFixed8(&out, kCkptTxnRemove);
+    PutFixed64(&out, txn.transid.Pack());
+  } else {
+    PutFixed8(&out, kCkptTxnUpsert);
+    PutFixed64(&out, txn.transid.Pack());
+    PutFixed8(&out, static_cast<uint8_t>(txn.state));
+    PutFixed8(&out, txn.is_home ? 1 : 0);
+    PutFixed16(&out, txn.parent);
+    PutVarint32(&out, static_cast<uint32_t>(txn.children.size()));
+    for (net::NodeId child : txn.children) PutFixed16(&out, child);
+    PutFixed16(&out, txn.client.node);
+    PutFixed32(&out, txn.client.pid);
+    PutFixed64(&out, txn.client_req);
+    PutFixed32(&out, txn.client_tag);
+  }
+  SendCheckpoint(std::move(out));
+}
+
+void TmpProcess::OnCheckpoint(const Slice& delta) {
+  Slice in = delta;
+  while (!in.empty()) {
+    uint8_t type;
+    if (!GetFixed8(&in, &type)) return;
+    switch (type) {
+      case kCkptTxnUpsert: {
+        uint64_t packed;
+        uint8_t state, is_home;
+        uint16_t parent;
+        uint32_t nchildren;
+        if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &state) ||
+            !GetFixed8(&in, &is_home) || !GetFixed16(&in, &parent) ||
+            !GetVarint32(&in, &nchildren)) {
+          return;
+        }
+        TxnEntry entry;
+        entry.transid = Transid::Unpack(packed);
+        entry.state = static_cast<TxnState>(state);
+        entry.is_home = is_home != 0;
+        entry.parent = parent;
+        for (uint32_t i = 0; i < nchildren; ++i) {
+          uint16_t child;
+          if (!GetFixed16(&in, &child)) return;
+          entry.children.insert(child);
+        }
+        uint16_t cnode;
+        uint32_t cpid, ctag;
+        uint64_t creq;
+        if (!GetFixed16(&in, &cnode) || !GetFixed32(&in, &cpid) ||
+            !GetFixed64(&in, &creq) || !GetFixed32(&in, &ctag)) {
+          return;
+        }
+        entry.client = net::ProcessId{cnode, cpid};
+        entry.client_req = creq;
+        entry.client_tag = ctag;
+        txns_[entry.transid] = std::move(entry);
+        break;
+      }
+      case kCkptTxnRemove: {
+        uint64_t packed;
+        if (!GetFixed64(&in, &packed)) return;
+        txns_.erase(Transid::Unpack(packed));
+        break;
+      }
+      case kCkptSafeAdd: {
+        uint16_t dest;
+        uint32_t tag;
+        uint64_t packed;
+        if (!GetFixed16(&in, &dest) || !GetFixed32(&in, &tag) ||
+            !GetFixed64(&in, &packed)) {
+          return;
+        }
+        safe_queue_.push_back(
+            SafeDelivery{dest, tag, Transid::Unpack(packed), false});
+        break;
+      }
+      case kCkptSafeRemove: {
+        uint16_t dest;
+        uint32_t tag;
+        uint64_t packed;
+        if (!GetFixed16(&in, &dest) || !GetFixed32(&in, &tag) ||
+            !GetFixed64(&in, &packed)) {
+          return;
+        }
+        Transid t = Transid::Unpack(packed);
+        for (auto it = safe_queue_.begin(); it != safe_queue_.end(); ++it) {
+          if (it->dest == dest && it->tag == tag && it->transid == t) {
+            safe_queue_.erase(it);
+            break;
+          }
+        }
+        break;
+      }
+      case kCkptSeq: {
+        uint64_t seq;
+        if (!GetFixed64(&in, &seq)) return;
+        next_seq_ = seq;
+        break;
+      }
+      default:
+        return;
+    }
+  }
+}
+
+void TmpProcess::OnTakeover() {
+  // Resume interrupted coordination. Every path is idempotent: audit forces
+  // re-force, children answer phase 1 again, backout re-applies undos.
+  std::vector<Transid> ending, aborting;
+  for (auto& [transid, txn] : txns_) {
+    if (txn.state == TxnState::kEnding && txn.is_home) ending.push_back(transid);
+    if (txn.state == TxnState::kAborting) aborting.push_back(transid);
+  }
+  for (const auto& transid : ending) {
+    sim()->GetStats().Incr("tmf.takeover_resumed_commits");
+    RunPhase1(FindTxn(transid), [this, transid](bool ok) {
+      TxnEntry* txn = FindTxn(transid);
+      if (txn == nullptr) return;
+      if (ok && txn->state == TxnState::kEnding) CompleteCommit(transid);
+      else if (txn->state == TxnState::kEnding) StartAbort(transid, "takeover");
+    });
+  }
+  for (const auto& transid : aborting) {
+    sim()->GetStats().Incr("tmf.takeover_resumed_aborts");
+    os::CallOptions opt;
+    opt.timeout = config_.backout_timeout;
+    opt.retries = 2;
+    Call(net::Address(node()->id(), config_.backout_process), kBackoutTxn,
+         EncodeTransidPayload(transid),
+         [this, transid](const Status&, const net::Message&) {
+           FinishAbort(transid);
+         },
+         opt);
+  }
+  for (auto& entry : safe_queue_) entry.in_flight = false;
+  TrySafeDeliveries();
+  // Timers died with the old primary: re-arm abandonment detection.
+  for (const auto& [transid, txn] : txns_) {
+    if (txn.state == TxnState::kActive) ArmAutoAbort(transid);
+  }
+}
+
+void TmpProcess::OnBackupAttached() {
+  Bytes seq_ckpt;
+  PutFixed8(&seq_ckpt, kCkptSeq);
+  PutFixed64(&seq_ckpt, next_seq_);
+  SendCheckpoint(std::move(seq_ckpt));
+  for (const auto& [transid, txn] : txns_) {
+    (void)transid;
+    CheckpointTxn(txn, false);
+  }
+  for (const auto& entry : safe_queue_) {
+    Bytes ckpt;
+    PutFixed8(&ckpt, kCkptSafeAdd);
+    PutFixed16(&ckpt, entry.dest);
+    PutFixed32(&ckpt, entry.tag);
+    PutFixed64(&ckpt, entry.transid.Pack());
+    SendCheckpoint(std::move(ckpt));
+  }
+}
+
+}  // namespace encompass::tmf

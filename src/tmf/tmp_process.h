@@ -1,0 +1,145 @@
+// TmpProcess: the Transaction Monitor Process — "a process-pair which is
+// configured for each network node that participates in the distributed
+// data base". It implements:
+//   * transid generation at BEGIN-TRANSACTION,
+//   * the per-node transaction state table with Figure-3 transitions,
+//     broadcast (accounted per alive CPU) within the node,
+//   * the abbreviated single-node two-phase commit (force audit, write the
+//     commit record to the Monitor Audit Trail, release locks),
+//   * the distributed commit protocol: remote-transaction-begin and phase
+//     one as critical-response messages; phase two and abort as
+//     safe-delivery messages retried until deliverable,
+//   * unilateral abort on communication loss, in-doubt lock retention after
+//     an affirmative phase-1 reply, and the manual disposition override,
+//   * coordination of the BACKOUTPROCESS for transaction backout.
+
+#ifndef ENCOMPASS_TMF_TMP_PROCESS_H_
+#define ENCOMPASS_TMF_TMP_PROCESS_H_
+
+#include <list>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/audit_trail.h"
+#include "os/process_pair.h"
+#include "tmf/tmf_protocol.h"
+#include "tmf/transaction_state.h"
+
+namespace encompass::tmf {
+
+/// Static configuration of one node's TMP.
+struct TmpConfig {
+  std::vector<std::string> disc_processes;   ///< local DISCPROCESS names
+  std::vector<std::string> audit_processes;  ///< local AUDITPROCESS names
+  std::string backout_process = "$BACKOUT";  ///< local BACKOUTPROCESS name
+  audit::MonitorAuditTrail* monitor_trail = nullptr;  ///< durable, per node
+  SimDuration mat_force_latency = Millis(8);   ///< commit-record force cost
+  SimDuration phase1_timeout = Seconds(2);     ///< critical-response deadline
+  SimDuration force_timeout = Seconds(2);      ///< local audit force deadline
+  SimDuration safe_retry_interval = Millis(500);  ///< safe-delivery pacing
+  SimDuration backout_timeout = Seconds(5);
+  /// A transaction still in "active" state this long after BEGIN is
+  /// presumed abandoned (its requester died and the abort request was
+  /// lost) and is automatically aborted so its locks release. 0 (default)
+  /// disables the timer; production deployments should set it.
+  SimDuration auto_abort_timeout = 0;
+};
+
+/// The TMP pair.
+class TmpProcess : public os::PairedProcess {
+ public:
+  explicit TmpProcess(TmpConfig config) : config_(std::move(config)) {}
+
+  std::string DebugName() const override { return pair_name() + "/tmp"; }
+
+  /// Number of transactions currently tracked (tests/benches).
+  size_t ActiveTransactionCount() const { return txns_.size(); }
+  /// State of a tracked transaction; false if unknown.
+  bool GetTxnState(const Transid& t, TxnState* state) const;
+  /// Pending safe-delivery messages (held for unreachable nodes).
+  size_t PendingSafeDeliveries() const { return safe_queue_.size(); }
+
+ protected:
+  void OnRequest(const net::Message& msg) override;
+  void OnCheckpoint(const Slice& delta) override;
+  void OnTakeover() override;
+  void OnBackupAttached() override;
+  void OnNodeUp(net::NodeId peer) override;
+  void OnNodeDown(net::NodeId peer) override;
+
+ private:
+  struct TxnEntry {
+    Transid transid;
+    TxnState state = TxnState::kActive;
+    bool is_home = false;
+    net::NodeId parent = 0;            ///< who introduced the transid to us
+    std::set<net::NodeId> children;    ///< nodes we directly transmitted to
+    // Pending client reply (END-/ABORT-TRANSACTION caller), if any.
+    net::ProcessId client;
+    uint64_t client_req = 0;
+    uint32_t client_tag = 0;
+    // Commit coordination (primary-only, not checkpointed: a takeover
+    // restarts the phase).
+    int pending_acks = 0;
+    bool phase_failed = false;
+  };
+
+  // -- Verb handlers ----------------------------------------------------------
+  void HandleBegin(const net::Message& msg);
+  void HandleEnd(const net::Message& msg);
+  void HandleAbort(const net::Message& msg);
+  void HandleEnsureRemote(const net::Message& msg);
+  void HandleRemoteBegin(const net::Message& msg);
+  void HandlePhase1(const net::Message& msg);
+  void HandlePhase2(const net::Message& msg);
+  void HandleAbortTxn(const net::Message& msg);
+  void HandleStatus(const net::Message& msg);
+  void HandleForceDisposition(const net::Message& msg);
+
+  // -- Commit machinery ---------------------------------------------------------
+  /// Runs phase 1 (force local audit + critical-response to children), then
+  /// `done(ok)`.
+  void RunPhase1(TxnEntry* txn, std::function<void(bool)> done);
+  /// Commit decided: write the MAT record, release locks, propagate phase 2.
+  void CompleteCommit(const Transid& transid);
+  /// Abort decided: mark aborting, back out, release, propagate abort.
+  void StartAbort(const Transid& transid, const std::string& reason);
+  void FinishAbort(const Transid& transid);
+  void ReplyToClient(TxnEntry* txn, const Status& status, Bytes payload = {});
+  void DropTxn(const Transid& transid);
+  /// Transition with Figure-3 validation, broadcast accounting, checkpoint.
+  void SetState(TxnEntry* txn, TxnState to);
+
+  // -- Safe delivery --------------------------------------------------------------
+  void QueueSafeDelivery(net::NodeId dest, uint32_t tag, const Transid& transid);
+  void TrySafeDeliveries();
+
+  // -- Helpers ----------------------------------------------------------------------
+  TxnEntry* FindTxn(const Transid& t);
+  TxnEntry* CreateTxn(const Transid& t, bool is_home, net::NodeId parent);
+  /// Arms the abandonment timer for a freshly created transaction.
+  void ArmAutoAbort(const Transid& t);
+  void NotifyLocalDiscs(const Transid& t, uint8_t disc_state);
+  Disposition LookupDisposition(const Transid& t) const;
+  void CheckpointTxn(const TxnEntry& txn, bool removed);
+  net::Address Tmp(net::NodeId node) const { return net::Address(node, "$TMP"); }
+
+  TmpConfig config_;
+  std::map<Transid, TxnEntry> txns_;
+  uint64_t next_seq_ = 0;
+
+  struct SafeDelivery {
+    net::NodeId dest;
+    uint32_t tag;
+    Transid transid;
+    bool in_flight = false;
+  };
+  std::list<SafeDelivery> safe_queue_;
+  uint64_t safe_timer_ = 0;
+};
+
+}  // namespace encompass::tmf
+
+#endif  // ENCOMPASS_TMF_TMP_PROCESS_H_

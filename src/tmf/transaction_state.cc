@@ -1,0 +1,31 @@
+#include "tmf/transaction_state.h"
+
+namespace encompass::tmf {
+
+const char* TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive: return "active";
+    case TxnState::kEnding: return "ending";
+    case TxnState::kEnded: return "ended";
+    case TxnState::kAborting: return "aborting";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+bool LegalTransition(TxnState from, TxnState to) {
+  switch (from) {
+    case TxnState::kActive:
+      return to == TxnState::kEnding || to == TxnState::kAborting;
+    case TxnState::kEnding:
+      return to == TxnState::kEnded || to == TxnState::kAborting;
+    case TxnState::kAborting:
+      return to == TxnState::kAborted;
+    case TxnState::kEnded:
+    case TxnState::kAborted:
+      return false;  // terminal: the transid leaves the system
+  }
+  return false;
+}
+
+}  // namespace encompass::tmf

@@ -1,0 +1,35 @@
+// The transaction state machine of the paper's Figure 3:
+//
+//        BEGIN            END (phase 1)        (phase 2)
+//   ──► ACTIVE ─────────► ENDING ────────────► ENDED
+//          │                 │ failure
+//          │ failure/abort   ▼
+//          └──────────────► ABORTING ──backout──► ABORTED
+//
+// "Aborting"/"ending" are parallel states, as are "aborted"/"ended". Once
+// ended or aborted completes, the transid leaves the system.
+
+#ifndef ENCOMPASS_TMF_TRANSACTION_STATE_H_
+#define ENCOMPASS_TMF_TRANSACTION_STATE_H_
+
+#include <cstdint>
+
+namespace encompass::tmf {
+
+/// Transaction states (Figure 3).
+enum class TxnState : uint8_t {
+  kActive = 0,    ///< after BEGIN-TRANSACTION, before commit/abort requested
+  kEnding = 1,    ///< END requested; audit being forced (phase one)
+  kEnded = 2,     ///< commit record written; locks being released (phase two)
+  kAborting = 3,  ///< abort decided; backout in progress, locks held
+  kAborted = 4,   ///< backout complete; locks being released
+};
+
+const char* TxnStateName(TxnState state);
+
+/// True if `from` -> `to` is a legal transition per Figure 3.
+bool LegalTransition(TxnState from, TxnState to);
+
+}  // namespace encompass::tmf
+
+#endif  // ENCOMPASS_TMF_TRANSACTION_STATE_H_

@@ -1,0 +1,162 @@
+// Tests for audit records, audit trails (force/volatility/purge), and the
+// Monitor Audit Trail.
+
+#include <gtest/gtest.h>
+
+#include "audit/audit_process.h"
+#include "audit/audit_record.h"
+#include "audit/audit_trail.h"
+
+namespace encompass::audit {
+namespace {
+
+AuditRecord MakeRecord(uint64_t seq, const std::string& key) {
+  AuditRecord rec;
+  rec.transid = Transid{1, 0, seq};
+  rec.volume = "$DATA1";
+  rec.file = "acct";
+  rec.op = storage::MutationOp::kUpdate;
+  rec.key = ToBytes(key);
+  rec.before = ToBytes("old");
+  rec.after = ToBytes("new");
+  return rec;
+}
+
+TEST(AuditRecordTest, EncodeDecodeRoundTrip) {
+  AuditRecord rec = MakeRecord(42, "acct-7");
+  rec.lsn = 99;
+  Bytes encoded = rec.Encode();
+  Slice in(encoded);
+  auto decoded = AuditRecord::Decode(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded->transid, rec.transid);
+  EXPECT_EQ(decoded->volume, "$DATA1");
+  EXPECT_EQ(decoded->file, "acct");
+  EXPECT_EQ(decoded->op, storage::MutationOp::kUpdate);
+  EXPECT_EQ(decoded->key, rec.key);
+  EXPECT_EQ(decoded->before, rec.before);
+  EXPECT_EQ(decoded->after, rec.after);
+  EXPECT_EQ(decoded->lsn, 99u);
+}
+
+TEST(AuditRecordTest, DecodeRejectsTruncation) {
+  Bytes encoded = MakeRecord(1, "k").Encode();
+  encoded.resize(encoded.size() / 2);
+  Slice in(encoded);
+  EXPECT_FALSE(AuditRecord::Decode(&in).ok());
+}
+
+TEST(CompletionRecordTest, RoundTrip) {
+  CompletionRecord rec{Transid{3, 2, 17}, Completion::kAborted};
+  Bytes encoded = rec.Encode();
+  Slice in(encoded);
+  auto decoded = CompletionRecord::Decode(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->transid, rec.transid);
+  EXPECT_EQ(decoded->completion, Completion::kAborted);
+}
+
+TEST(AuditBatchTest, RoundTripAndCorruption) {
+  std::vector<AuditRecord> batch{MakeRecord(1, "a"), MakeRecord(2, "b")};
+  Bytes encoded = EncodeAuditBatch(batch);
+  auto decoded = DecodeAuditBatch(Slice(encoded));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[1].transid.seq, 2u);
+  encoded.resize(3);
+  EXPECT_FALSE(DecodeAuditBatch(Slice(encoded)).ok());
+}
+
+TEST(AuditTrailTest, AppendAssignsMonotoneLsns) {
+  AuditTrail trail("AT1");
+  EXPECT_EQ(trail.Append(MakeRecord(1, "a")), 1u);
+  EXPECT_EQ(trail.Append(MakeRecord(1, "b")), 2u);
+  EXPECT_EQ(trail.Append(MakeRecord(2, "c")), 3u);
+  EXPECT_EQ(trail.record_count(), 3u);
+  EXPECT_EQ(trail.next_lsn(), 4u);
+}
+
+TEST(AuditTrailTest, ForceMovesDurableBoundary) {
+  AuditTrail trail("AT1");
+  trail.Append(MakeRecord(1, "a"));
+  trail.Append(MakeRecord(1, "b"));
+  EXPECT_EQ(trail.durable_lsn(), 0u);
+  EXPECT_EQ(trail.Force(), 2u);
+  EXPECT_EQ(trail.durable_lsn(), 2u);
+  EXPECT_EQ(trail.Force(), 0u);  // nothing new
+}
+
+TEST(AuditTrailTest, DropVolatileLosesUnforcedSuffix) {
+  AuditTrail trail("AT1");
+  trail.Append(MakeRecord(1, "a"));
+  trail.Force();
+  trail.Append(MakeRecord(1, "b"));
+  trail.Append(MakeRecord(1, "c"));
+  trail.DropVolatile();
+  EXPECT_EQ(trail.record_count(), 1u);
+  EXPECT_EQ(trail.next_lsn(), 2u);
+  // New appends continue from the durable boundary.
+  EXPECT_EQ(trail.Append(MakeRecord(1, "d")), 2u);
+}
+
+TEST(AuditTrailTest, RecordsForTransactionFiltersByTransid) {
+  AuditTrail trail("AT1");
+  trail.Append(MakeRecord(1, "a"));
+  trail.Append(MakeRecord(2, "b"));
+  trail.Append(MakeRecord(1, "c"));
+  auto recs = trail.RecordsForTransaction(Transid{1, 0, 1});
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(ToString(recs[0].key), "a");
+  EXPECT_EQ(ToString(recs[1].key), "c");
+}
+
+TEST(AuditTrailTest, DurableRecordsAfterScansForwardOnly) {
+  AuditTrail trail("AT1");
+  for (int i = 0; i < 5; ++i) trail.Append(MakeRecord(1, std::to_string(i)));
+  trail.Force();
+  trail.Append(MakeRecord(1, "volatile"));
+  auto recs = trail.DurableRecordsAfter(2);
+  ASSERT_EQ(recs.size(), 3u);  // lsns 3,4,5; the unforced 6th is excluded
+  EXPECT_EQ(recs[0].lsn, 3u);
+  EXPECT_EQ(recs[2].lsn, 5u);
+}
+
+TEST(AuditTrailTest, FileRolloverAndPurge) {
+  AuditTrailConfig cfg;
+  cfg.records_per_file = 10;
+  AuditTrail trail("AT1", cfg);
+  for (int i = 0; i < 35; ++i) trail.Append(MakeRecord(1, std::to_string(i)));
+  EXPECT_EQ(trail.file_count(), 4u);
+  trail.Force();
+  // Purge everything up to LSN 25: the first two full files (1-10, 11-20) go.
+  size_t purged = trail.Purge(25);
+  EXPECT_EQ(purged, 2u);
+  EXPECT_EQ(trail.file_count(), 2u);
+  EXPECT_EQ(trail.first_file_number(), 3u);
+  // Remaining records still scannable.
+  EXPECT_EQ(trail.DurableRecordsAfter(0).size(), 15u);
+}
+
+TEST(AuditTrailTest, PurgeKeepsUnforcedFiles) {
+  AuditTrailConfig cfg;
+  cfg.records_per_file = 5;
+  AuditTrail trail("AT1", cfg);
+  for (int i = 0; i < 12; ++i) trail.Append(MakeRecord(1, std::to_string(i)));
+  // Nothing forced: nothing purgeable.
+  EXPECT_EQ(trail.Purge(100), 0u);
+}
+
+TEST(MonitorAuditTrailTest, CommitAndAbortLookup) {
+  MonitorAuditTrail mat;
+  EXPECT_EQ(mat.Lookup(Transid{1, 0, 1}), -1);
+  mat.AppendForced(CompletionRecord{Transid{1, 0, 1}, Completion::kCommitted});
+  mat.AppendForced(CompletionRecord{Transid{1, 0, 2}, Completion::kAborted});
+  EXPECT_EQ(mat.Lookup(Transid{1, 0, 1}), 1);
+  EXPECT_EQ(mat.Lookup(Transid{1, 0, 2}), 0);
+  EXPECT_EQ(mat.Lookup(Transid{1, 0, 3}), -1);
+  EXPECT_EQ(mat.size(), 2u);
+}
+
+}  // namespace
+}  // namespace encompass::audit

@@ -1,0 +1,283 @@
+// Randomized fault-injection soak tests: a multi-node banking workload runs
+// while CPUs fail and reload, network links cut and heal, and disc drives
+// die and revive — on a randomized schedule derived from the test seed.
+// After the storm ends and the system drains, the invariants that define
+// the paper's guarantees are checked:
+//   * atomicity: the sum of all balances is unchanged (every debit's credit
+//     either both applied or both backed out),
+//   * no transaction leaks: the TMPs' transaction tables are empty and no
+//     DISCPROCESS holds a lock,
+//   * the Figure-3 state machine never took an illegal transition,
+//   * progress: a healthy majority of programs completed.
+
+#include <gtest/gtest.h>
+
+#include "apps/banking/banking.h"
+#include "encompass/deployment.h"
+#include "encompass/tcp.h"
+#include "sim/fault_injector.h"
+
+namespace encompass {
+namespace {
+
+using namespace encompass::app;
+using namespace encompass::apps::banking;
+
+struct SoakConfig {
+  uint64_t seed = 1;
+  int nodes = 2;
+  int terminals_per_node = 4;
+  uint64_t iterations = 15;
+  int fault_events = 10;
+  SimDuration storm_length = Seconds(8);
+  bool cpu_faults = true;
+  bool link_faults = true;
+  bool drive_faults = true;
+};
+
+struct SoakResult {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t restarts = 0;
+  long long balance_sum = 0;
+  long long expected_sum = 0;
+  size_t leaked_locks = 0;
+  size_t leaked_txns = 0;
+  int64_t illegal_transitions = 0;
+  size_t pending_safe = 0;
+};
+
+SoakResult RunSoak(const SoakConfig& cfg) {
+  constexpr int kAccountsPerNode = 25;
+  constexpr int64_t kInitial = 1000;
+
+  sim::Simulation sim(cfg.seed);
+  Deployment deploy(&sim);
+  for (int n = 1; n <= cfg.nodes; ++n) {
+    NodeSpec spec;
+    spec.id = static_cast<net::NodeId>(n);
+    spec.node_config.num_cpus = 4;
+    spec.disc_config.default_lock_timeout = Millis(300);
+    // Abandoned transactions (requester died, abort lost in a takeover
+    // window) are reaped so their locks cannot wedge the system.
+    spec.tmp_config.auto_abort_timeout = Seconds(10);
+    spec.volumes = {VolumeSpec{"$DATA" + std::to_string(n), {FileSpec{"acct"}}, {}}};
+    deploy.AddNode(spec);
+  }
+  deploy.LinkAll();
+
+  // One partitioned accounts file spanning all nodes.
+  storage::FileDefinition def;
+  def.name = "acct";
+  for (int n = 1; n < cfg.nodes; ++n) {
+    def.partitions.AddPartition(ToBytes(AccountKey(n * kAccountsPerNode)),
+                                static_cast<net::NodeId>(n),
+                                "$DATA" + std::to_string(n));
+  }
+  def.partitions.AddPartition({}, static_cast<net::NodeId>(cfg.nodes),
+                              "$DATA" + std::to_string(cfg.nodes));
+  EXPECT_TRUE(deploy.DefinePartitionedFile(def).ok());
+
+  const int total_accounts = cfg.nodes * kAccountsPerNode;
+  for (int n = 1; n <= cfg.nodes; ++n) {
+    auto* vol = deploy.GetNode(static_cast<net::NodeId>(n))
+                    ->storage()
+                    .volumes.at("$DATA" + std::to_string(n))
+                    .get();
+    for (int i = (n - 1) * kAccountsPerNode; i < n * kAccountsPerNode; ++i) {
+      storage::Record rec;
+      rec.Set("balance", std::to_string(kInitial));
+      vol->Mutate("acct", storage::MutationOp::kInsert, Slice(AccountKey(i)),
+                  Slice(rec.Encode()));
+    }
+    vol->Flush();
+  }
+
+  // One server class and TCP per node; each terminal transfers between
+  // random accounts anywhere in the network (distributed transactions).
+  std::vector<std::unique_ptr<ScreenProgram>> programs;
+  auto find_tcp = [&deploy](int n) -> Tcp* {
+    os::Node* node = deploy.GetNode(static_cast<net::NodeId>(n))->node();
+    net::Pid pid = node->LookupName("$TCP" + std::to_string(n));
+    return pid == 0 ? nullptr : dynamic_cast<Tcp*>(node->Find(pid));
+  };
+  for (int n = 1; n <= cfg.nodes; ++n) {
+    AddBankServerClass(&deploy, static_cast<net::NodeId>(n), "$SC.BANK", "acct");
+    programs.push_back(std::make_unique<ScreenProgram>(MakeTransferProgram(
+        static_cast<net::NodeId>(n), "$SC.BANK", total_accounts, 50)));
+    TcpConfig tcfg;
+    tcfg.programs = {{"transfer", programs.back().get()}};
+    tcfg.restart_limit = 5000;
+    auto pair = os::SpawnPair<Tcp>(
+        deploy.GetNode(static_cast<net::NodeId>(n))->node(),
+        "$TCP" + std::to_string(n), 2, 3, tcfg);
+    deploy.GetNode(static_cast<net::NodeId>(n))
+        ->RegisterRepairablePair<Tcp>("$TCP" + std::to_string(n), tcfg);
+    sim.RunFor(Millis(1));
+    for (int t = 0; t < cfg.terminals_per_node; ++t) {
+      EXPECT_TRUE(pair.primary->AttachTerminal(
+          "t" + std::to_string(n) + "-" + std::to_string(t), "transfer",
+          cfg.iterations));
+    }
+  }
+
+  // ---- the storm: randomized faults, each healed a bit later -------------
+  // CPU faults on one node never overlap: the paper's guarantee is
+  // tolerance of SINGLE-module failures ("the failure of a single module
+  // does not disable any other module"); simultaneous failure of both CPUs
+  // of a process-pair is the multiple-module case that ROLLFORWARD exists
+  // for (exercised by the recovery tests, not this soak).
+  sim::FaultInjector injector(&sim);
+  Random fault_rng(cfg.seed * 7919 + 3);
+  std::map<net::NodeId, SimTime> node_free;
+  for (int e = 0; e < cfg.fault_events; ++e) {
+    SimTime when = Millis(100) + static_cast<SimTime>(fault_rng.Uniform(
+                                     static_cast<uint64_t>(cfg.storm_length)));
+    SimDuration heal_after = Millis(200) + static_cast<SimDuration>(
+                                               fault_rng.Uniform(2000)) * 1000;
+    auto node_id = static_cast<net::NodeId>(1 + fault_rng.Uniform(cfg.nodes));
+    switch (fault_rng.Uniform(3)) {
+      case 0: {
+        if (!cfg.cpu_faults) break;
+        if (when < node_free[node_id]) when = node_free[node_id];
+        node_free[node_id] = when + heal_after + Millis(100);
+        int cpu = static_cast<int>(fault_rng.Uniform(4));
+        injector.InjectAt(when, "fail cpu", [&deploy, node_id, cpu]() {
+          deploy.GetNode(node_id)->node()->FailCpu(cpu);
+        });
+        injector.InjectAt(when + heal_after, "reload cpu",
+                          [&deploy, node_id, cpu]() {
+                            deploy.GetNode(node_id)->node()->ReloadCpu(cpu);
+                          });
+        break;
+      }
+      case 1: {
+        if (!cfg.link_faults || cfg.nodes < 2) break;
+        auto other = static_cast<net::NodeId>(1 + fault_rng.Uniform(cfg.nodes));
+        if (other == node_id) other = (node_id % cfg.nodes) + 1;
+        injector.InjectAt(when, "cut link", [&deploy, node_id, other]() {
+          deploy.cluster().CutLink(node_id, other);
+        });
+        injector.InjectAt(when + heal_after, "restore link",
+                          [&deploy, node_id, other]() {
+                            deploy.cluster().RestoreLink(node_id, other);
+                          });
+        break;
+      }
+      case 2: {
+        if (!cfg.drive_faults) break;
+        injector.InjectAt(when, "fail drive", [&deploy, node_id]() {
+          deploy.GetNode(node_id)
+              ->storage()
+              .volumes.begin()
+              ->second->FailDrive(0);
+        });
+        injector.InjectAt(when + heal_after, "revive drive",
+                          [&deploy, node_id]() {
+                            deploy.GetNode(node_id)
+                                ->storage()
+                                .volumes.begin()
+                                ->second->ReviveDrive(0);
+                          });
+        break;
+      }
+    }
+  }
+
+  // Run the storm, then give the system generous time to drain.
+  sim.RunFor(cfg.storm_length + Seconds(2));
+  for (int spin = 0; spin < 600; ++spin) {
+    uint64_t done = 0;
+    for (int n = 1; n <= cfg.nodes; ++n) {
+      Tcp* tcp = find_tcp(n);
+      if (tcp != nullptr) {
+        done += tcp->programs_completed() + tcp->programs_failed();
+      }
+    }
+    if (done >= static_cast<uint64_t>(cfg.nodes) * cfg.terminals_per_node *
+                    cfg.iterations) {
+      break;
+    }
+    sim.RunFor(Seconds(1));
+  }
+  sim.RunFor(Seconds(10));  // trailing safe deliveries, lock releases
+
+  // ---- invariants ----------------------------------------------------------
+  SoakResult result;
+  result.expected_sum = static_cast<long long>(total_accounts) * kInitial;
+  for (int n = 1; n <= cfg.nodes; ++n) {
+    Tcp* tcp = find_tcp(n);
+    if (tcp == nullptr) continue;
+    result.completed += tcp->programs_completed();
+    result.failed += tcp->programs_failed();
+    result.restarts += tcp->transactions_restarted();
+  }
+  for (int n = 1; n <= cfg.nodes; ++n) {
+    auto* nd = deploy.GetNode(static_cast<net::NodeId>(n));
+    result.balance_sum += SumBalances(
+        nd->storage().volumes.at("$DATA" + std::to_string(n)).get(), "acct");
+    auto* disc = nd->disc("$DATA" + std::to_string(n));
+    if (disc != nullptr) result.leaked_locks += disc->locks().held_count();
+    auto* tmp = nd->tmp();
+    if (tmp != nullptr) {
+      result.leaked_txns += tmp->ActiveTransactionCount();
+      result.pending_safe += tmp->PendingSafeDeliveries();
+    }
+  }
+  result.illegal_transitions = sim.GetStats().Counter("tmf.illegal_transitions");
+  return result;
+}
+
+class FaultSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultSoakTest, InvariantsHoldThroughRandomFaultStorm) {
+  SoakConfig cfg;
+  cfg.seed = GetParam();
+  cfg.nodes = 2;
+  SoakResult r = RunSoak(cfg);
+
+  EXPECT_EQ(r.balance_sum, r.expected_sum) << "atomicity violated";
+  EXPECT_EQ(r.leaked_locks, 0u) << "locks leaked";
+  EXPECT_EQ(r.leaked_txns, 0u) << "transactions leaked";
+  EXPECT_EQ(r.illegal_transitions, 0);
+  EXPECT_EQ(r.pending_safe, 0u) << "safe deliveries stuck";
+  // Progress: every program eventually finished; the vast majority
+  // committed (a few may exhaust restarts during long partitions).
+  uint64_t total = static_cast<uint64_t>(cfg.nodes) * cfg.terminals_per_node *
+                   cfg.iterations;
+  EXPECT_EQ(r.completed + r.failed, total) << "programs hung";
+  EXPECT_GE(r.completed * 10, total * 9) << "too many failures";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(FaultSoakTest, ThreeNodeStorm) {
+  SoakConfig cfg;
+  cfg.seed = 4242;
+  cfg.nodes = 3;
+  cfg.terminals_per_node = 3;
+  cfg.fault_events = 14;
+  SoakResult r = RunSoak(cfg);
+  EXPECT_EQ(r.balance_sum, r.expected_sum);
+  EXPECT_EQ(r.leaked_locks, 0u);
+  EXPECT_EQ(r.leaked_txns, 0u);
+  EXPECT_EQ(r.illegal_transitions, 0);
+}
+
+TEST(FaultSoakTest, CpuOnlyStormIsInvisible) {
+  // With only CPU faults (never the last CPU), NonStop should mask
+  // everything: zero failed programs.
+  SoakConfig cfg;
+  cfg.seed = 777;
+  cfg.link_faults = false;
+  cfg.drive_faults = false;
+  cfg.fault_events = 8;
+  SoakResult r = RunSoak(cfg);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.balance_sum, r.expected_sum);
+  EXPECT_EQ(r.leaked_locks, 0u);
+}
+
+}  // namespace
+}  // namespace encompass

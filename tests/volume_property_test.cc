@@ -1,0 +1,176 @@
+// Property tests for the Volume durability boundary: random workloads of
+// mutations, flushes, and simulated total-node failures (DropVolatile) are
+// checked against a reference model that tracks both the live and the
+// durable state. Parameterized over file organizations and seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "storage/volume.h"
+
+namespace encompass::storage {
+namespace {
+
+struct Model {
+  std::map<std::string, std::string> live;
+  std::map<std::string, std::string> durable;
+  void Flush() { durable = live; }
+  void Crash() { live = durable; }
+};
+
+using PropertyParam = std::tuple<FileOrganization, uint64_t>;
+
+class VolumePropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(VolumePropertyTest, MatchesDurabilityModel) {
+  const FileOrganization org = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  Volume vol("$V");
+  ASSERT_TRUE(vol.CreateFile("f", org).ok());
+  Model model;
+  Random rng(seed);
+
+  auto key_of = [&](uint64_t i) {
+    // Relative/entry-sequenced files address by record number.
+    if (org == FileOrganization::kKeySequenced) {
+      return ToString(Bytes(EncodeRecnum(i)));
+    }
+    return ToString(Bytes(EncodeRecnum(i)));
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t i = rng.Uniform(64);
+    std::string key = key_of(i);
+    switch (rng.Uniform(6)) {
+      case 0: {  // insert
+        if (org == FileOrganization::kEntrySequenced && model.live.count(key)) {
+          break;  // explicit-key re-insert of existing entry is rejected
+        }
+        std::string value = "v" + std::to_string(rng.Next() % 1000);
+        auto r = vol.Mutate("f", MutationOp::kInsert,
+                            Slice(EncodeRecnum(i)), Slice(value));
+        if (model.live.count(key)) {
+          EXPECT_TRUE(r.status.IsAlreadyExists());
+        } else {
+          ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+          model.live[key] = value;
+        }
+        break;
+      }
+      case 1: {  // update
+        std::string value = "u" + std::to_string(rng.Next() % 1000);
+        auto r = vol.Mutate("f", MutationOp::kUpdate, Slice(EncodeRecnum(i)),
+                            Slice(value));
+        if (model.live.count(key)) {
+          ASSERT_TRUE(r.status.ok());
+          EXPECT_EQ(ToString(r.before), model.live[key]);
+          model.live[key] = value;
+        } else {
+          EXPECT_TRUE(r.status.IsNotFound());
+        }
+        break;
+      }
+      case 2: {  // delete (entry-sequenced files reject logical deletes)
+        auto r = vol.Mutate("f", MutationOp::kDelete, Slice(EncodeRecnum(i)),
+                            Slice());
+        if (org == FileOrganization::kEntrySequenced) {
+          EXPECT_TRUE(r.status.IsNotSupported() || r.status.IsNotFound());
+        } else if (model.live.count(key)) {
+          ASSERT_TRUE(r.status.ok());
+          model.live.erase(key);
+        } else {
+          EXPECT_TRUE(r.status.IsNotFound());
+        }
+        break;
+      }
+      case 3: {  // read
+        auto r = vol.ReadRecord("f", Slice(EncodeRecnum(i)));
+        if (model.live.count(key)) {
+          ASSERT_TRUE(r.status.ok());
+          EXPECT_EQ(ToString(r.value), model.live[key]);
+        } else {
+          EXPECT_TRUE(r.status.IsNotFound());
+        }
+        break;
+      }
+      case 4: {  // flush (rare)
+        if (rng.Uniform(8) == 0) {
+          vol.Flush();
+          model.Flush();
+          EXPECT_EQ(vol.VolatileCount(), 0u);
+        }
+        break;
+      }
+      case 5: {  // total node failure (rarer)
+        if (rng.Uniform(16) == 0) {
+          vol.DropVolatile();
+          model.Crash();
+        }
+        break;
+      }
+    }
+  }
+
+  // Full agreement with the live model at the end.
+  StructuredFile* f = vol.Find("f");
+  size_t seen = 0;
+  f->ForEach([&](const Slice& key, const Slice& value) {
+    auto it = model.live.find(key.ToString());
+    ASSERT_NE(it, model.live.end());
+    EXPECT_EQ(value.ToString(), it->second);
+    ++seen;
+  });
+  EXPECT_EQ(seen, model.live.size());
+
+  // And after one final crash, full agreement with the durable model.
+  vol.DropVolatile();
+  model.Crash();
+  seen = 0;
+  f->ForEach([&](const Slice& key, const Slice& value) {
+    auto it = model.live.find(key.ToString());
+    ASSERT_NE(it, model.live.end());
+    EXPECT_EQ(value.ToString(), it->second);
+    ++seen;
+  });
+  EXPECT_EQ(seen, model.live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrgsAndSeeds, VolumePropertyTest,
+    ::testing::Combine(::testing::Values(FileOrganization::kKeySequenced,
+                                         FileOrganization::kRelative,
+                                         FileOrganization::kEntrySequenced),
+                       ::testing::Values(101, 202, 303)));
+
+// Archive/restore agrees with the live state at arbitrary points.
+TEST(VolumeArchiveProperty, RestoreEqualsSnapshot) {
+  Random rng(999);
+  for (int round = 0; round < 5; ++round) {
+    Volume vol("$V");
+    vol.CreateFile("f", FileOrganization::kKeySequenced);
+    std::map<std::string, std::string> model;
+    int ops = 50 + static_cast<int>(rng.Uniform(400));
+    for (int i = 0; i < ops; ++i) {
+      std::string key = "k" + std::to_string(rng.Uniform(100));
+      std::string value = "v" + std::to_string(rng.Next() % 1000);
+      auto r = vol.Mutate("f", MutationOp::kInsert, Slice(key), Slice(value));
+      if (r.status.ok()) model[key] = value;
+    }
+    vol.Flush();
+    Bytes image = vol.Archive();
+    Volume restored("$V");
+    ASSERT_TRUE(restored.RestoreFromArchive(Slice(image)).ok());
+    EXPECT_EQ(restored.Find("f")->record_count(), model.size());
+    for (const auto& [key, value] : model) {
+      auto r = restored.ReadRecord("f", Slice(key));
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(ToString(r.value), value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace encompass::storage
