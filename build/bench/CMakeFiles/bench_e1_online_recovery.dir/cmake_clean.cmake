@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_online_recovery.dir/bench_e1_online_recovery.cc.o"
+  "CMakeFiles/bench_e1_online_recovery.dir/bench_e1_online_recovery.cc.o.d"
+  "bench_e1_online_recovery"
+  "bench_e1_online_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_online_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_checkpoint_vs_wal.dir/bench_e2_checkpoint_vs_wal.cc.o"
+  "CMakeFiles/bench_e2_checkpoint_vs_wal.dir/bench_e2_checkpoint_vs_wal.cc.o.d"
+  "bench_e2_checkpoint_vs_wal"
+  "bench_e2_checkpoint_vs_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_checkpoint_vs_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_distributed_commit.dir/bench_e3_distributed_commit.cc.o"
+  "CMakeFiles/bench_e3_distributed_commit.dir/bench_e3_distributed_commit.cc.o.d"
+  "bench_e3_distributed_commit"
+  "bench_e3_distributed_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_distributed_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_locking.dir/bench_e4_locking.cc.o"
+  "CMakeFiles/bench_e4_locking.dir/bench_e4_locking.cc.o.d"
+  "bench_e4_locking"
+  "bench_e4_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

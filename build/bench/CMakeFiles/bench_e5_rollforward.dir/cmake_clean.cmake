@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_rollforward.dir/bench_e5_rollforward.cc.o"
+  "CMakeFiles/bench_e5_rollforward.dir/bench_e5_rollforward.cc.o.d"
+  "bench_e5_rollforward"
+  "bench_e5_rollforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_rollforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

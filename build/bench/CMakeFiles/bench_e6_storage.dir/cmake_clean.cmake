@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_storage.dir/bench_e6_storage.cc.o"
+  "CMakeFiles/bench_e6_storage.dir/bench_e6_storage.cc.o.d"
+  "bench_e6_storage"
+  "bench_e6_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_manufacturing.dir/bench_fig4_manufacturing.cc.o"
+  "CMakeFiles/bench_fig4_manufacturing.dir/bench_fig4_manufacturing.cc.o.d"
+  "bench_fig4_manufacturing"
+  "bench_fig4_manufacturing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_manufacturing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_banking.dir/distributed_banking.cpp.o"
+  "CMakeFiles/distributed_banking.dir/distributed_banking.cpp.o.d"
+  "distributed_banking"
+  "distributed_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

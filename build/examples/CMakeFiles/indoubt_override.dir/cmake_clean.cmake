@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indoubt_override.dir/indoubt_override.cpp.o"
+  "CMakeFiles/indoubt_override.dir/indoubt_override.cpp.o.d"
+  "indoubt_override"
+  "indoubt_override.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indoubt_override.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

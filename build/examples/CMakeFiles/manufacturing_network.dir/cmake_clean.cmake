@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_network.dir/manufacturing_network.cpp.o"
+  "CMakeFiles/manufacturing_network.dir/manufacturing_network.cpp.o.d"
+  "manufacturing_network"
+  "manufacturing_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollforward_recovery.dir/rollforward_recovery.cpp.o"
+  "CMakeFiles/rollforward_recovery.dir/rollforward_recovery.cpp.o.d"
+  "rollforward_recovery"
+  "rollforward_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollforward_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_banking.dir/banking.cc.o"
+  "CMakeFiles/encompass_banking.dir/banking.cc.o.d"
+  "libencompass_banking.a"
+  "libencompass_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_mfg.dir/manufacturing.cc.o"
+  "CMakeFiles/encompass_mfg.dir/manufacturing.cc.o.d"
+  "libencompass_mfg.a"
+  "libencompass_mfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_mfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/audit_process.cc" "src/audit/CMakeFiles/encompass_audit.dir/audit_process.cc.o" "gcc" "src/audit/CMakeFiles/encompass_audit.dir/audit_process.cc.o.d"
+  "/root/repo/src/audit/audit_record.cc" "src/audit/CMakeFiles/encompass_audit.dir/audit_record.cc.o" "gcc" "src/audit/CMakeFiles/encompass_audit.dir/audit_record.cc.o.d"
+  "/root/repo/src/audit/audit_trail.cc" "src/audit/CMakeFiles/encompass_audit.dir/audit_trail.cc.o" "gcc" "src/audit/CMakeFiles/encompass_audit.dir/audit_trail.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/encompass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/encompass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/encompass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/encompass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encompass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

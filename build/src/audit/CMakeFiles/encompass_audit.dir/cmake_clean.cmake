@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_audit.dir/audit_process.cc.o"
+  "CMakeFiles/encompass_audit.dir/audit_process.cc.o.d"
+  "CMakeFiles/encompass_audit.dir/audit_record.cc.o"
+  "CMakeFiles/encompass_audit.dir/audit_record.cc.o.d"
+  "CMakeFiles/encompass_audit.dir/audit_trail.cc.o"
+  "CMakeFiles/encompass_audit.dir/audit_trail.cc.o.d"
+  "libencompass_audit.a"
+  "libencompass_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

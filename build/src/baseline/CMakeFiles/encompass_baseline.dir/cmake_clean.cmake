@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_baseline.dir/wal_engine.cc.o"
+  "CMakeFiles/encompass_baseline.dir/wal_engine.cc.o.d"
+  "libencompass_baseline.a"
+  "libencompass_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

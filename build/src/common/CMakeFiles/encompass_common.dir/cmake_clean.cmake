@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_common.dir/coding.cc.o"
+  "CMakeFiles/encompass_common.dir/coding.cc.o.d"
+  "CMakeFiles/encompass_common.dir/crc32.cc.o"
+  "CMakeFiles/encompass_common.dir/crc32.cc.o.d"
+  "CMakeFiles/encompass_common.dir/logging.cc.o"
+  "CMakeFiles/encompass_common.dir/logging.cc.o.d"
+  "CMakeFiles/encompass_common.dir/random.cc.o"
+  "CMakeFiles/encompass_common.dir/random.cc.o.d"
+  "CMakeFiles/encompass_common.dir/status.cc.o"
+  "CMakeFiles/encompass_common.dir/status.cc.o.d"
+  "libencompass_common.a"
+  "libencompass_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

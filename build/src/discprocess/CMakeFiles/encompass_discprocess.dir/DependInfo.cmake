@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discprocess/disc_process.cc" "src/discprocess/CMakeFiles/encompass_discprocess.dir/disc_process.cc.o" "gcc" "src/discprocess/CMakeFiles/encompass_discprocess.dir/disc_process.cc.o.d"
+  "/root/repo/src/discprocess/disc_protocol.cc" "src/discprocess/CMakeFiles/encompass_discprocess.dir/disc_protocol.cc.o" "gcc" "src/discprocess/CMakeFiles/encompass_discprocess.dir/disc_protocol.cc.o.d"
+  "/root/repo/src/discprocess/lock_manager.cc" "src/discprocess/CMakeFiles/encompass_discprocess.dir/lock_manager.cc.o" "gcc" "src/discprocess/CMakeFiles/encompass_discprocess.dir/lock_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/encompass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/encompass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/encompass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/encompass_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/encompass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encompass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

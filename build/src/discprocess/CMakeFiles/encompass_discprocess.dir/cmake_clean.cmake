@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_discprocess.dir/disc_process.cc.o"
+  "CMakeFiles/encompass_discprocess.dir/disc_process.cc.o.d"
+  "CMakeFiles/encompass_discprocess.dir/disc_protocol.cc.o"
+  "CMakeFiles/encompass_discprocess.dir/disc_protocol.cc.o.d"
+  "CMakeFiles/encompass_discprocess.dir/lock_manager.cc.o"
+  "CMakeFiles/encompass_discprocess.dir/lock_manager.cc.o.d"
+  "libencompass_discprocess.a"
+  "libencompass_discprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_discprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

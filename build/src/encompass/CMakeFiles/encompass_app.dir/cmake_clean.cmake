@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_app.dir/deployment.cc.o"
+  "CMakeFiles/encompass_app.dir/deployment.cc.o.d"
+  "CMakeFiles/encompass_app.dir/query.cc.o"
+  "CMakeFiles/encompass_app.dir/query.cc.o.d"
+  "CMakeFiles/encompass_app.dir/server_class.cc.o"
+  "CMakeFiles/encompass_app.dir/server_class.cc.o.d"
+  "CMakeFiles/encompass_app.dir/tcp.cc.o"
+  "CMakeFiles/encompass_app.dir/tcp.cc.o.d"
+  "libencompass_app.a"
+  "libencompass_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

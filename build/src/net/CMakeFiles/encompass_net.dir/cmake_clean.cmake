@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_net.dir/network.cc.o"
+  "CMakeFiles/encompass_net.dir/network.cc.o.d"
+  "libencompass_net.a"
+  "libencompass_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/cluster.cc" "src/os/CMakeFiles/encompass_os.dir/cluster.cc.o" "gcc" "src/os/CMakeFiles/encompass_os.dir/cluster.cc.o.d"
+  "/root/repo/src/os/node.cc" "src/os/CMakeFiles/encompass_os.dir/node.cc.o" "gcc" "src/os/CMakeFiles/encompass_os.dir/node.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/os/CMakeFiles/encompass_os.dir/process.cc.o" "gcc" "src/os/CMakeFiles/encompass_os.dir/process.cc.o.d"
+  "/root/repo/src/os/process_pair.cc" "src/os/CMakeFiles/encompass_os.dir/process_pair.cc.o" "gcc" "src/os/CMakeFiles/encompass_os.dir/process_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/encompass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encompass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/encompass_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

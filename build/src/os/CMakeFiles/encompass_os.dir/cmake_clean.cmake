@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_os.dir/cluster.cc.o"
+  "CMakeFiles/encompass_os.dir/cluster.cc.o.d"
+  "CMakeFiles/encompass_os.dir/node.cc.o"
+  "CMakeFiles/encompass_os.dir/node.cc.o.d"
+  "CMakeFiles/encompass_os.dir/process.cc.o"
+  "CMakeFiles/encompass_os.dir/process.cc.o.d"
+  "CMakeFiles/encompass_os.dir/process_pair.cc.o"
+  "CMakeFiles/encompass_os.dir/process_pair.cc.o.d"
+  "libencompass_os.a"
+  "libencompass_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

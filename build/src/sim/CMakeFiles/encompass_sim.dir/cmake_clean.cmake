@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_sim.dir/event_queue.cc.o"
+  "CMakeFiles/encompass_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/encompass_sim.dir/fault_injector.cc.o"
+  "CMakeFiles/encompass_sim.dir/fault_injector.cc.o.d"
+  "CMakeFiles/encompass_sim.dir/simulation.cc.o"
+  "CMakeFiles/encompass_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/encompass_sim.dir/stats.cc.o"
+  "CMakeFiles/encompass_sim.dir/stats.cc.o.d"
+  "libencompass_sim.a"
+  "libencompass_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/encompass_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/encompass_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/storage/CMakeFiles/encompass_storage.dir/file.cc.o" "gcc" "src/storage/CMakeFiles/encompass_storage.dir/file.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/storage/CMakeFiles/encompass_storage.dir/partition.cc.o" "gcc" "src/storage/CMakeFiles/encompass_storage.dir/partition.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/storage/CMakeFiles/encompass_storage.dir/record.cc.o" "gcc" "src/storage/CMakeFiles/encompass_storage.dir/record.cc.o.d"
+  "/root/repo/src/storage/volume.cc" "src/storage/CMakeFiles/encompass_storage.dir/volume.cc.o" "gcc" "src/storage/CMakeFiles/encompass_storage.dir/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/encompass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/encompass_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/encompass_storage.dir/file.cc.o"
+  "CMakeFiles/encompass_storage.dir/file.cc.o.d"
+  "CMakeFiles/encompass_storage.dir/partition.cc.o"
+  "CMakeFiles/encompass_storage.dir/partition.cc.o.d"
+  "CMakeFiles/encompass_storage.dir/record.cc.o"
+  "CMakeFiles/encompass_storage.dir/record.cc.o.d"
+  "CMakeFiles/encompass_storage.dir/volume.cc.o"
+  "CMakeFiles/encompass_storage.dir/volume.cc.o.d"
+  "libencompass_storage.a"
+  "libencompass_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

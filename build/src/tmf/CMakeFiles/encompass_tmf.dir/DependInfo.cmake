@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmf/backout_process.cc" "src/tmf/CMakeFiles/encompass_tmf.dir/backout_process.cc.o" "gcc" "src/tmf/CMakeFiles/encompass_tmf.dir/backout_process.cc.o.d"
+  "/root/repo/src/tmf/file_system.cc" "src/tmf/CMakeFiles/encompass_tmf.dir/file_system.cc.o" "gcc" "src/tmf/CMakeFiles/encompass_tmf.dir/file_system.cc.o.d"
+  "/root/repo/src/tmf/rollforward.cc" "src/tmf/CMakeFiles/encompass_tmf.dir/rollforward.cc.o" "gcc" "src/tmf/CMakeFiles/encompass_tmf.dir/rollforward.cc.o.d"
+  "/root/repo/src/tmf/tmp_process.cc" "src/tmf/CMakeFiles/encompass_tmf.dir/tmp_process.cc.o" "gcc" "src/tmf/CMakeFiles/encompass_tmf.dir/tmp_process.cc.o.d"
+  "/root/repo/src/tmf/transaction_state.cc" "src/tmf/CMakeFiles/encompass_tmf.dir/transaction_state.cc.o" "gcc" "src/tmf/CMakeFiles/encompass_tmf.dir/transaction_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/encompass_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/encompass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/encompass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/encompass_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/discprocess/CMakeFiles/encompass_discprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/encompass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encompass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_tmf.dir/backout_process.cc.o"
+  "CMakeFiles/encompass_tmf.dir/backout_process.cc.o.d"
+  "CMakeFiles/encompass_tmf.dir/file_system.cc.o"
+  "CMakeFiles/encompass_tmf.dir/file_system.cc.o.d"
+  "CMakeFiles/encompass_tmf.dir/rollforward.cc.o"
+  "CMakeFiles/encompass_tmf.dir/rollforward.cc.o.d"
+  "CMakeFiles/encompass_tmf.dir/tmp_process.cc.o"
+  "CMakeFiles/encompass_tmf.dir/tmp_process.cc.o.d"
+  "CMakeFiles/encompass_tmf.dir/transaction_state.cc.o"
+  "CMakeFiles/encompass_tmf.dir/transaction_state.cc.o.d"
+  "libencompass_tmf.a"
+  "libencompass_tmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_tmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

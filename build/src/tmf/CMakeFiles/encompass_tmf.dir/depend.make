@@ -1,0 +1,2 @@
+# Empty dependencies file for encompass_tmf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_process_test.dir/disc_process_test.cc.o"
+  "CMakeFiles/disc_process_test.dir/disc_process_test.cc.o.d"
+  "disc_process_test"
+  "disc_process_test.pdb"
+  "disc_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encompass_test.dir/encompass_test.cc.o"
+  "CMakeFiles/encompass_test.dir/encompass_test.cc.o.d"
+  "encompass_test"
+  "encompass_test.pdb"
+  "encompass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encompass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_test.dir/manufacturing_test.cc.o"
+  "CMakeFiles/manufacturing_test.dir/manufacturing_test.cc.o.d"
+  "manufacturing_test"
+  "manufacturing_test.pdb"
+  "manufacturing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

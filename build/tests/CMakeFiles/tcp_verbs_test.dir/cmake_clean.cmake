@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_verbs_test.dir/tcp_verbs_test.cc.o"
+  "CMakeFiles/tcp_verbs_test.dir/tcp_verbs_test.cc.o.d"
+  "tcp_verbs_test"
+  "tcp_verbs_test.pdb"
+  "tcp_verbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_verbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

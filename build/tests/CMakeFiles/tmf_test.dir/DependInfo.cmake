@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tmf_test.cc" "tests/CMakeFiles/tmf_test.dir/tmf_test.cc.o" "gcc" "tests/CMakeFiles/tmf_test.dir/tmf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encompass/CMakeFiles/encompass_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmf/CMakeFiles/encompass_tmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/discprocess/CMakeFiles/encompass_discprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/encompass_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/encompass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/encompass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/encompass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encompass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/encompass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

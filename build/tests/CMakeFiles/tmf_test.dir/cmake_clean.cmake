@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmf_test.dir/tmf_test.cc.o"
+  "CMakeFiles/tmf_test.dir/tmf_test.cc.o.d"
+  "tmf_test"
+  "tmf_test.pdb"
+  "tmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

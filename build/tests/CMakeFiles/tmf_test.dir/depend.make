@@ -1,0 +1,2 @@
+# Empty dependencies file for tmf_test.
+# This may be replaced when dependencies are built.

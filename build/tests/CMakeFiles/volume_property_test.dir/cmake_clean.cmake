@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_property_test.dir/volume_property_test.cc.o"
+  "CMakeFiles/volume_property_test.dir/volume_property_test.cc.o.d"
+  "volume_property_test"
+  "volume_property_test.pdb"
+  "volume_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
