@@ -119,11 +119,13 @@ BENCHMARK(BM_TmfThroughFailure);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("e1_online_recovery");
   printf("E1: online recovery (TMF) vs halt-and-restart (conventional)\n");
   encompass::bench::TableTmfTimeline();
   encompass::bench::TableBaselineTimeline();
   encompass::bench::TableOutageVsLog();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

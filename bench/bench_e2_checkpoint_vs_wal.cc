@@ -151,10 +151,12 @@ BENCHMARK(BM_WalCommit)->Arg(0)->Arg(1);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("e2_checkpoint_vs_wal");
   printf("E2: checkpoint-instead-of-WAL on the update path\n");
   encompass::bench::TableUpdatePathCost();
   encompass::bench::TableForceBatching();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

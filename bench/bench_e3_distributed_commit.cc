@@ -121,6 +121,8 @@ void TableBroadcastAblation() {
                      stats.Counter("tmf.remote_begins");
   // Broadcast design: every state change (4 per txn) to every other node.
   long long broadcast = static_cast<long long>(kTxns) * 4 * (6 - 1);
+  ReportSimStats("e3b", rig.sim->GetStats());
+  ReportValue("e3b.targeted_msgs", static_cast<double>(actual));
   printf("targeted (paper's design) : %lld TMP network messages\n", actual);
   printf("broadcast-to-all ablation : %lld TMP network messages (%.1fx)\n",
          broadcast, static_cast<double>(broadcast) / static_cast<double>(actual));
@@ -204,11 +206,13 @@ BENCHMARK(BM_DistributedCommit)->Arg(1)->Arg(2)->Arg(4)->Iterations(20);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("e3_distributed_commit");
   printf("E3: the distributed two-phase commit protocol\n");
   encompass::bench::TableCommitCostVsParticipants();
   encompass::bench::TableBroadcastAblation();
   encompass::bench::TableAbortPaths();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

@@ -27,6 +27,7 @@ void TableContentionSweep() {
            (long long)stats.Counter("disc.lock_waits"),
            (long long)stats.Counter("disc.lock_timeouts"),
            (unsigned long long)rig.Primary()->transactions_restarted());
+    if (skew == 0.99) ReportSimStats("e4a.skew99", rig.sim->GetStats());
   }
 }
 
@@ -89,11 +90,13 @@ BENCHMARK(BM_ContendedTransfer)->Arg(4)->Arg(100);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("e4_locking");
   printf("E4: decentralized locking and timeout deadlock resolution\n");
   encompass::bench::TableContentionSweep();
   encompass::bench::TableHotAccountSweep();
   encompass::bench::TableTimeoutSweep();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

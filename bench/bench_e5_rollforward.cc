@@ -153,10 +153,12 @@ BENCHMARK(BM_Rollforward)->Arg(50)->Arg(500)->Iterations(3);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("e5_rollforward");
   printf("E5: ROLLFORWARD — recovery from total node failure\n");
   encompass::bench::TableRecoveryVsAuditVolume();
   encompass::bench::TableNegotiation();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

@@ -217,6 +217,7 @@ BENCHMARK(BM_SerializeCompressed);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("e6_storage");
   printf("E6: storage — organizations, compression, cache, partitioning\n");
   encompass::bench::TableOrganizations();
   encompass::bench::TableCompression();
@@ -224,5 +225,6 @@ int main(int argc, char** argv) {
   encompass::bench::TableIndexOverheadAndPartitioning();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

@@ -158,11 +158,13 @@ BENCHMARK(BM_NetworkRouteRecompute)->Arg(4)->Arg(16)->Arg(50);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("fig1_architecture");
   printf("F1: Figure 1 — NonStop architecture redundancy\n");
   encompass::bench::TableMessagePaths();
   encompass::bench::TableSingleModuleFailures();
   encompass::bench::TableMirrorFailoverRevive();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

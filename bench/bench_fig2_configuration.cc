@@ -89,11 +89,13 @@ BENCHMARK(BM_TransferTransaction)->Arg(1)->Arg(8)->Arg(32);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("fig2_configuration");
   printf("F2: Figure 2 — ENCOMPASS configuration scaling\n");
   encompass::bench::TableThroughputVsCpus();
   encompass::bench::TableThroughputVsTerminals();
   encompass::bench::TableDynamicServerClass();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

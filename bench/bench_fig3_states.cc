@@ -160,11 +160,13 @@ BENCHMARK(BM_CommitPath);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("fig3_states");
   printf("F3: Figure 3 — transaction state machine\n");
   encompass::bench::TableTransitionCensus();
   encompass::bench::TableStateMachineExhaustive();
   encompass::bench::TableCommitAbortLatency();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

@@ -236,6 +236,7 @@ BENCHMARK(BM_GlobalUpdateRoundTrip)->Iterations(20);
 }  // namespace encompass::bench
 
 int main(int argc, char** argv) {
+  encompass::bench::InitReport("fig4_manufacturing");
   printf("F4: Figure 4 — the four-site manufacturing data base\n");
   encompass::bench::TableSuspenseTimeline();
   encompass::bench::TableConvergenceVsBacklog();
@@ -243,5 +244,6 @@ int main(int argc, char** argv) {
   encompass::bench::TableReplicationAblation();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
   return 0;
 }

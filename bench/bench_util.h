@@ -6,15 +6,103 @@
 #ifndef ENCOMPASS_BENCH_BENCH_UTIL_H_
 #define ENCOMPASS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "apps/banking/banking.h"
 #include "encompass/deployment.h"
 #include "encompass/tcp.h"
+#include "sim/stats.h"
 
 namespace encompass::bench {
+
+/// Headline numbers of one benchmark binary, written as BENCH_<name>.json in
+/// the working directory. Keys are emitted in sorted order and the simulated
+/// metrics are deterministic, so two runs of the same build diff cleanly; the
+/// only wall-clock-dependent field is "wall_ms" (total main() runtime).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void Add(const std::string& key, double value) { values_[key] = value; }
+
+  /// Snapshots a simulation's Stats registry: every nonzero counter, and
+  /// n/p50/p95/p99 for every non-empty histogram, prefixed with `prefix.`.
+  void AddSimStats(const std::string& prefix, const sim::Stats& stats) {
+    for (const auto& [name, value] : stats.counters()) {
+      values_[prefix + "." + name] = static_cast<double>(value);
+    }
+    for (const auto& [name, hist] : stats.histograms()) {
+      const std::string base = prefix + "." + name;
+      values_[base + ".n"] = static_cast<double>(hist->count());
+      values_[base + ".p50"] = static_cast<double>(hist->Percentile(50));
+      values_[base + ".p95"] = static_cast<double>(hist->Percentile(95));
+      values_[base + ".p99"] = static_cast<double>(hist->Percentile(99));
+    }
+  }
+
+  /// Writes BENCH_<name>.json. Call once at the end of main().
+  void Write() {
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_).count();
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_ms\": %.3f", name_.c_str(),
+            wall_ms);
+    for (const auto& [key, value] : values_) {
+      if (std::fabs(value - std::llround(value)) < 1e-9) {
+        fprintf(f, ",\n  \"%s\": %lld", key.c_str(),
+                static_cast<long long>(std::llround(value)));
+      } else {
+        fprintf(f, ",\n  \"%s\": %.3f", key.c_str(), value);
+      }
+    }
+    fprintf(f, "\n}\n");
+    fclose(f);
+    printf("wrote %s (wall_ms=%.1f)\n", path.c_str(), wall_ms);
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, double> values_;
+};
+
+/// Process-wide report, so table functions deep inside a benchmark can attach
+/// their rig's stats without threading a JsonReport parameter through.
+inline JsonReport*& GlobalReport() {
+  static JsonReport* report = nullptr;
+  return report;
+}
+
+/// Creates the process-wide report. Call first in main().
+inline void InitReport(const std::string& name) {
+  static JsonReport report{name};
+  GlobalReport() = &report;
+}
+
+inline void ReportValue(const std::string& key, double value) {
+  if (GlobalReport() != nullptr) GlobalReport()->Add(key, value);
+}
+
+inline void ReportSimStats(const std::string& prefix, const sim::Stats& stats) {
+  if (GlobalReport() != nullptr) GlobalReport()->AddSimStats(prefix, stats);
+}
+
+/// Writes the report. Call last in main().
+inline void WriteReport() {
+  if (GlobalReport() != nullptr) GlobalReport()->Write();
+}
 
 /// A single-node banking world: deployment, accounts seeded, bank server
 /// class up. The standard substrate for throughput experiments.

@@ -36,6 +36,13 @@ Result<std::vector<AuditRecord>> DecodeAuditBatch(const Slice& payload) {
   return records;
 }
 
+void AuditProcess::OnPairAttach() {
+  m_.appended = stats().RegisterCounter("audit.appended");
+  m_.forces = stats().RegisterCounter("audit.forces");
+  m_.forced_records = stats().RegisterCounter("audit.forced_records");
+  m_.files_purged = stats().RegisterCounter("audit.files_purged");
+}
+
 void AuditProcess::OnRequest(const net::Message& msg) {
   // The backup is passive: it only mirrors via checkpoints. (The trail
   // itself is shared disc state, so there is nothing to mirror here beyond
@@ -59,8 +66,7 @@ void AuditProcess::OnRequest(const net::Message& msg) {
         break;
       }
       size_t purged = config_.trail->Purge(up_to_lsn);
-      sim()->GetStats().Incr("audit.files_purged",
-                             static_cast<int64_t>(purged));
+      stats().Incr(m_.files_purged, static_cast<int64_t>(purged));
       Bytes reply;
       PutVarint64(&reply, purged);
       Reply(msg, Status::Ok(), reply);
@@ -81,14 +87,14 @@ void AuditProcess::HandleAppend(const net::Message& msg) {
   for (auto& rec : *batch) {
     config_.trail->Append(std::move(rec));
   }
-  sim()->GetStats().Incr("audit.appended", static_cast<int64_t>(batch->size()));
+  stats().Incr(m_.appended, static_cast<int64_t>(batch->size()));
   if (msg.request_id != 0) Reply(msg, Status::Ok());
 }
 
 void AuditProcess::HandleForce(const net::Message& msg) {
   size_t forced = config_.trail->Force();
-  sim()->GetStats().Incr("audit.forces");
-  sim()->GetStats().Incr("audit.forced_records", static_cast<int64_t>(forced));
+  stats().Incr(m_.forces);
+  stats().Incr(m_.forced_records, static_cast<int64_t>(forced));
   // The force is a physical sequential write; reply when it completes.
   net::ProcessId requester = msg.src;
   uint64_t reply_to = msg.request_id;

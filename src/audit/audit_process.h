@@ -43,6 +43,7 @@ class AuditProcess : public os::PairedProcess {
   std::string DebugName() const override { return pair_name() + "/audit"; }
 
  protected:
+  void OnPairAttach() override;
   void OnRequest(const net::Message& msg) override;
 
  private:
@@ -50,7 +51,12 @@ class AuditProcess : public os::PairedProcess {
   void HandleForce(const net::Message& msg);
   void HandleFetch(const net::Message& msg);
 
+  struct Metrics {
+    sim::MetricId appended, forces, forced_records, files_purged;
+  };
+
   AuditProcessConfig config_;
+  Metrics m_;
 };
 
 }  // namespace encompass::audit

@@ -27,7 +27,33 @@ bool GetLockKey(Slice* in, LockKey* key) {
          GetLengthPrefixedBytes(in, &key->record);
 }
 
+// Deterministic 32-bit FNV-1a over lock-key bytes, used to tag lock trace
+// events without storing strings in the ring.
+uint32_t LockHash(const std::string& file, const Bytes& record) {
+  uint32_t h = 2166136261u;
+  for (char c : file) h = (h ^ static_cast<uint8_t>(c)) * 16777619u;
+  for (uint8_t c : record) h = (h ^ c) * 16777619u;
+  return h;
+}
+
 }  // namespace
+
+void DiscProcess::OnPairAttach() {
+  sim::Stats& stats = this->stats();
+  m_.ops = stats.RegisterCounter("disc.ops");
+  m_.dedup_replays = stats.RegisterCounter("disc.dedup_replays");
+  m_.dedup_inflight_drops = stats.RegisterCounter("disc.dedup_inflight_drops");
+  m_.lock_waits = stats.RegisterCounter("disc.lock_waits");
+  m_.lock_timeouts = stats.RegisterCounter("disc.lock_timeouts");
+  m_.lock_releases = stats.RegisterCounter("disc.lock_releases");
+  m_.scan_batches = stats.RegisterCounter("disc.scan_batches");
+  m_.scan_records = stats.RegisterCounter("disc.scan_records");
+  m_.undo_ops = stats.RegisterCounter("disc.undo_ops");
+  m_.flush_writes = stats.RegisterCounter("disc.flush_writes");
+  m_.audit_records = stats.RegisterCounter("disc.audit_records");
+  m_.audit_redelivery = stats.RegisterCounter("disc.audit_redelivery");
+  m_.op_ios = stats.RegisterHistogram("disc.op_ios");
+}
 
 void DiscProcess::OnRequest(const net::Message& msg) {
   if (!IsPrimary()) {
@@ -54,13 +80,13 @@ void DiscProcess::OnRequest(const net::Message& msg) {
   if (msg.request_id != 0) {
     auto cached = reply_cache_.find(rk);
     if (cached != reply_cache_.end()) {
-      sim()->GetStats().Incr("disc.dedup_replays");
+      stats().Incr(m_.dedup_replays);
       SendReply(msg.src, cached->second.tag, msg.request_id,
                 Status(cached->second.status, ""), cached->second.payload);
       return;
     }
     if (in_flight_.count(rk)) {
-      sim()->GetStats().Incr("disc.dedup_inflight_drops");
+      stats().Incr(m_.dedup_inflight_drops);
       return;
     }
     in_flight_.insert(rk);
@@ -69,7 +95,7 @@ void DiscProcess::OnRequest(const net::Message& msg) {
 }
 
 void DiscProcess::HandleOperation(const net::Message& msg, const DiscRequest& req) {
-  sim()->GetStats().Incr("disc.ops");
+  stats().Incr(m_.ops);
   const Transid transid = Transid::Unpack(msg.transid);
 
   // Work for a transaction that has begun aborting is rejected — its effects
@@ -141,12 +167,14 @@ bool DiscProcess::EnsureLock(const net::Message& msg, const DiscRequest& req,
   if (locks_.Holds(owner, key)) return true;
   auto result = locks_.Acquire(owner, key);
   if (result == LockManager::AcquireResult::kGranted) {
+    Trace(sim::TraceEventKind::kLockAcquire, owner.Pack(),
+          LockHash(key.file, key.record));
     CheckpointBatch batch;
     CkptGrant(&batch, owner, key);
     FlushCheckpoint(&batch);
     return true;
   }
-  sim()->GetStats().Incr("disc.lock_waits");
+  stats().Incr(m_.lock_waits);
   SimDuration timeout =
       req.lock_timeout > 0 ? req.lock_timeout : config_.default_lock_timeout;
   ParkRequest(msg, owner, std::move(key), timeout);
@@ -160,7 +188,7 @@ void DiscProcess::ParkRequest(const net::Message& msg, const Transid& owner,
   it->timer = SetTimer(timeout, [this, it]() {
     // Deadlock detection is by timeout: abandon the wait and tell the
     // requester, which typically triggers RESTART-TRANSACTION upstream.
-    sim()->GetStats().Incr("disc.lock_timeouts");
+    stats().Incr(m_.lock_timeouts);
     locks_.CancelWait(it->owner, it->key);
     net::Message msg = std::move(it->msg);
     std::string file = it->key.file;
@@ -177,6 +205,8 @@ void DiscProcess::ResumeGranted(const std::vector<LockGrant>& grants) {
         CancelTimer(it->timer);
         net::Message msg = std::move(it->msg);
         parked_.erase(it);
+        Trace(sim::TraceEventKind::kLockAcquire, grant.owner.Pack(),
+              LockHash(grant.key.file, grant.key.record));
         CheckpointBatch batch;
         CkptGrant(&batch, grant.owner, grant.key);
         FlushCheckpoint(&batch);
@@ -236,8 +266,8 @@ void DiscProcess::Execute(const net::Message& msg, const DiscRequest& req) {
         entry.value = std::move(r.value);
         rep.entries.push_back(std::move(entry));
       }
-      sim()->GetStats().Incr("disc.scan_batches");
-      sim()->GetStats().Incr("disc.scan_records",
+      stats().Incr(m_.scan_batches);
+      stats().Incr(m_.scan_records,
                              static_cast<int64_t>(rep.entries.size()));
       // Sequential access: charge one physical read per distinct block-sized
       // group instead of per record (sequential reads amortize).
@@ -295,13 +325,13 @@ void DiscProcess::Execute(const net::Message& msg, const DiscRequest& req) {
     case kDiscUndo: {
       auto r = vol->ApplyUndo(req.file, req.undo_op, Slice(req.key),
                               Slice(req.record));
-      sim()->GetStats().Incr("disc.undo_ops");
+      stats().Incr(m_.undo_ops);
       FinishWithReply(msg, r.status, {}, r.disc_ios, &batch);
       return;
     }
     case kDiscFlushVolume: {
       int writes = vol->Flush();
-      sim()->GetStats().Incr("disc.flush_writes", writes);
+      stats().Incr(m_.flush_writes, writes);
       FinishWithReply(msg, Status::Ok(), {}, writes > 0 ? 1 : 0, &batch);
       return;
     }
@@ -325,7 +355,7 @@ void DiscProcess::EmitAudit(const Transid& transid, storage::MutationOp op,
   rec.key = key.ToBytes();
   rec.before = result.before;
   rec.after = after.ToBytes();
-  sim()->GetStats().Incr("disc.audit_records");
+  stats().Incr(m_.audit_records);
   // Unforced (the trail is forced by TMF at phase one of commit) but
   // *reliable and ordered*: the record joins a checkpointed FIFO that is
   // delivered to the AUDITPROCESS with acknowledgement and retry — a lost
@@ -369,7 +399,7 @@ void DiscProcess::PumpAuditQueue() {
            PumpAuditQueue();
          } else {
            // The audit pair is mid-takeover; keep the record and retry.
-           sim()->GetStats().Incr("disc.audit_redelivery");
+           stats().Incr(m_.audit_redelivery);
            SetTimer(Millis(100), [this]() { PumpAuditQueue(); });
          }
        },
@@ -395,9 +425,11 @@ void DiscProcess::HandleStateChange(const net::Message& msg) {
       aborting_.erase(change->transid);
       MarkResolved(change->transid);
       auto grants = locks_.ReleaseAll(change->transid);
+      Trace(sim::TraceEventKind::kLockRelease, change->transid.Pack(),
+            static_cast<uint32_t>(grants.size()));
       CkptRelease(&batch, change->transid);
       FlushCheckpoint(&batch);
-      sim()->GetStats().Incr("disc.lock_releases");
+      stats().Incr(m_.lock_releases);
       ResumeGranted(grants);
       if (msg.request_id != 0) Reply(msg, Status::Ok());
       return;
@@ -421,7 +453,7 @@ void DiscProcess::FinishWithReply(const net::Message& msg, const Status& status,
   }
   FlushCheckpoint(batch);
 
-  sim()->GetStats().Record("disc.op_ios", disc_ios);
+  stats().Record(m_.op_ios, disc_ios);
   SimDuration latency = config_.base_latency + disc_ios * config_.io_latency;
   net::ProcessId requester = msg.src;
   uint64_t reply_to = msg.request_id;

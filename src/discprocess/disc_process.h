@@ -50,6 +50,7 @@ class DiscProcess : public os::PairedProcess {
   storage::Volume* volume() const { return config_.volume; }
 
  protected:
+  void OnPairAttach() override;
   void OnRequest(const net::Message& msg) override;
   void OnCheckpoint(const Slice& delta) override;
   void OnBackupAttached() override;
@@ -108,7 +109,16 @@ class DiscProcess : public os::PairedProcess {
     return resolved_.count(transid.Pack()) != 0;
   }
 
+  struct Metrics {
+    sim::MetricId ops, dedup_replays, dedup_inflight_drops;
+    sim::MetricId lock_waits, lock_timeouts, lock_releases;
+    sim::MetricId scan_batches, scan_records, undo_ops, flush_writes;
+    sim::MetricId audit_records, audit_redelivery;
+    sim::MetricId op_ios;  // histogram
+  };
+
   DiscProcessConfig config_;
+  Metrics m_;
   LockManager locks_;
   std::set<Transid> aborting_;
   std::set<uint64_t> resolved_;

@@ -20,9 +20,13 @@ void NodeStorage::DropVolatile() {
 NodeDeployment::NodeDeployment(Deployment* deployment, os::Node* node,
                                NodeSpec spec)
     : deployment_(deployment), node_(node), spec_(std::move(spec)) {
+  sim::Stats& stats = node_->sim()->GetStats();
+  m_pair_respawns_ = stats.RegisterCounter("deploy.pair_respawns");
+  m_backup_reattached_ = stats.RegisterCounter("deploy.backup_reattached");
   for (const auto& vspec : spec_.volumes) {
     auto volume = std::make_unique<storage::Volume>(vspec.name,
                                                     vspec.volume_config);
+    volume->BindStats(&node_->sim()->GetStats());
     for (const auto& fspec : vspec.files) {
       storage::FileOptions opt;
       opt.audited = fspec.audited;
@@ -138,7 +142,7 @@ void NodeDeployment::RepairServices() {
       int a = pick_cpu(-1);
       int b = pick_cpu(a);
       if (a >= 0 && b >= 0) {
-        node_->sim()->GetStats().Incr("deploy.pair_respawns");
+        node_->sim()->GetStats().Incr(m_pair_respawns_);
         service.respawn(a, b);
       }
       continue;
@@ -147,7 +151,7 @@ void NodeDeployment::RepairServices() {
     if (p != nullptr && p->IsPrimary() && !p->HasBackup()) {
       int cpu = pick_cpu(p->cpu());
       if (cpu >= 0) {
-        node_->sim()->GetStats().Incr("deploy.backup_reattached");
+        node_->sim()->GetStats().Incr(m_backup_reattached_);
         service.attach_backup(cpu);
       }
     }
@@ -184,7 +188,10 @@ discprocess::DiscProcess* NodeDeployment::disc(const std::string& volume) const 
 }
 
 Deployment::Deployment(sim::Simulation* sim, net::NetworkConfig net_config)
-    : sim_(sim), cluster_(sim, net_config) {}
+    : sim_(sim),
+      m_node_crashes_(sim->GetStats().RegisterCounter("deploy.node_crashes")),
+      m_node_restarts_(sim->GetStats().RegisterCounter("deploy.node_restarts")),
+      cluster_(sim, net_config) {}
 
 NodeDeployment* Deployment::AddNode(NodeSpec spec) {
   os::Node* node = cluster_.AddNode(spec.id, spec.node_config);
@@ -242,7 +249,7 @@ void Deployment::CrashNode(net::NodeId id) {
   cluster_.CrashNode(id);
   // Main memory (caches, unforced audit buffers) is gone.
   nd->storage().DropVolatile();
-  sim_->GetStats().Incr("deploy.node_crashes");
+  sim_->GetStats().Incr(m_node_crashes_);
 }
 
 void Deployment::RestartNode(net::NodeId id) {
@@ -253,7 +260,7 @@ void Deployment::RestartNode(net::NodeId id) {
   }
   cluster_.ReconnectNode(id);
   nd->StartServices();
-  sim_->GetStats().Incr("deploy.node_restarts");
+  sim_->GetStats().Incr(m_node_restarts_);
 }
 
 }  // namespace encompass::app

@@ -128,6 +128,7 @@ class NodeDeployment {
   Deployment* deployment_;
   os::Node* node_;
   NodeSpec spec_;
+  sim::MetricId m_pair_respawns_, m_backup_reattached_;
   NodeStorage storage_;
   std::vector<Repairable> repairables_;
   std::vector<net::Pid> guardians_;
@@ -186,6 +187,7 @@ class Deployment {
 
  private:
   sim::Simulation* sim_;
+  sim::MetricId m_node_crashes_, m_node_restarts_;
   os::Cluster cluster_;
   storage::Catalog catalog_;
   std::map<net::NodeId, std::unique_ptr<NodeDeployment>> nodes_;

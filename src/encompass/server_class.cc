@@ -10,6 +10,12 @@ constexpr uint8_t kCkptPoolAdd = 1;
 constexpr uint8_t kCkptPoolRemove = 2;
 }  // namespace
 
+void ServerClassRouter::OnPairAttach() {
+  m_.spawned = stats().RegisterCounter("serverclass.spawned");
+  m_.reaped = stats().RegisterCounter("serverclass.reaped");
+  m_.queue_depth = stats().RegisterHistogram("serverclass.queue_depth");
+}
+
 void ServerClassRouter::OnPairStart() {
   if (!IsPrimary()) return;
   for (int i = 0; i < config_.min_servers; ++i) {
@@ -38,7 +44,7 @@ net::Pid ServerClassRouter::SpawnServer() {
     net::Pid pid = config_.factory(node(), cpu);
     if (pid != 0) {
       servers_.push_back(ServerSlot{pid, false, sim()->Now()});
-      sim()->GetStats().Incr("serverclass.spawned");
+      stats().Incr(m_.spawned);
       CkptPool(pid, /*removed=*/false);
       EnsureReapTimer();
       return pid;
@@ -54,8 +60,7 @@ void ServerClassRouter::OnRequest(const net::Message& msg) {
     return;
   }
   queue_.push_back(msg);
-  sim()->GetStats().Record("serverclass.queue_depth",
-                           static_cast<int64_t>(queue_.size()));
+  stats().Record(m_.queue_depth, static_cast<int64_t>(queue_.size()));
   Dispatch();
 }
 
@@ -121,7 +126,7 @@ void ServerClassRouter::ReapIdleServers() {
       node()->Kill(it->pid);
       CkptPool(it->pid, /*removed=*/true);
       it = servers_.erase(it);
-      sim()->GetStats().Incr("serverclass.reaped");
+      stats().Incr(m_.reaped);
     } else {
       ++it;
     }

@@ -51,6 +51,7 @@ class ServerClassRouter : public os::PairedProcess {
   size_t queue_depth() const { return queue_.size(); }
 
  protected:
+  void OnPairAttach() override;
   void OnPairStart() override;
   void OnRequest(const net::Message& msg) override;
   void OnCheckpoint(const Slice& delta) override;
@@ -72,7 +73,13 @@ class ServerClassRouter : public os::PairedProcess {
   void EnsureReapTimer();
   void CkptPool(net::Pid pid, bool removed);
 
+  struct Metrics {
+    sim::MetricId spawned, reaped;
+    sim::MetricId queue_depth;  ///< histogram, sampled on every enqueue
+  };
+
   ServerClassConfig config_;
+  Metrics m_;
   std::vector<ServerSlot> servers_;
   std::deque<net::Message> queue_;
   int next_cpu_ = 0;

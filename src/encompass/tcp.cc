@@ -16,6 +16,20 @@ SendDirective DefaultReplyPolicy(Fields&, const Status& status, const Slice&) {
   return SendDirective::kFailProgram;
 }
 
+void Tcp::OnPairAttach() {
+  sim::Stats& stats = this->stats();
+  m_.terminals_attached = stats.RegisterCounter("tcp.terminals_attached");
+  m_.commits = stats.RegisterCounter("tcp.commits");
+  m_.voluntary_aborts = stats.RegisterCounter("tcp.voluntary_aborts");
+  m_.failed_aborts = stats.RegisterCounter("tcp.failed_aborts");
+  m_.restart_limit_exceeded = stats.RegisterCounter("tcp.restart_limit_exceeded");
+  m_.txn_restarts = stats.RegisterCounter("tcp.txn_restarts");
+  m_.programs_completed = stats.RegisterCounter("tcp.programs_completed");
+  m_.programs_failed = stats.RegisterCounter("tcp.programs_failed");
+  m_.terminals_done = stats.RegisterCounter("tcp.terminals_done");
+  m_.takeover_restarts = stats.RegisterCounter("tcp.takeover_restarts");
+}
+
 bool Tcp::AttachTerminal(const std::string& terminal_name,
                          const std::string& program_name, uint64_t iterations) {
   if (terminals_.size() >= config_.max_terminals) return false;
@@ -29,7 +43,7 @@ bool Tcp::AttachTerminal(const std::string& terminal_name,
   terminals_.push_back(std::move(term));
   size_t idx = terminals_.size() - 1;
   CheckpointTerminal(terminals_[idx]);
-  sim()->GetStats().Incr("tcp.terminals_attached");
+  stats().Incr(m_.terminals_attached);
   // Kick off interpretation as a scheduled event.
   SetTimer(Micros(1), [this, idx]() { Step(idx); });
   return true;
@@ -197,7 +211,7 @@ void Tcp::RunEnd(size_t idx) {
            term.restarts = 0;
            ++term.pc;
            ++committed_;
-           sim()->GetStats().Incr("tcp.commits");
+           stats().Incr(m_.commits);
            CheckpointCounters();
            CheckpointTerminal(term);
            Step(idx);
@@ -234,8 +248,7 @@ void Tcp::RunAbort(size_t idx, bool then_restart, bool voluntary) {
        [this, idx, then_restart, voluntary](const Status&, const net::Message&) {
          Terminal& term = terminals_[idx];
          term.waiting = false;
-         sim()->GetStats().Incr(voluntary ? "tcp.voluntary_aborts"
-                                          : "tcp.failed_aborts");
+         stats().Incr(voluntary ? m_.voluntary_aborts : m_.failed_aborts);
          if (then_restart) {
            RestartTransaction(idx);
          } else {
@@ -255,13 +268,13 @@ void Tcp::RestartTransaction(size_t idx) {
     return;
   }
   if (term.restarts >= config_.restart_limit) {
-    sim()->GetStats().Incr("tcp.restart_limit_exceeded");
+    stats().Incr(m_.restart_limit_exceeded);
     FinishIteration(idx, /*success=*/false);
     return;
   }
   ++term.restarts;
   ++restarts_;
-  sim()->GetStats().Incr("tcp.txn_restarts");
+  stats().Incr(m_.txn_restarts);
   // Resume at BEGIN-TRANSACTION with the checkpointed screen input — the
   // terminal user does not re-enter the screen.
   term.fields = term.begin_snapshot;
@@ -282,10 +295,10 @@ void Tcp::FinishIteration(size_t idx, bool success) {
   Terminal& term = terminals_[idx];
   if (success) {
     ++programs_completed_;
-    sim()->GetStats().Incr("tcp.programs_completed");
+    stats().Incr(m_.programs_completed);
   } else {
     ++programs_failed_;
-    sim()->GetStats().Incr("tcp.programs_failed");
+    stats().Incr(m_.programs_failed);
   }
   CheckpointCounters();
   term.pc = 0;
@@ -298,7 +311,7 @@ void Tcp::FinishIteration(size_t idx, bool success) {
     if (term.remaining == 0) {
       term.done = true;
       CheckpointTerminal(term);
-      sim()->GetStats().Incr("tcp.terminals_done");
+      stats().Incr(m_.terminals_done);
       return;
     }
   }
@@ -403,7 +416,7 @@ void Tcp::OnTakeover() {
     term.waiting = false;
     term.fields = term.begin_snapshot;
     term.pc = term.begin_pc;
-    sim()->GetStats().Incr("tcp.takeover_restarts");
+    stats().Incr(m_.takeover_restarts);
     if (term.transid != 0) {
       uint64_t transid = term.transid;
       term.transid = 0;

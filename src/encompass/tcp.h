@@ -56,6 +56,7 @@ class Tcp : public os::PairedProcess {
   size_t idle_terminals() const;
 
  protected:
+  void OnPairAttach() override;
   void OnCheckpoint(const Slice& delta) override;
   void OnTakeover() override;
   void OnBackupAttached() override;
@@ -90,7 +91,15 @@ class Tcp : public os::PairedProcess {
   void CheckpointCounters();
   net::Address Tmp() const { return net::Address(node()->id(), "$TMP"); }
 
+  struct Metrics {
+    sim::MetricId terminals_attached, commits, voluntary_aborts, failed_aborts;
+    sim::MetricId restart_limit_exceeded, txn_restarts;
+    sim::MetricId programs_completed, programs_failed, terminals_done;
+    sim::MetricId takeover_restarts;
+  };
+
   TcpConfig config_;
+  Metrics m_;
   std::vector<Terminal> terminals_;
   uint64_t committed_ = 0;
   uint64_t restarts_ = 0;

@@ -11,6 +11,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "net/address.h"
+#include "sim/trace.h"
 
 namespace encompass::net {
 
@@ -42,6 +43,9 @@ struct Message {
   uint64_t reply_to = 0;    ///< nonzero: this message answers that request_id
   Status::Code status = Status::Code::kOk;  ///< result code on replies
   uint64_t transid = 0;     ///< packed Transid appended by the file system (0=none)
+  sim::TraceContext trace;  ///< causal trace identity (transid may be carried
+                            ///< here even when `transid` is 0, e.g. for TMP
+                            ///< protocol messages that pack it in the payload)
   Bytes payload;
 
   bool is_reply() const { return reply_to != 0; }

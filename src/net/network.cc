@@ -7,6 +7,17 @@
 
 namespace encompass::net {
 
+Network::Metrics::Metrics(sim::Stats& stats)
+    : sent(stats.RegisterCounter("net.sent")),
+      delivered(stats.RegisterCounter("net.delivered")),
+      retransmits(stats.RegisterCounter("net.retransmits")),
+      undeliverable(stats.RegisterCounter("net.undeliverable")),
+      link_cut(stats.RegisterCounter("net.link_cut")),
+      link_restored(stats.RegisterCounter("net.link_restored")),
+      node_isolated(stats.RegisterCounter("net.node_isolated")),
+      node_reconnected(stats.RegisterCounter("net.node_reconnected")),
+      route_hops(stats.RegisterHistogram("net.route_hops")) {}
+
 void Network::AddNode(NodeId id, DeliverFn deliver) {
   nodes_[id] = std::move(deliver);
 }
@@ -21,7 +32,7 @@ void Network::SetLinkUp(NodeId a, NodeId b, bool up) {
   if (it == links_.end() || it->second.up == up) return;
   auto before = ReachableSets();
   it->second.up = up;
-  sim_->GetStats().Incr(up ? "net.link_restored" : "net.link_cut");
+  sim_->GetStats().Incr(up ? metrics_.link_restored : metrics_.link_cut);
   NotifyReachabilityChanges(before);
 }
 
@@ -35,7 +46,7 @@ void Network::IsolateNode(NodeId id) {
     }
   }
   if (changed) {
-    sim_->GetStats().Incr("net.node_isolated");
+    sim_->GetStats().Incr(metrics_.node_isolated);
     NotifyReachabilityChanges(before);
   }
 }
@@ -50,7 +61,7 @@ void Network::ReconnectNode(NodeId id) {
     }
   }
   if (changed) {
-    sim_->GetStats().Incr("net.node_reconnected");
+    sim_->GetStats().Incr(metrics_.node_reconnected);
     NotifyReachabilityChanges(before);
   }
 }
@@ -97,7 +108,7 @@ std::vector<NodeId> Network::Route(NodeId from, NodeId to) const {
 }
 
 void Network::Send(Message msg) {
-  sim_->GetStats().Incr("net.sent");
+  sim_->GetStats().Incr(metrics_.sent);
   Transmit(std::move(msg), 0);
 }
 
@@ -108,7 +119,7 @@ void Network::Transmit(Message msg, int attempt) {
     // No route now (or the transmission was lost): the end-to-end protocol
     // retries with pacing; after max_retries the sender is notified.
     if (attempt >= config_.max_retries) {
-      sim_->GetStats().Incr("net.undeliverable");
+      sim_->GetStats().Incr(metrics_.undeliverable);
       if (msg.request_id != 0) {
         Message fail;
         fail.src = ProcessId{msg.dst.node, 0};
@@ -124,7 +135,7 @@ void Network::Transmit(Message msg, int attempt) {
       }
       return;
     }
-    sim_->GetStats().Incr("net.retransmits");
+    sim_->GetStats().Incr(metrics_.retransmits);
     sim_->After(config_.retry_interval, [this, msg = std::move(msg), attempt]() {
       Transmit(msg, attempt + 1);
     });
@@ -136,7 +147,7 @@ void Network::Transmit(Message msg, int attempt) {
     auto it = links_.find(Key(path[i], path[i + 1]));
     latency += (it != links_.end()) ? it->second.latency : config_.link_latency;
   }
-  sim_->GetStats().Record("net.route_hops", static_cast<int64_t>(path.size() - 1));
+  sim_->GetStats().Record(metrics_.route_hops, static_cast<int64_t>(path.size() - 1));
 
   NodeId dst_node = msg.dst.node;
   sim_->After(latency, [this, msg = std::move(msg), attempt, dst_node]() {
@@ -146,7 +157,7 @@ void Network::Transmit(Message msg, int attempt) {
       Transmit(msg, attempt + 1);
       return;
     }
-    sim_->GetStats().Incr("net.delivered");
+    sim_->GetStats().Incr(metrics_.delivered);
     auto it = nodes_.find(dst_node);
     if (it != nodes_.end()) it->second(msg);
   });

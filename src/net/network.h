@@ -38,7 +38,7 @@ class Network {
   using ReachabilityFn = std::function<void(NodeId observer, NodeId peer, bool up)>;
 
   Network(sim::Simulation* sim, NetworkConfig config = {})
-      : sim_(sim), config_(config) {}
+      : sim_(sim), config_(config), metrics_(sim->GetStats()) {}
 
   /// Registers a node and its delivery sink. Must be called before any
   /// link touching `id` is added.
@@ -94,8 +94,16 @@ class Network {
   void NotifyReachabilityChanges(const std::map<NodeId, std::set<NodeId>>& before);
   std::map<NodeId, std::set<NodeId>> ReachableSets() const;
 
+  struct Metrics {
+    explicit Metrics(sim::Stats& stats);
+    sim::MetricId sent, delivered, retransmits, undeliverable;
+    sim::MetricId link_cut, link_restored, node_isolated, node_reconnected;
+    sim::MetricId route_hops;  // histogram
+  };
+
   sim::Simulation* sim_;
   NetworkConfig config_;
+  Metrics metrics_;
   std::map<NodeId, DeliverFn> nodes_;
   std::map<LinkKey, Link> links_;
   ReachabilityFn reachability_fn_;

@@ -7,8 +7,21 @@
 
 namespace encompass::os {
 
+Node::Metrics::Metrics(sim::Stats& stats)
+    : cpu_failures(stats.RegisterCounter("os.cpu_failures")),
+      cpu_reloads(stats.RegisterCounter("os.cpu_reloads")),
+      bus_failed(stats.RegisterCounter("os.bus_failed")),
+      bus_restored(stats.RegisterCounter("os.bus_restored")),
+      bus_undeliverable(stats.RegisterCounter("os.bus_undeliverable")),
+      bus_x_msgs(stats.RegisterCounter("os.bus_x_msgs")),
+      bus_y_msgs(stats.RegisterCounter("os.bus_y_msgs")),
+      deliver_no_process(stats.RegisterCounter("os.deliver_no_process")) {}
+
 Node::Node(Cluster* cluster, net::NodeId id, NodeConfig config)
-    : cluster_(cluster), id_(id), config_(config) {
+    : cluster_(cluster),
+      id_(id),
+      config_(config),
+      metrics_(cluster->sim()->GetStats()) {
   assert(config_.num_cpus >= 1 && config_.num_cpus <= 16);
   cpus_.resize(config_.num_cpus);
   cpu_free_.resize(config_.num_cpus, 0);
@@ -98,7 +111,7 @@ void Node::FailCpu(int cpu) {
     }
   }
   slot.processes.clear();
-  sim()->GetStats().Incr("os.cpu_failures");
+  sim()->GetStats().Incr(metrics_.cpu_failures);
   // Survivors learn about it after the regroup (failure-detection) delay.
   sim()->After(config_.regroup_delay, [this, cpu]() {
     Broadcast([cpu](Process* p) { p->OnCpuDown(cpu); });
@@ -108,7 +121,7 @@ void Node::FailCpu(int cpu) {
 void Node::ReloadCpu(int cpu) {
   if (cpu < 0 || cpu >= static_cast<int>(cpus_.size()) || cpus_[cpu].up) return;
   cpus_[cpu].up = true;
-  sim()->GetStats().Incr("os.cpu_reloads");
+  sim()->GetStats().Incr(metrics_.cpu_reloads);
   sim()->After(config_.regroup_delay, [this, cpu]() {
     Broadcast([cpu](Process* p) { p->OnCpuUp(cpu); });
   });
@@ -116,7 +129,7 @@ void Node::ReloadCpu(int cpu) {
 
 void Node::SetBusUp(int bus, bool up) {
   bus_up_[bus & 1] = up;
-  sim()->GetStats().Incr(up ? "os.bus_restored" : "os.bus_failed");
+  sim()->GetStats().Incr(up ? metrics_.bus_restored : metrics_.bus_failed);
 }
 
 void Node::Broadcast(const std::function<void(Process*)>& fn) {
@@ -142,11 +155,11 @@ void Node::Route(net::Message msg) {
       // Pick the first up bus (X preferred). Both down: cross-CPU messages
       // cannot be delivered — counted, and requests get a failure notice.
       if (!bus_up_[0] && !bus_up_[1]) {
-        sim()->GetStats().Incr("os.bus_undeliverable");
+        sim()->GetStats().Incr(metrics_.bus_undeliverable);
         SendFailureNotice(msg, Status::Code::kUnavailable);
         return;
       }
-      sim()->GetStats().Incr(bus_up_[0] ? "os.bus_x_msgs" : "os.bus_y_msgs");
+      sim()->GetStats().Incr(bus_up_[0] ? metrics_.bus_x_msgs : metrics_.bus_y_msgs);
       latency = config_.bus_latency;
     }
     ScheduleDelivery(std::move(msg), latency);
@@ -176,7 +189,7 @@ void Node::DeliverLocal(const net::Message& msg) {
   net::Pid pid = msg.dst.by_name() ? LookupName(msg.dst.name) : msg.dst.pid;
   Process* target = (pid != 0) ? Find(pid) : nullptr;
   if (target == nullptr) {
-    sim()->GetStats().Incr("os.deliver_no_process");
+    sim()->GetStats().Incr(metrics_.deliver_no_process);
     SendFailureNotice(msg, Status::Code::kUnavailable);
     return;
   }

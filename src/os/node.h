@@ -116,6 +116,12 @@ class Node {
     std::map<net::Pid, std::unique_ptr<Process>> processes;
   };
 
+  struct Metrics {
+    explicit Metrics(sim::Stats& stats);
+    sim::MetricId cpu_failures, cpu_reloads, bus_failed, bus_restored;
+    sim::MetricId bus_undeliverable, bus_x_msgs, bus_y_msgs, deliver_no_process;
+  };
+
   void AdoptProcess(int cpu, std::unique_ptr<Process> proc);
   void SendFailureNotice(const net::Message& request, Status::Code code);
   /// Invokes fn(process) for every currently live process, robust to
@@ -125,6 +131,7 @@ class Node {
   Cluster* cluster_;
   net::NodeId id_;
   NodeConfig config_;
+  Metrics metrics_;
   std::vector<CpuSlot> cpus_;
   std::vector<SimTime> cpu_free_;
   std::map<net::Pid, int> pid_to_cpu_;

@@ -17,6 +17,9 @@ void Process::Attach(Node* node, int cpu, net::Pid pid) {
   node_ = node;
   cpu_ = cpu;
   pid_ = pid;
+  stats_ = &node->sim()->GetStats();
+  m_call_retries_ = stats_->RegisterCounter("os.call_retries");
+  OnAttach();
 }
 
 net::ProcessId Process::id() const {
@@ -29,6 +32,24 @@ sim::Simulation* Process::sim() const { return node_->sim(); }
 
 std::string Process::DebugName() const { return id().ToString(); }
 
+void Process::Trace(sim::TraceEventKind kind, uint64_t transid, uint32_t a,
+                    uint32_t b) const {
+  sim::TraceContext ctx{transid, active_trace_.span};
+  sim()->RecordTrace(kind, ctx, id().node, a, b);
+}
+
+void Process::StampTrace(net::Message& msg) {
+  const uint64_t transid =
+      current_transid_ != 0 ? current_transid_ : active_trace_.transid;
+  if (transid == 0) return;
+  sim::TraceLog& log = sim()->GetTrace();
+  if (!log.enabled()) return;
+  msg.trace.transid = transid;
+  msg.trace.span = log.NewSpan();
+  sim()->RecordTrace(sim::TraceEventKind::kMsgSend, msg.trace, id().node,
+                     msg.tag, msg.dst.node, active_trace_.span);
+}
+
 void Process::Send(const net::Address& dst, uint32_t tag, Bytes payload) {
   net::Message msg;
   msg.src = id();
@@ -36,6 +57,7 @@ void Process::Send(const net::Address& dst, uint32_t tag, Bytes payload) {
   msg.tag = tag;
   msg.transid = current_transid_;
   msg.payload = std::move(payload);
+  StampTrace(msg);
   node_->Route(std::move(msg));
 }
 
@@ -48,6 +70,7 @@ uint64_t Process::Call(const net::Address& dst, uint32_t tag, Bytes payload,
   msg.request_id = next_request_id_++;
   msg.transid = current_transid_;
   msg.payload = std::move(payload);
+  StampTrace(msg);
 
   PendingCall pending;
   pending.original = msg;
@@ -74,7 +97,7 @@ void Process::StartCallTimer(uint64_t request_id) {
       // request id). A name-addressed destination re-resolves at delivery,
       // so a retried request reaches the pair's new primary after takeover.
       --pit->second.retries_left;
-      sim()->GetStats().Incr("os.call_retries");
+      stats_->Incr(m_call_retries_);
       node_->Route(pit->second.original);
       StartCallTimer(request_id);
       return;
@@ -98,6 +121,7 @@ void Process::Reply(const net::Message& request, const Status& status,
   msg.status = status.code();
   msg.transid = request.transid;
   msg.payload = std::move(payload);
+  StampTrace(msg);
   node_->Route(std::move(msg));
 }
 
@@ -111,6 +135,7 @@ void Process::SendReply(net::ProcessId requester, uint32_t tag, uint64_t reply_t
   msg.reply_to = reply_to;
   msg.status = status.code();
   msg.payload = std::move(payload);
+  StampTrace(msg);
   node_->Route(std::move(msg));
 }
 
@@ -133,9 +158,17 @@ void Process::ResolveCall(uint64_t request_id, const Status& status,
 
 uint64_t Process::SetTimer(SimDuration delay, std::function<void()> fn) {
   std::weak_ptr<Process*> guard = self_;
-  return sim()->After(delay, [guard, fn = std::move(fn)]() {
+  // Timers inherit the trace context they were armed under, so causal chains
+  // survive latency hops (audit-force delay, MAT force, disc service time).
+  const sim::TraceContext ctx = active_trace_;
+  return sim()->After(delay, [guard, ctx, fn = std::move(fn)]() {
     auto locked = guard.lock();
-    if (locked && *locked != nullptr) fn();
+    if (!locked || *locked == nullptr) return;
+    const sim::TraceContext saved = (*locked)->active_trace_;
+    (*locked)->active_trace_ = ctx;
+    fn();
+    // fn may have destroyed the process; *locked is nulled in that case.
+    if (*locked != nullptr) (*locked)->active_trace_ = saved;
   });
 }
 
@@ -144,6 +177,28 @@ void Process::CancelTimer(uint64_t timer_id) {
 }
 
 void Process::DeliverToProcess(const net::Message& msg) {
+  const sim::TraceContext saved = active_trace_;
+  if (msg.trace.active()) {
+    active_trace_ = msg.trace;
+    sim()->RecordTrace(sim::TraceEventKind::kMsgDeliver, active_trace_,
+                       id().node, msg.tag);
+  } else if (msg.transid != 0) {
+    // Untraced message carrying a file-system transid (e.g. injected by a
+    // test client): adopt the transid so downstream work is attributable.
+    active_trace_ = sim::TraceContext{msg.transid, 0};
+  } else {
+    active_trace_ = sim::TraceContext{};
+  }
+  // Dispatch may destroy this process (a handler can trigger a CPU failure
+  // or respawn); only restore the context if we survived.
+  std::weak_ptr<Process*> guard = self_;
+  DispatchMessage(msg);
+  if (auto locked = guard.lock(); locked && *locked != nullptr) {
+    active_trace_ = saved;
+  }
+}
+
+void Process::DispatchMessage(const net::Message& msg) {
   if (msg.is_reply()) {
     if (msg.tag == net::kTagSendFailed) {
       net::Message empty;
@@ -152,7 +207,7 @@ void Process::DeliverToProcess(const net::Message& msg) {
       auto it = pending_calls_.find(msg.reply_to);
       if (it != pending_calls_.end() && it->second.retries_left > 0) {
         --it->second.retries_left;
-        sim()->GetStats().Incr("os.call_retries");
+        stats_->Incr(m_call_retries_);
         CancelTimer(it->second.timer);
         // Back off before resending: a fast failure (dead pid / unbound
         // name) usually means a takeover is in progress.

@@ -94,8 +94,17 @@ class Process {
   uint64_t SetTimer(SimDuration delay, std::function<void()> fn);
   void CancelTimer(uint64_t timer_id);
 
+  // -- Causal tracing --------------------------------------------------------
+
+  /// The trace context of the message or timer currently being handled.
+  /// Transaction-less work has an inactive context.
+  const sim::TraceContext& current_trace() const { return active_trace_; }
+
   // -- Event hooks (override points) -----------------------------------------
 
+  /// Called once from Attach, before OnStart, when sim()/node() are valid —
+  /// the place to register metric handles.
+  virtual void OnAttach() {}
   /// Called once, shortly after spawn, when messaging is available.
   virtual void OnStart() {}
   /// Called for every non-reply message addressed to this process.
@@ -113,7 +122,20 @@ class Process {
   /// calls, everything else to OnMessage. Not an override point.
   void DeliverToProcess(const net::Message& msg);
 
+ protected:
+  /// The simulation's stats registry (valid from OnAttach on).
+  sim::Stats& stats() const { return *stats_; }
+
+  /// Appends a trace event for `transid` at this node, under the span of the
+  /// message/timer being handled. No-op when transid is 0 or tracing is off.
+  void Trace(sim::TraceEventKind kind, uint64_t transid, uint32_t a = 0,
+             uint32_t b = 0) const;
+
  private:
+  void DispatchMessage(const net::Message& msg);
+  /// Stamps a fresh causal span (and a kMsgSend event) onto an outgoing
+  /// message when it belongs to a transaction.
+  void StampTrace(net::Message& msg);
   void ResolveCall(uint64_t request_id, const Status& status,
                    const net::Message& msg);
   void StartCallTimer(uint64_t request_id);
@@ -123,6 +145,9 @@ class Process {
   net::Pid pid_ = 0;
   uint64_t current_transid_ = 0;
   uint64_t next_request_id_ = 1;
+  sim::Stats* stats_ = nullptr;
+  sim::MetricId m_call_retries_;
+  sim::TraceContext active_trace_;
 
   struct PendingCall {
     net::Message original;  // for transparent retries

@@ -11,6 +11,14 @@ void PairedProcess::ConfigurePair(const std::string& name, Role role) {
 
 void PairedProcess::SetPeer(net::ProcessId peer) { peer_ = peer; }
 
+void PairedProcess::OnAttach() {
+  m_checkpoints_sent_ = stats().RegisterCounter("os.checkpoints_sent");
+  m_checkpoints_received_ = stats().RegisterCounter("os.checkpoints_received");
+  m_takeovers_ = stats().RegisterCounter("os.takeovers");
+  m_backup_lost_ = stats().RegisterCounter("os.backup_lost");
+  OnPairAttach();
+}
+
 void PairedProcess::OnStart() {
   if (IsPrimary() && !pair_name_.empty()) {
     node()->RegisterName(pair_name_, id().pid);
@@ -20,7 +28,7 @@ void PairedProcess::OnStart() {
 
 void PairedProcess::OnMessage(const net::Message& msg) {
   if (msg.tag == net::kTagCheckpoint) {
-    sim()->GetStats().Incr("os.checkpoints_received");
+    stats().Incr(m_checkpoints_received_);
     OnCheckpoint(Slice(msg.payload));
     return;
   }
@@ -29,7 +37,7 @@ void PairedProcess::OnMessage(const net::Message& msg) {
 
 void PairedProcess::SendCheckpoint(Bytes delta) {
   if (!peer_.valid()) return;
-  sim()->GetStats().Incr("os.checkpoints_sent");
+  stats().Incr(m_checkpoints_sent_);
   Send(net::Address(peer_), net::kTagCheckpoint, std::move(delta));
 }
 
@@ -40,11 +48,11 @@ void PairedProcess::OnCpuDown(int cpu) {
     if (role_ == Role::kBackup) {
       role_ = Role::kPrimary;
       if (!pair_name_.empty()) node()->RegisterName(pair_name_, id().pid);
-      sim()->GetStats().Incr("os.takeovers");
+      stats().Incr(m_takeovers_);
       LOG_INFO << DebugName() << " takeover at " << sim()->Now() << "us";
       OnTakeover();
     } else {
-      sim()->GetStats().Incr("os.backup_lost");
+      stats().Incr(m_backup_lost_);
       OnBackupLost();
     }
   }

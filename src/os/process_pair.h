@@ -37,6 +37,7 @@ class PairedProcess : public Process {
   }
 
   // Final overrides of the raw process hooks; subclasses use the pair hooks.
+  void OnAttach() final;
   void OnStart() final;
   void OnMessage(const net::Message& msg) final;
   void OnCpuDown(int cpu) final;
@@ -52,6 +53,8 @@ class PairedProcess : public Process {
 
   // -- Pair hooks (override points) -------------------------------------------
 
+  /// Called once from Attach on both members; register metric handles here.
+  virtual void OnPairAttach() {}
   /// Called once at spawn on both members.
   virtual void OnPairStart() {}
   /// Backup side: apply a checkpoint delta from the primary.
@@ -72,6 +75,8 @@ class PairedProcess : public Process {
   std::string pair_name_;
   Role role_ = Role::kPrimary;
   net::ProcessId peer_;
+  sim::MetricId m_checkpoints_sent_, m_checkpoints_received_;
+  sim::MetricId m_takeovers_, m_backup_lost_;
 };
 
 /// Handles to the two members of a freshly spawned pair. After takeover the

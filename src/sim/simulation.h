@@ -10,6 +10,7 @@
 #include "common/sim_time.h"
 #include "sim/event_queue.h"
 #include "sim/stats.h"
+#include "sim/trace.h"
 
 namespace encompass::sim {
 
@@ -26,6 +27,24 @@ class Simulation {
   SimTime Now() const { return now_; }
   encompass::Random& Rng() { return rng_; }
   Stats& GetStats() { return stats_; }
+  TraceLog& GetTrace() { return trace_; }
+
+  /// Appends one causal trace event stamped with the current simulated time.
+  /// No-op when tracing is disabled or the context carries no transaction.
+  void RecordTrace(TraceEventKind kind, const TraceContext& ctx, uint16_t node,
+                   uint32_t a = 0, uint32_t b = 0, uint32_t parent = 0) {
+    if (!trace_.enabled() || !ctx.active()) return;
+    TraceEvent e;
+    e.time = now_;
+    e.transid = ctx.transid;
+    e.span = ctx.span;
+    e.parent = parent;
+    e.kind = kind;
+    e.node = node;
+    e.a = a;
+    e.b = b;
+    trace_.Record(e);
+  }
 
   /// Schedules `fn` to run `delay` microseconds from now (>= 0).
   EventId After(SimDuration delay, std::function<void()> fn) {
@@ -61,6 +80,7 @@ class Simulation {
   EventQueue queue_;
   encompass::Random rng_;
   Stats stats_;
+  TraceLog trace_;
 };
 
 }  // namespace encompass::sim

@@ -1,55 +1,134 @@
 #include "sim/stats.h"
 
-#include <cmath>
+#include <algorithm>
+#include <bit>
 #include <sstream>
 
 namespace encompass::sim {
 
-void Histogram::Sort() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+uint32_t Histogram::BucketFor(int64_t v) {
+  if (v < static_cast<int64_t>(kSub)) {
+    return v < 0 ? 0u : static_cast<uint32_t>(v);
   }
+  const auto u = static_cast<uint64_t>(v);
+  const int e = std::bit_width(u) - 1;  // e in [kSubBits, 62]
+  const int shift = e - kSubBits;
+  const auto sub = static_cast<uint32_t>((u - (uint64_t{1} << e)) >> shift);
+  return kSub + static_cast<uint32_t>(shift) * kSub + sub;
 }
 
-int64_t Histogram::Min() const {
-  if (samples_.empty()) return 0;
-  Sort();
-  return samples_.front();
+int64_t Histogram::BucketMidpoint(uint32_t b) {
+  if (b < kSub) return static_cast<int64_t>(b);
+  const uint32_t rel = b - kSub;
+  const int shift = static_cast<int>(rel >> kSubBits);  // octave index == shift
+  const int e = kSubBits + shift;
+  const uint32_t sub = rel & (kSub - 1);
+  const int64_t low = (int64_t{1} << e) + (static_cast<int64_t>(sub) << shift);
+  const int64_t width = int64_t{1} << shift;
+  return low + (width >> 1);
 }
 
-int64_t Histogram::Max() const {
-  if (samples_.empty()) return 0;
-  Sort();
-  return samples_.back();
-}
-
-double Histogram::Mean() const {
-  if (samples_.empty()) return 0.0;
-  double sum = 0;
-  for (int64_t v : samples_) sum += static_cast<double>(v);
-  return sum / static_cast<double>(samples_.size());
+void Histogram::Add(int64_t v) {
+  buckets_[BucketFor(v)]++;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  count_++;
 }
 
 int64_t Histogram::Percentile(double p) const {
-  if (samples_.empty()) return 0;
-  Sort();
-  if (p <= 0) return samples_.front();
-  if (p >= 100) return samples_.back();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto idx = static_cast<size_t>(rank);
-  return samples_[idx];
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  const auto rank =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1));
+  uint64_t cum = 0;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[b];
+    if (cum > rank) {
+      return std::clamp(BucketMidpoint(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+MetricId Stats::RegisterCounter(const std::string& name) {
+  auto [it, inserted] =
+      counter_ids_.emplace(name, static_cast<uint32_t>(counter_values_.size()));
+  if (inserted) {
+    counter_names_.push_back(name);
+    counter_values_.push_back(0);
+  }
+  return MetricId(it->second);
+}
+
+MetricId Stats::RegisterHistogram(const std::string& name) {
+  auto [it, inserted] = histogram_ids_.emplace(
+      name, static_cast<uint32_t>(histogram_values_.size()));
+  if (inserted) {
+    histogram_names_.push_back(name);
+    histogram_values_.emplace_back();
+  }
+  return MetricId(it->second);
+}
+
+int64_t Stats::Counter(const std::string& name) const {
+  auto it = counter_ids_.find(name);
+  return it == counter_ids_.end() ? 0 : counter_values_[it->second];
+}
+
+const Histogram* Stats::FindHistogram(const std::string& name) const {
+  auto it = histogram_ids_.find(name);
+  return it == histogram_ids_.end() ? nullptr : &histogram_values_[it->second];
+}
+
+std::map<std::string, int64_t> Stats::counters() const {
+  std::map<std::string, int64_t> out;
+  for (size_t i = 0; i < counter_values_.size(); ++i) {
+    if (counter_values_[i] != 0) out.emplace(counter_names_[i], counter_values_[i]);
+  }
+  return out;
+}
+
+std::map<std::string, const Histogram*> Stats::histograms() const {
+  std::map<std::string, const Histogram*> out;
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    if (histogram_values_[i].count() > 0) {
+      out.emplace(histogram_names_[i], &histogram_values_[i]);
+    }
+  }
+  return out;
+}
+
+void Stats::Clear() {
+  std::fill(counter_values_.begin(), counter_values_.end(), 0);
+  for (auto& h : histogram_values_) h.Clear();
 }
 
 std::string Stats::ToString() const {
   std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters()) {
     out << name << " = " << value << "\n";
   }
-  for (const auto& [name, hist] : histograms_) {
-    out << name << ": n=" << hist.count() << " min=" << hist.Min()
-        << " mean=" << hist.Mean() << " p50=" << hist.Percentile(50)
-        << " p99=" << hist.Percentile(99) << " max=" << hist.Max() << "\n";
+  for (const auto& [name, hist] : histograms()) {
+    out << name << ": n=" << hist->count() << " min=" << hist->Min()
+        << " mean=" << hist->Mean() << " p50=" << hist->Percentile(50)
+        << " p95=" << hist->Percentile(95) << " p99=" << hist->Percentile(99)
+        << " max=" << hist->Max() << "\n";
   }
   return out.str();
 }

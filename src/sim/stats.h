@@ -1,67 +1,137 @@
 // Named counters and latency histograms collected during a simulation run.
 // Benchmarks and EXPERIMENTS.md rows are generated from these.
+//
+// Hot paths intern a metric once (RegisterCounter / RegisterHistogram) and
+// then update through the returned MetricId, which indexes dense storage —
+// no string hashing or map walk per event. The string-keyed calls remain
+// for tests, reporting, and one-off call sites; they resolve the name on
+// every call and are roughly an order of magnitude slower.
 
 #ifndef ENCOMPASS_SIM_STATS_H_
 #define ENCOMPASS_SIM_STATS_H_
 
-#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace encompass::sim {
 
-/// A simple sample-keeping histogram (the simulation produces at most a few
-/// million samples per run, so exact percentiles are affordable).
-class Histogram {
+class Stats;
+
+/// Opaque handle to one registered metric. Handles stay valid for the
+/// lifetime of the Stats object that issued them, across Clear().
+class MetricId {
  public:
-  void Add(int64_t v) {
-    samples_.push_back(v);
-    sorted_ = false;
-  }
-  size_t count() const { return samples_.size(); }
-  int64_t Min() const;
-  int64_t Max() const;
-  double Mean() const;
-  /// p in [0, 100]. Returns 0 for an empty histogram.
-  int64_t Percentile(double p) const;
+  MetricId() = default;
+  bool valid() const { return index_ != kInvalid; }
 
  private:
-  void Sort() const;
-  mutable std::vector<int64_t> samples_;
-  mutable bool sorted_ = true;
+  friend class Stats;
+  explicit constexpr MetricId(uint32_t index) : index_(index) {}
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+  uint32_t index_ = kInvalid;
+};
+
+/// Fixed-size log-bucket histogram: 64 linear sub-buckets per power-of-two
+/// octave, so values below 128 are represented exactly and larger values
+/// with <0.8% relative error. Min, max, mean, and count are exact; only
+/// percentiles are bucket-approximate. O(1) Add, O(buckets) Percentile.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(int64_t v);
+  size_t count() const { return count_; }
+  int64_t Min() const { return count_ ? min_ : 0; }
+  int64_t Max() const { return count_ ? max_ : 0; }
+  int64_t Sum() const { return sum_; }
+  double Mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  /// p in [0, 100]. Returns 0 for an empty histogram; p<=0 yields Min and
+  /// p>=100 yields Max, both exact.
+  int64_t Percentile(double p) const;
+
+  void Clear();
+
+ private:
+  static constexpr int kSubBits = 6;          // 64 sub-buckets per octave
+  static constexpr uint32_t kSub = 1u << kSubBits;
+  // Values 0..63 land in the linear range; octaves 6..62 cover the rest of
+  // the non-negative int64 domain (negatives clamp to bucket 0).
+  static constexpr uint32_t kNumBuckets = kSub + (63 - kSubBits) * kSub;
+
+  static uint32_t BucketFor(int64_t v);
+  static int64_t BucketMidpoint(uint32_t b);
+
+  std::vector<uint64_t> buckets_;  // sized kNumBuckets
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
 };
 
 /// Registry of counters and histograms, keyed by dotted names
-/// ("tmf.commit", "disc.io.read", ...).
+/// ("tmf.commits", "disc.op_ios", ...). Components register names once
+/// (typically at attach/construction time) and update via MetricId.
 class Stats {
  public:
-  void Incr(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
-  int64_t Counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
-  }
-  void Record(const std::string& name, int64_t value) { histograms_[name].Add(value); }
-  const Histogram* FindHistogram(const std::string& name) const {
-    auto it = histograms_.find(name);
-    return it == histograms_.end() ? nullptr : &it->second;
-  }
+  // --- Interned fast path -------------------------------------------------
 
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  /// Registers (or finds) a counter; idempotent per name.
+  MetricId RegisterCounter(const std::string& name);
+  /// Registers (or finds) a histogram; idempotent per name.
+  MetricId RegisterHistogram(const std::string& name);
 
-  void Clear() {
-    counters_.clear();
-    histograms_.clear();
+  // Invalid handles (a process whose metrics were never registered) are
+  // ignored: the guard is one well-predicted branch on the hot path.
+  void Incr(MetricId id, int64_t delta = 1) {
+    if (id.valid()) counter_values_[id.index_] += delta;
   }
+  void Record(MetricId id, int64_t value) {
+    if (id.valid()) histogram_values_[id.index_].Add(value);
+  }
+  int64_t Counter(MetricId id) const {
+    return id.valid() ? counter_values_[id.index_] : 0;
+  }
+  const Histogram& GetHistogram(MetricId id) const { return histogram_values_[id.index_]; }
 
-  /// Multi-line human-readable dump of all counters and histogram summaries.
+  // --- String-keyed compatibility path ------------------------------------
+
+  void Incr(const std::string& name, int64_t delta = 1) { Incr(RegisterCounter(name), delta); }
+  void Record(const std::string& name, int64_t value) {
+    Record(RegisterHistogram(name), value);
+  }
+  int64_t Counter(const std::string& name) const;
+  /// Returns nullptr if no histogram with that name was ever registered.
+  /// The pointer stays valid across later registrations and Clear().
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // --- Reporting ----------------------------------------------------------
+
+  /// Snapshot of all counters with a nonzero value, name-sorted.
+  std::map<std::string, int64_t> counters() const;
+  /// Snapshot of all non-empty histograms, name-sorted.
+  std::map<std::string, const Histogram*> histograms() const;
+
+  /// Zeroes all values. Registrations (and outstanding MetricIds) survive.
+  void Clear();
+
+  /// Multi-line human-readable dump: all nonzero counters, then all
+  /// non-empty histograms with n/min/mean/p50/p95/p99/max.
   std::string ToString() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, Histogram> histograms_;
+  std::unordered_map<std::string, uint32_t> counter_ids_;
+  std::vector<std::string> counter_names_;
+  std::vector<int64_t> counter_values_;
+
+  std::unordered_map<std::string, uint32_t> histogram_ids_;
+  std::vector<std::string> histogram_names_;
+  std::deque<Histogram> histogram_values_;  // deque: stable FindHistogram pointers
 };
 
 }  // namespace encompass::sim

@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace encompass::sim {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kMsgSend:
+      return "msg.send";
+    case TraceEventKind::kMsgDeliver:
+      return "msg.deliver";
+    case TraceEventKind::kTxnState:
+      return "txn.state";
+    case TraceEventKind::kPhase1Start:
+      return "phase1.start";
+    case TraceEventKind::kPhase1Done:
+      return "phase1.done";
+    case TraceEventKind::kCommitRecord:
+      return "commit.record";
+    case TraceEventKind::kPhase2Queued:
+      return "phase2.queued";
+    case TraceEventKind::kPhase2Recv:
+      return "phase2.recv";
+    case TraceEventKind::kAbortStart:
+      return "abort.start";
+    case TraceEventKind::kAbortDone:
+      return "abort.done";
+    case TraceEventKind::kLockAcquire:
+      return "lock.acquire";
+    case TraceEventKind::kLockRelease:
+      return "lock.release";
+    case TraceEventKind::kAuditForce:
+      return "audit.force";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream out;
+  out << "t=" << time << " node=" << node << " span=" << span;
+  if (parent != 0) out << "<-" << parent;
+  out << " " << TraceEventKindName(kind) << " a=" << a << " b=" << b;
+  return out.str();
+}
+
+TraceLog::TraceLog(size_t capacity) : ring_(capacity) {}
+
+void TraceLog::Record(const TraceEvent& e) {
+  if (count_ == ring_.size()) {
+    dropped_++;
+  } else {
+    count_++;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+}
+
+void TraceLog::Clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  // next_span_ deliberately keeps counting: span ids stay unique per run.
+}
+
+std::vector<TraceEvent> TraceLog::Events(uint64_t transid) const {
+  std::vector<TraceEvent> out;
+  const size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = ring_[(start + i) % ring_.size()];
+    if (e.transid == transid) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceLog::Dump(uint64_t transid) const {
+  std::ostringstream out;
+  out << "trace transid=" << transid;
+  if (dropped_ > 0) out << " (ring dropped " << dropped_ << " oldest events)";
+  out << "\n";
+  for (const TraceEvent& e : Events(transid)) {
+    out << "  " << e.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace encompass::sim

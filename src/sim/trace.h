@@ -1,0 +1,104 @@
+// Per-transaction causal tracing.
+//
+// A TraceContext (packed transid + causal span id) rides on every
+// net::Message. The OS layer keeps the context of the event currently being
+// handled and stamps a fresh span — parented on the active one — onto each
+// outgoing message, so the chain of sends, timer callbacks, and replies that
+// realises one transaction forms a causal tree. Subsystems append fixed-size
+// TraceEvents (no strings, no allocation beyond the ring) to the simulation's
+// bounded TraceLog ring; Dump(transid) renders a deterministic per-transaction
+// trace for tests and EXPERIMENTS.md.
+
+#ifndef ENCOMPASS_SIM_TRACE_H_
+#define ENCOMPASS_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace encompass::sim {
+
+/// Causal identity of the work a message (or handler) belongs to.
+/// transid == 0 means "not associated with any transaction": such work is
+/// never traced.
+struct TraceContext {
+  uint64_t transid = 0;  ///< packed tmf::Transid (home node + sequence)
+  uint32_t span = 0;     ///< causal span id, unique per traced message
+
+  bool active() const { return transid != 0; }
+};
+
+/// What happened. Values are stable identifiers used in test expectations;
+/// append new kinds at the end.
+enum class TraceEventKind : uint8_t {
+  kMsgSend = 1,     ///< a=tag, b=dst node; parent=sender's active span
+  kMsgDeliver = 2,  ///< a=tag; node=receiving node
+  kTxnState = 3,    ///< Figure-3 transition: a=from, b=to (tmf::TxnState)
+  kPhase1Start = 4,  ///< a=#audit forces requested, b=#remote children
+  kPhase1Done = 5,   ///< a=1 if all votes yes, 0 otherwise
+  kCommitRecord = 6,  ///< commit record forced to the MAT
+  kPhase2Queued = 7,  ///< safe-delivery enqueued: a=tag, b=dst node
+  kPhase2Recv = 8,    ///< phase-2 / abort record applied at a child
+  kAbortStart = 9,    ///< abort decided; backout begins
+  kAbortDone = 10,    ///< backout finished, txn reached kAborted
+  kLockAcquire = 11,  ///< a=FNV hash of the lock key
+  kLockRelease = 12,  ///< all locks of the txn released; a=#waiters granted
+  kAuditForce = 13,   ///< a=#records forced in this force call
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One fixed-size trace record. `a` and `b` are kind-specific details as
+/// documented on TraceEventKind.
+struct TraceEvent {
+  SimTime time = 0;
+  uint64_t transid = 0;
+  uint32_t span = 0;    ///< span this event belongs to
+  uint32_t parent = 0;  ///< for kMsgSend: span of the sending context
+  TraceEventKind kind = TraceEventKind::kMsgSend;
+  uint16_t node = 0;  ///< node where the event happened
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  std::string ToString() const;
+};
+
+/// Bounded ring of TraceEvents. When full, the oldest events are overwritten
+/// (and counted in dropped()); recording is O(1) and allocation-free.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 1 << 16);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Issues the next causal span id. Deterministic given a deterministic
+  /// event order, so traces are bit-stable across same-seed runs.
+  uint32_t NewSpan() { return ++next_span_; }
+
+  void Record(const TraceEvent& e);
+
+  size_t size() const { return count_; }
+  size_t dropped() const { return dropped_; }
+  void Clear();
+
+  /// All retained events for one transaction, in record (causal) order.
+  std::vector<TraceEvent> Events(uint64_t transid) const;
+
+  /// Deterministic multi-line rendering of Events(transid).
+  std::string Dump(uint64_t transid) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;   // next write position
+  size_t count_ = 0;  // number of valid events in the ring
+  size_t dropped_ = 0;
+  uint32_t next_span_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace encompass::sim
+
+#endif  // ENCOMPASS_SIM_TRACE_H_

@@ -7,6 +7,16 @@ namespace encompass::storage {
 Volume::Volume(std::string name, VolumeConfig config)
     : name_(std::move(name)), config_(config) {}
 
+void Volume::BindStats(sim::Stats* stats) {
+  stats_ = stats;
+  if (stats_ == nullptr) return;
+  const std::string prefix = "storage." + name_ + ".";
+  m_cache_hits_ = stats_->RegisterCounter(prefix + "cache_hits");
+  m_cache_misses_ = stats_->RegisterCounter(prefix + "cache_misses");
+  m_physical_reads_ = stats_->RegisterCounter(prefix + "physical_reads");
+  m_physical_writes_ = stats_->RegisterCounter(prefix + "physical_writes");
+}
+
 Status Volume::CreateFile(const std::string& fname, FileOrganization org,
                           FileOptions options) {
   if (files_.count(fname)) return Status::AlreadyExists("file exists: " + fname);
@@ -239,10 +249,13 @@ OpResult Volume::ReadRecord(const std::string& fname, const Slice& key) {
     out.key = key.ToBytes();
     if (CacheHit(fname, key)) {
       ++cache_hits_;
+      if (stats_ != nullptr) stats_->Incr(m_cache_hits_);
     } else {
       ++cache_misses_;
+      if (stats_ != nullptr) stats_->Incr(m_cache_misses_);
       out.disc_ios = file->access_depth();
       physical_reads_ += out.disc_ios;
+      if (stats_ != nullptr) stats_->Incr(m_physical_reads_, out.disc_ios);
       CacheTouch(fname, key);
     }
   }
@@ -268,10 +281,13 @@ OpResult Volume::SeekRecord(const std::string& fname, const Slice& key,
     out.value = std::move(r->value);
     if (CacheHit(fname, Slice(out.key))) {
       ++cache_hits_;
+      if (stats_ != nullptr) stats_->Incr(m_cache_hits_);
     } else {
       ++cache_misses_;
+      if (stats_ != nullptr) stats_->Incr(m_cache_misses_);
       out.disc_ios = file->access_depth();
       physical_reads_ += out.disc_ios;
+      if (stats_ != nullptr) stats_->Incr(m_physical_reads_, out.disc_ios);
       CacheTouch(fname, Slice(out.key));
     }
   }
@@ -296,6 +312,7 @@ OpResult Volume::ReadAlternate(const std::string& fname, const std::string& fiel
     for (const auto& pk : *r) PutLengthPrefixed(&out.value, Slice(pk));
     out.disc_ios = 1;  // one index probe
     ++physical_reads_;
+    if (stats_ != nullptr) stats_->Incr(m_physical_reads_);
   }
   return out;
 }
@@ -307,6 +324,7 @@ OpResult Volume::ReadAlternate(const std::string& fname, const std::string& fiel
 int Volume::Flush() {
   int writes = static_cast<int>(undo_ledger_.size()) * UpDrives();
   physical_writes_ += writes;
+  if (stats_ != nullptr) stats_->Incr(m_physical_writes_, writes);
   undo_ledger_.clear();
   return writes;
 }
@@ -366,6 +384,9 @@ Result<size_t> Volume::ReviveDrive(int drive) {
       copied += f->record_count();
     }
     physical_writes_ += static_cast<int64_t>(copied);
+    if (stats_ != nullptr) {
+      stats_->Incr(m_physical_writes_, static_cast<int64_t>(copied));
+    }
     drive_stale_[drive] = false;
   }
   drive_up_[drive] = true;

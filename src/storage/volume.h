@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/stats.h"
 #include "storage/file.h"
 
 namespace encompass::storage {
@@ -117,6 +118,11 @@ class Volume {
 
   // -- Statistics ---------------------------------------------------------------------
 
+  /// Mirrors the volume's I/O statistics into the simulation-wide Stats
+  /// registry as storage.<volume>.* counters. Optional: an unbound volume
+  /// (unit tests, tools) keeps only its local counters. Idempotent.
+  void BindStats(sim::Stats* stats);
+
   int64_t cache_hits() const { return cache_hits_; }
   int64_t cache_misses() const { return cache_misses_; }
   int64_t physical_reads() const { return physical_reads_; }
@@ -151,6 +157,11 @@ class Volume {
   int64_t cache_misses_ = 0;
   int64_t physical_reads_ = 0;
   int64_t physical_writes_ = 0;
+
+  // Optional mirror into the simulation's Stats registry (BindStats).
+  sim::Stats* stats_ = nullptr;
+  sim::MetricId m_cache_hits_, m_cache_misses_;
+  sim::MetricId m_physical_reads_, m_physical_writes_;
 };
 
 }  // namespace encompass::storage

@@ -26,9 +26,14 @@ void BackoutProcess::OnRequest(const net::Message& msg) {
   RunBackout(msg, *t);
 }
 
+void BackoutProcess::OnPairAttach() {
+  m_requests_ = stats().RegisterCounter("backout.requests");
+  m_undos_ = stats().RegisterCounter("backout.undos");
+}
+
 void BackoutProcess::RunBackout(const net::Message& request,
                                 const Transid& transid) {
-  sim()->GetStats().Incr("backout.requests");
+  stats().Incr(m_requests_);
   auto collected = std::make_shared<std::vector<audit::AuditRecord>>();
   auto pending = std::make_shared<int>(
       static_cast<int>(config_.audit_processes.size()));
@@ -72,7 +77,7 @@ void BackoutProcess::RunBackout(const net::Message& request,
       opt.retries = 2;
       uint64_t saved = current_transid();
       set_current_transid(transid.Pack());
-      sim()->GetStats().Incr("backout.undos");
+      stats().Incr(m_undos_);
       Call(net::Address(node()->id(), rec.volume), discprocess::kDiscUndo,
            undo.Encode(),
            [undo_failed, issue, idx](const Status& s, const net::Message&) {

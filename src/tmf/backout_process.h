@@ -31,12 +31,14 @@ class BackoutProcess : public os::PairedProcess {
   std::string DebugName() const override { return pair_name() + "/backout"; }
 
  protected:
+  void OnPairAttach() override;
   void OnRequest(const net::Message& msg) override;
 
  private:
   void RunBackout(const net::Message& request, const Transid& transid);
 
   BackoutConfig config_;
+  sim::MetricId m_requests_, m_undos_;
 };
 
 }  // namespace encompass::tmf

@@ -21,6 +21,40 @@ constexpr uint8_t kCkptSeq = 5;
 
 }  // namespace
 
+void TmpProcess::OnPairAttach() {
+  sim::Stats& stats = this->stats();
+  m_.state_broadcasts = stats.RegisterCounter("tmf.state_broadcasts");
+  m_.txns_seen = stats.RegisterCounter("tmf.txns_seen");
+  m_.auto_aborts = stats.RegisterCounter("tmf.auto_aborts");
+  m_.illegal_transitions = stats.RegisterCounter("tmf.illegal_transitions");
+  m_.begins = stats.RegisterCounter("tmf.begins");
+  m_.ends = stats.RegisterCounter("tmf.ends");
+  m_.voluntary_aborts = stats.RegisterCounter("tmf.voluntary_aborts");
+  m_.remote_begins = stats.RegisterCounter("tmf.remote_begins");
+  m_.phase1_received = stats.RegisterCounter("tmf.phase1_received");
+  m_.phase1_sent = stats.RegisterCounter("tmf.phase1_sent");
+  m_.audit_forces = stats.RegisterCounter("tmf.audit_forces");
+  m_.commits = stats.RegisterCounter("tmf.commits");
+  m_.phase2_received = stats.RegisterCounter("tmf.phase2_received");
+  m_.orphan_phase2 = stats.RegisterCounter("tmf.orphan_phase2");
+  m_.orphan_aborts = stats.RegisterCounter("tmf.orphan_aborts");
+  m_.aborts_started = stats.RegisterCounter("tmf.aborts_started");
+  m_.backouts = stats.RegisterCounter("tmf.backouts");
+  m_.forced_dispositions = stats.RegisterCounter("tmf.forced_dispositions");
+  m_.unilateral_aborts = stats.RegisterCounter("tmf.unilateral_aborts");
+  m_.safe_queued = stats.RegisterCounter("tmf.safe_queued");
+  m_.safe_delivered = stats.RegisterCounter("tmf.safe_delivered");
+  m_.takeover_resumed_commits = stats.RegisterCounter("tmf.takeover_resumed_commits");
+  m_.takeover_resumed_aborts = stats.RegisterCounter("tmf.takeover_resumed_aborts");
+  for (int from = 0; from < kNumTxnStates; ++from) {
+    for (int to = 0; to < kNumTxnStates; ++to) {
+      m_.transition[from][to] = stats.RegisterCounter(
+          std::string("tmf.transition.") + TxnStateName(static_cast<TxnState>(from)) +
+          "->" + TxnStateName(static_cast<TxnState>(to)));
+    }
+  }
+}
+
 bool TmpProcess::GetTxnState(const Transid& t, TxnState* state) const {
   auto it = txns_.find(t);
   if (it == txns_.end()) return false;
@@ -82,8 +116,8 @@ TmpProcess::TxnEntry* TmpProcess::CreateTxn(const Transid& t, bool is_home,
   (void)inserted;
   // BEGIN (or remote begin) broadcasts the transid in "active" state to all
   // processors of this node.
-  sim()->GetStats().Incr("tmf.state_broadcasts", node()->AliveCpuCount());
-  sim()->GetStats().Incr("tmf.txns_seen");
+  stats().Incr(m_.state_broadcasts, node()->AliveCpuCount());
+  stats().Incr(m_.txns_seen);
   CheckpointTxn(it->second, /*removed=*/false);
   ArmAutoAbort(t);
   return &it->second;
@@ -99,7 +133,7 @@ void TmpProcess::ArmAutoAbort(const Transid& t) {
     // window). Abort so the locks release. In-doubt transactions (ending,
     // non-home) are never touched — they wait for the home's disposition.
     if (txn->state == TxnState::kActive) {
-      sim()->GetStats().Incr("tmf.auto_aborts");
+      stats().Incr(m_.auto_aborts);
       StartAbort(t, "transaction abandoned (auto-abort timeout)");
     } else if (txn->state == TxnState::kEnding && txn->is_home) {
       // A home transaction stuck in ending means the phase-1 continuation
@@ -114,17 +148,18 @@ void TmpProcess::SetState(TxnEntry* txn, TxnState to) {
   if (txn->state == to) return;
   if (!LegalTransition(txn->state, to)) {
     // Counted rather than fatal: benches assert this stays zero.
-    sim()->GetStats().Incr("tmf.illegal_transitions");
+    stats().Incr(m_.illegal_transitions);
     LOG_ERROR << DebugName() << " illegal transition " << TxnStateName(txn->state)
               << " -> " << TxnStateName(to) << " for " << txn->transid.ToString();
     return;
   }
-  sim()->GetStats().Incr(std::string("tmf.transition.") +
-                         TxnStateName(txn->state) + "->" + TxnStateName(to));
+  stats().Incr(m_.transition[static_cast<int>(txn->state)][static_cast<int>(to)]);
+  Trace(sim::TraceEventKind::kTxnState, txn->transid.Pack(),
+        static_cast<uint32_t>(txn->state), static_cast<uint32_t>(to));
   txn->state = to;
   // State changes are broadcast to every processor within the node,
   // regardless of participation (cheap and reliable over the IPC bus).
-  sim()->GetStats().Incr("tmf.state_broadcasts", node()->AliveCpuCount());
+  stats().Incr(m_.state_broadcasts, node()->AliveCpuCount());
   CheckpointTxn(*txn, /*removed=*/false);
 }
 
@@ -179,7 +214,7 @@ void TmpProcess::HandleBegin(const net::Message& msg) {
   SendCheckpoint(std::move(ckpt));
 
   CreateTxn(t, /*is_home=*/true, /*parent=*/0);
-  sim()->GetStats().Incr("tmf.begins");
+  stats().Incr(m_.begins);
   Reply(msg, Status::Ok(), EncodeTransidPayload(t));
 }
 
@@ -208,7 +243,7 @@ void TmpProcess::HandleEnd(const net::Message& msg) {
   CheckpointTxn(*txn, false);
   if (txn->state == TxnState::kEnding) return;  // duplicate END: in progress
 
-  sim()->GetStats().Incr("tmf.ends");
+  stats().Incr(m_.ends);
   SetState(txn, TxnState::kEnding);
   Transid transid = *t;
   RunPhase1(txn, [this, transid](bool ok) {
@@ -239,7 +274,7 @@ void TmpProcess::HandleAbort(const net::Message& msg) {
   txn->client_req = msg.request_id;
   txn->client_tag = msg.tag;
   CheckpointTxn(*txn, false);
-  sim()->GetStats().Incr("tmf.voluntary_aborts");
+  stats().Incr(m_.voluntary_aborts);
   StartAbort(*t, "ABORT-TRANSACTION");
 }
 
@@ -262,7 +297,7 @@ void TmpProcess::HandleEnsureRemote(const net::Message& msg) {
   }
   // "Remote transaction begin" is a critical-response message: it must be
   // delivered and acknowledged before any transid transmission to `dest`.
-  sim()->GetStats().Incr("tmf.remote_begins");
+  stats().Incr(m_.remote_begins);
   net::Message request = msg;
   os::CallOptions opt;
   opt.timeout = config_.phase1_timeout;
@@ -322,7 +357,7 @@ void TmpProcess::HandlePhase1(const net::Message& msg) {
     return;
   }
   SetState(txn, TxnState::kEnding);
-  sim()->GetStats().Incr("tmf.phase1_received");
+  stats().Incr(m_.phase1_received);
   net::Message request = msg;
   Transid transid = *t;
   RunPhase1(txn, [this, request, transid](bool ok) {
@@ -345,23 +380,33 @@ void TmpProcess::HandlePhase1(const net::Message& msg) {
 void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
   // Phase one: write-force every local audit trail, and transitively ask
   // each child node to do likewise (critical-response).
+  const uint64_t packed = txn->transid.Pack();
+  Trace(sim::TraceEventKind::kPhase1Start, packed,
+        static_cast<uint32_t>(config_.audit_processes.size()),
+        static_cast<uint32_t>(txn->children.size()));
+  auto traced = [this, packed, done = std::move(done)](bool ok) {
+    Trace(sim::TraceEventKind::kPhase1Done, packed, ok ? 1 : 0);
+    done(ok);
+  };
   auto pending = std::make_shared<int>(0);
   auto failed = std::make_shared<bool>(false);
-  auto finish = [pending, failed, done = std::move(done)]() {
+  auto finish = [pending, failed, done = std::move(traced)]() {
     if (--*pending == 0) done(!*failed);
   };
 
   *pending = static_cast<int>(config_.audit_processes.size()) +
              static_cast<int>(txn->children.size());
   if (*pending == 0) {
-    done(true);
+    *pending = 1;
+    finish();
     return;
   }
   os::CallOptions force_opt;
   force_opt.timeout = config_.force_timeout;
   force_opt.retries = 2;
   for (const auto& name : config_.audit_processes) {
-    sim()->GetStats().Incr("tmf.audit_forces");
+    stats().Incr(m_.audit_forces);
+    Trace(sim::TraceEventKind::kAuditForce, packed);
     Call(net::Address(node()->id(), name), audit::kAuditForce, {},
          [failed, finish](const Status& s, const net::Message&) {
            if (!s.ok()) *failed = true;
@@ -372,7 +417,7 @@ void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
   os::CallOptions p1_opt;
   p1_opt.timeout = config_.phase1_timeout;
   for (net::NodeId child : txn->children) {
-    sim()->GetStats().Incr("tmf.phase1_sent");
+    stats().Incr(m_.phase1_sent);
     Call(Tmp(child), kTmfPhase1, EncodeTransidPayload(txn->transid),
          [failed, finish](const Status& s, const net::Message&) {
            if (!s.ok()) *failed = true;
@@ -393,8 +438,9 @@ void TmpProcess::CompleteCommit(const Transid& transid) {
       config_.monitor_trail->AppendForced(
           audit::CompletionRecord{transid, audit::Completion::kCommitted});
     }
+    Trace(sim::TraceEventKind::kCommitRecord, transid.Pack());
     SetState(txn, TxnState::kEnded);
-    sim()->GetStats().Incr("tmf.commits");
+    stats().Incr(m_.commits);
     // Phase two: unlock everywhere. Locally via targeted state-change
     // messages; remotely via safe-delivery (inaccessibility of a node does
     // not impede END-TRANSACTION completion on the home node).
@@ -423,10 +469,11 @@ void TmpProcess::HandlePhase2(const net::Message& msg) {
     // remote-begin checkpoint) but local DISCPROCESSes may still hold the
     // transaction's locks. Recreate the entry and run the commit pipeline —
     // every step is idempotent.
-    sim()->GetStats().Incr("tmf.orphan_phase2");
+    stats().Incr(m_.orphan_phase2);
     txn = CreateTxn(*t, /*is_home=*/false, msg.src.node);
   }
-  sim()->GetStats().Incr("tmf.phase2_received");
+  stats().Incr(m_.phase2_received);
+  Trace(sim::TraceEventKind::kPhase2Recv, t->Pack());
   if (config_.monitor_trail != nullptr) {
     config_.monitor_trail->AppendForced(
         audit::CompletionRecord{*t, audit::Completion::kCommitted});
@@ -452,7 +499,7 @@ void TmpProcess::HandleAbortTxn(const net::Message& msg) {
     // Orphan (see HandlePhase2): recreate the entry so the abort pipeline
     // releases whatever local state the transaction left behind. The
     // BACKOUTPROCESS finds this node's images in the local audit trails.
-    sim()->GetStats().Incr("tmf.orphan_aborts");
+    stats().Incr(m_.orphan_aborts);
     CreateTxn(*t, /*is_home=*/false, msg.src.node);
   }
   StartAbort(*t, "abort from parent node");
@@ -469,7 +516,8 @@ void TmpProcess::StartAbort(const Transid& transid, const std::string& reason) {
     return;  // already under way
   }
   LOG_DEBUG << DebugName() << " aborting " << transid.ToString() << ": " << reason;
-  sim()->GetStats().Incr("tmf.aborts_started");
+  stats().Incr(m_.aborts_started);
+  Trace(sim::TraceEventKind::kAbortStart, transid.Pack());
   SetState(txn, TxnState::kAborting);
   // Locks stay held during backout; DISCPROCESSes reject new work for the
   // transaction. Children learn via safe-delivery.
@@ -501,7 +549,8 @@ void TmpProcess::FinishAbort(const Transid& transid) {
         audit::CompletionRecord{transid, audit::Completion::kAborted});
   }
   SetState(txn, TxnState::kAborted);
-  sim()->GetStats().Incr("tmf.backouts");
+  stats().Incr(m_.backouts);
+  Trace(sim::TraceEventKind::kAbortDone, transid.Pack());
   NotifyLocalDiscs(transid,
                    static_cast<uint8_t>(discprocess::DiscTxnState::kAborted));
   // END callers learn their transaction aborted; ABORT callers get success.
@@ -547,7 +596,7 @@ void TmpProcess::HandleForceDisposition(const net::Message& msg) {
     Reply(msg, Status::NotFound("transaction not held here"));
     return;
   }
-  sim()->GetStats().Incr("tmf.forced_dispositions");
+  stats().Incr(m_.forced_dispositions);
   if (d == Disposition::kCommitted) {
     if (config_.monitor_trail != nullptr) {
       config_.monitor_trail->AppendForced(
@@ -584,7 +633,7 @@ void TmpProcess::OnNodeDown(net::NodeId peer) {
       to_abort.push_back(transid);  // participant lost: automatic abort
     } else if (!txn.is_home && txn.parent == peer) {
       to_abort.push_back(transid);  // lost our introducer: unilateral abort
-      sim()->GetStats().Incr("tmf.unilateral_aborts");
+      stats().Incr(m_.unilateral_aborts);
     }
   }
   for (const auto& t : to_abort) {
@@ -603,7 +652,8 @@ void TmpProcess::OnNodeUp(net::NodeId) {
 void TmpProcess::QueueSafeDelivery(net::NodeId dest, uint32_t tag,
                                    const Transid& transid) {
   safe_queue_.push_back(SafeDelivery{dest, tag, transid, false});
-  sim()->GetStats().Incr("tmf.safe_queued");
+  stats().Incr(m_.safe_queued);
+  Trace(sim::TraceEventKind::kPhase2Queued, transid.Pack(), tag, dest);
   Bytes ckpt;
   PutFixed8(&ckpt, kCkptSafeAdd);
   PutFixed16(&ckpt, dest);
@@ -629,7 +679,7 @@ void TmpProcess::TrySafeDeliveries() {
                  qit->transid == transid) {
                if (s.ok()) {
                  safe_queue_.erase(qit);
-                 sim()->GetStats().Incr("tmf.safe_delivered");
+                 stats().Incr(m_.safe_delivered);
                  Bytes ckpt;
                  PutFixed8(&ckpt, kCkptSafeRemove);
                  PutFixed16(&ckpt, dest);
@@ -774,7 +824,7 @@ void TmpProcess::OnTakeover() {
     if (txn.state == TxnState::kAborting) aborting.push_back(transid);
   }
   for (const auto& transid : ending) {
-    sim()->GetStats().Incr("tmf.takeover_resumed_commits");
+    stats().Incr(m_.takeover_resumed_commits);
     RunPhase1(FindTxn(transid), [this, transid](bool ok) {
       TxnEntry* txn = FindTxn(transid);
       if (txn == nullptr) return;
@@ -783,7 +833,7 @@ void TmpProcess::OnTakeover() {
     });
   }
   for (const auto& transid : aborting) {
-    sim()->GetStats().Incr("tmf.takeover_resumed_aborts");
+    stats().Incr(m_.takeover_resumed_aborts);
     os::CallOptions opt;
     opt.timeout = config_.backout_timeout;
     opt.retries = 2;

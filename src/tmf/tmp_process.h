@@ -62,6 +62,7 @@ class TmpProcess : public os::PairedProcess {
   size_t PendingSafeDeliveries() const { return safe_queue_.size(); }
 
  protected:
+  void OnPairAttach() override;
   void OnRequest(const net::Message& msg) override;
   void OnCheckpoint(const Slice& delta) override;
   void OnTakeover() override;
@@ -126,7 +127,22 @@ class TmpProcess : public os::PairedProcess {
   void CheckpointTxn(const TxnEntry& txn, bool removed);
   net::Address Tmp(net::NodeId node) const { return net::Address(node, "$TMP"); }
 
+  /// Interned handles for every TMP metric, registered once at attach. The
+  /// transition matrix pre-registers all from->to names so the Figure-3
+  /// accounting in SetState is a single indexed increment.
+  struct Metrics {
+    sim::MetricId state_broadcasts, txns_seen, auto_aborts, illegal_transitions;
+    sim::MetricId begins, ends, voluntary_aborts, remote_begins;
+    sim::MetricId phase1_received, phase1_sent, audit_forces, commits;
+    sim::MetricId phase2_received, orphan_phase2, orphan_aborts;
+    sim::MetricId aborts_started, backouts, forced_dispositions;
+    sim::MetricId unilateral_aborts, safe_queued, safe_delivered;
+    sim::MetricId takeover_resumed_commits, takeover_resumed_aborts;
+    sim::MetricId transition[kNumTxnStates][kNumTxnStates];
+  };
+
   TmpConfig config_;
+  Metrics m_;
   std::map<Transid, TxnEntry> txns_;
   uint64_t next_seq_ = 0;
 

@@ -25,6 +25,9 @@ enum class TxnState : uint8_t {
   kAborted = 4,   ///< backout complete; locks being released
 };
 
+/// Number of TxnState values (for dense per-transition tables).
+constexpr int kNumTxnStates = 5;
+
 const char* TxnStateName(TxnState state);
 
 /// True if `from` -> `to` is a legal transition per Figure 3.

@@ -204,5 +204,165 @@ TEST(FaultInjectorTest, FiresAndJournals) {
   EXPECT_EQ(fi.pending(), 0u);
 }
 
+
+TEST(MetricIdTest, RegistrationIsIdempotentAndSurvivesClear) {
+  Stats s;
+  MetricId a = s.RegisterCounter("ops");
+  MetricId a2 = s.RegisterCounter("ops");
+  EXPECT_TRUE(a.valid());
+  s.Incr(a, 2);
+  s.Incr(a2, 3);
+  EXPECT_EQ(s.Counter(a), 5);
+  EXPECT_EQ(s.Counter("ops"), 5);
+  // Clear zeroes values but keeps registrations: cached handles stay valid.
+  s.Clear();
+  EXPECT_EQ(s.Counter(a), 0);
+  s.Incr(a);
+  EXPECT_EQ(s.Counter("ops"), 1);
+  // Default-constructed (invalid) handles are ignored, not fatal.
+  MetricId invalid;
+  EXPECT_FALSE(invalid.valid());
+  s.Incr(invalid);
+  EXPECT_EQ(s.Counter(invalid), 0);
+}
+
+TEST(MetricIdTest, HandleAndStringPathsShareStorage) {
+  Stats s;
+  s.Incr("x", 7);
+  MetricId x = s.RegisterCounter("x");
+  s.Incr(x, 1);
+  EXPECT_EQ(s.Counter("x"), 8);
+  MetricId h = s.RegisterHistogram("lat");
+  s.Record(h, 5);
+  s.Record("lat", 15);
+  ASSERT_NE(s.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(s.FindHistogram("lat")->count(), 2u);
+  EXPECT_EQ(&s.GetHistogram(h), s.FindHistogram("lat"));
+}
+
+TEST(HistogramTest, EmptyEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Sum(), 0);
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(100), 0);
+  EXPECT_EQ(h.Percentile(-5), 0);
+  EXPECT_EQ(h.Percentile(200), 0);
+  h.Add(42);
+  EXPECT_EQ(h.Percentile(0), 42);
+  EXPECT_EQ(h.Percentile(50), 42);
+  EXPECT_EQ(h.Percentile(100), 42);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, LogBucketsExactBelow128) {
+  Histogram h;
+  for (int v = 0; v < 128; ++v) h.Add(v);
+  // With 64 sub-buckets per octave every value below 128 maps to its own
+  // bucket, so percentiles are exact.
+  EXPECT_EQ(h.Percentile(50), 63);  // rank floor(0.5 * 127) = 63
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 127);
+}
+
+TEST(HistogramTest, LargeValuesApproximateWithinBucketWidth) {
+  Histogram h;
+  const int64_t v = 1'000'000;
+  h.Add(v);
+  h.Add(v);
+  h.Add(3 * v);
+  // Percentiles land in the right bucket; midpoints are clamped to the
+  // observed [min, max], and relative error is bounded by 1/64 per octave.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), static_cast<double>(v),
+              static_cast<double>(v) / 64.0);
+  EXPECT_EQ(h.Percentile(100), 3 * v);
+  EXPECT_EQ(h.Min(), v);
+  EXPECT_EQ(h.Max(), 3 * v);
+  EXPECT_EQ(h.Sum(), 5 * v);
+  Histogram neg;
+  neg.Add(-17);  // negative samples clamp into the first bucket
+  EXPECT_EQ(neg.Min(), -17);
+  EXPECT_EQ(neg.count(), 1u);
+}
+
+TEST(StatsTest, ToStringShowsPercentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.Record("lat", i);
+  std::string dump = s.ToString();
+  EXPECT_NE(dump.find("p50"), std::string::npos);
+  EXPECT_NE(dump.find("p95"), std::string::npos);
+  EXPECT_NE(dump.find("p99"), std::string::npos);
+  // Empty histograms are omitted rather than printed as garbage.
+  s.RegisterHistogram("never_recorded");
+  dump = s.ToString();
+  EXPECT_EQ(dump.find("never_recorded"), std::string::npos);
+}
+
+TEST(TraceLogTest, RecordAndDumpPerTransaction) {
+  TraceLog log(16);
+  TraceEvent e;
+  e.time = 5;
+  e.transid = 42;
+  e.span = log.NewSpan();
+  e.kind = TraceEventKind::kMsgSend;
+  e.node = 1;
+  e.a = 7;
+  log.Record(e);
+  e.time = 9;
+  e.kind = TraceEventKind::kMsgDeliver;
+  e.node = 2;
+  log.Record(e);
+  TraceEvent other;
+  other.transid = 99;
+  other.kind = TraceEventKind::kTxnState;
+  log.Record(other);
+  EXPECT_EQ(log.size(), 3u);
+  auto events = log.Events(42);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kMsgSend);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kMsgDeliver);
+  std::string dump = log.Dump(42);
+  EXPECT_NE(dump.find("transid=42"), std::string::npos);
+  EXPECT_NE(dump.find("msg.send"), std::string::npos);
+  EXPECT_NE(dump.find("msg.deliver"), std::string::npos);
+  EXPECT_EQ(dump.find("txn.state"), std::string::npos);
+}
+
+TEST(TraceLogTest, RingOverwritesOldestAndCountsDropped) {
+  TraceLog log(4);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    TraceEvent e;
+    e.transid = i;
+    log.Record(e);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_TRUE(log.Events(1).empty());   // overwritten
+  EXPECT_TRUE(log.Events(2).empty());   // overwritten
+  EXPECT_EQ(log.Events(3).size(), 1u);  // oldest survivor
+  EXPECT_EQ(log.Events(6).size(), 1u);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.Events(6).empty());
+}
+
+TEST(TraceLogTest, DisabledLogRecordsNothing) {
+  TraceLog log;
+  log.set_enabled(false);
+  Simulation sim;
+  sim.GetTrace().set_enabled(false);
+  TraceContext ctx{42, 1};
+  sim.RecordTrace(TraceEventKind::kMsgSend, ctx, 1);
+  EXPECT_EQ(sim.GetTrace().size(), 0u);
+  sim.GetTrace().set_enabled(true);
+  sim.RecordTrace(TraceEventKind::kMsgSend, ctx, 1);
+  EXPECT_EQ(sim.GetTrace().size(), 1u);
+  // Inactive contexts (transid 0) never record.
+  sim.RecordTrace(TraceEventKind::kMsgSend, TraceContext{}, 1);
+  EXPECT_EQ(sim.GetTrace().size(), 1u);
+}
+
 }  // namespace
 }  // namespace encompass::sim
