@@ -8,6 +8,7 @@
 #define ENCOMPASS_AUDIT_AUDIT_PROCESS_H_
 
 #include <string>
+#include <vector>
 
 #include "audit/audit_trail.h"
 #include "os/process_pair.h"
@@ -33,6 +34,11 @@ Result<std::vector<AuditRecord>> DecodeAuditBatch(const Slice& payload);
 struct AuditProcessConfig {
   AuditTrail* trail = nullptr;          ///< shared durable trail (disc state)
   SimDuration force_latency = Millis(8);///< disc force (sequential write) cost
+  /// Group commit: how long the first force request of a batch waits for
+  /// company before the physical write starts. 0 (default) starts the write
+  /// immediately; requests arriving while a write is in flight still
+  /// coalesce into the next write either way.
+  SimDuration group_commit_window = 0;
 };
 
 /// The AUDITPROCESS pair.
@@ -51,12 +57,32 @@ class AuditProcess : public os::PairedProcess {
   void HandleForce(const net::Message& msg);
   void HandleFetch(const net::Message& msg);
 
+  /// One coalesced force requester, remembered until its write lands.
+  struct ForceWaiter {
+    net::ProcessId requester;
+    uint64_t reply_to = 0;
+    uint32_t tag = 0;
+    sim::TraceContext trace;  ///< reply under the waiter's own causal span
+  };
+
+  /// Starts the physical write for everything in waiting_; replies to the
+  /// whole batch when it lands and begins the next cycle if more arrived.
+  void StartForceWrite();
+  /// Schedules the next write cycle (honouring the batching window).
+  void ArmForceWrite();
+
   struct Metrics {
     sim::MetricId appended, forces, forced_records, files_purged;
+    sim::MetricId group_commit_size;  // histogram
   };
 
   AuditProcessConfig config_;
   Metrics m_;
+  // Group-commit state (primary-only, volatile: waiters re-drive via the
+  // file-system retry on takeover).
+  std::vector<ForceWaiter> waiting_;   ///< force the *next* physical write
+  bool gathering_ = false;             ///< window timer armed
+  bool write_in_flight_ = false;       ///< force_latency timer armed
 };
 
 }  // namespace encompass::audit

@@ -85,16 +85,14 @@ size_t AuditTrail::record_count() const {
 
 uint64_t MonitorAuditTrail::AppendForced(const CompletionRecord& record) {
   records_.push_back(record);
+  index_.emplace(record.transid.Pack(), record.completion);
   return records_.size();
 }
 
 int MonitorAuditTrail::Lookup(const Transid& transid) const {
-  for (const auto& rec : records_) {
-    if (rec.transid == transid) {
-      return rec.completion == Completion::kCommitted ? 1 : 0;
-    }
-  }
-  return -1;
+  auto it = index_.find(transid.Pack());
+  if (it == index_.end()) return -1;
+  return it->second == Completion::kCommitted ? 1 : 0;
 }
 
 }  // namespace encompass::audit

@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "audit/audit_record.h"
@@ -79,6 +80,8 @@ class MonitorAuditTrail {
   uint64_t AppendForced(const CompletionRecord& record);
 
   /// Completion status if known: 1 = committed, 0 = aborted, -1 = unknown.
+  /// O(1): served from a transid-keyed index (this sits on the
+  /// disposition-query path of every in-doubt resolution).
   int Lookup(const Transid& transid) const;
 
   const std::vector<CompletionRecord>& records() const { return records_; }
@@ -86,6 +89,9 @@ class MonitorAuditTrail {
 
  private:
   std::vector<CompletionRecord> records_;
+  // First completion recorded per transaction wins (idempotent re-commits
+  // append duplicate records; the disposition never changes).
+  std::unordered_map<uint64_t, Completion> index_;
 };
 
 }  // namespace encompass::audit

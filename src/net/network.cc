@@ -16,15 +16,19 @@ Network::Metrics::Metrics(sim::Stats& stats)
       link_restored(stats.RegisterCounter("net.link_restored")),
       node_isolated(stats.RegisterCounter("net.node_isolated")),
       node_reconnected(stats.RegisterCounter("net.node_reconnected")),
+      route_cache_hits(stats.RegisterCounter("net.route_cache_hits")),
+      route_cache_misses(stats.RegisterCounter("net.route_cache_misses")),
       route_hops(stats.RegisterHistogram("net.route_hops")) {}
 
 void Network::AddNode(NodeId id, DeliverFn deliver) {
   nodes_[id] = std::move(deliver);
+  ++topology_version_;
 }
 
 void Network::AddLink(NodeId a, NodeId b, SimDuration latency) {
   assert(nodes_.count(a) && nodes_.count(b) && a != b);
   links_[Key(a, b)] = Link{latency > 0 ? latency : config_.link_latency, true};
+  ++topology_version_;
 }
 
 void Network::SetLinkUp(NodeId a, NodeId b, bool up) {
@@ -32,6 +36,7 @@ void Network::SetLinkUp(NodeId a, NodeId b, bool up) {
   if (it == links_.end() || it->second.up == up) return;
   auto before = ReachableSets();
   it->second.up = up;
+  ++topology_version_;
   sim_->GetStats().Incr(up ? metrics_.link_restored : metrics_.link_cut);
   NotifyReachabilityChanges(before);
 }
@@ -46,6 +51,7 @@ void Network::IsolateNode(NodeId id) {
     }
   }
   if (changed) {
+    ++topology_version_;
     sim_->GetStats().Incr(metrics_.node_isolated);
     NotifyReachabilityChanges(before);
   }
@@ -61,6 +67,7 @@ void Network::ReconnectNode(NodeId id) {
     }
   }
   if (changed) {
+    ++topology_version_;
     sim_->GetStats().Incr(metrics_.node_reconnected);
     NotifyReachabilityChanges(before);
   }
@@ -73,17 +80,24 @@ bool Network::LinkUp(NodeId a, NodeId b) const {
 
 bool Network::Reachable(NodeId from, NodeId to) const {
   if (from == to) return nodes_.count(from) > 0;
-  return !Route(from, to).empty();
+  if (!nodes_.count(from) || !nodes_.count(to)) return false;
+  return TableFor(from).parent.count(to) > 0;
 }
 
-std::vector<NodeId> Network::Route(NodeId from, NodeId to) const {
-  if (!nodes_.count(from) || !nodes_.count(to)) return {};
-  if (from == to) return {from};
-  // BFS over up links gives the min-hop path; ties break toward smaller node
-  // ids because links_ is an ordered map — deterministic routing.
-  std::map<NodeId, NodeId> parent;
+const Network::RouteTable& Network::TableFor(NodeId from) const {
+  RouteTable& table = route_tables_[from];
+  if (table.version == topology_version_) {
+    sim_->GetStats().Incr(metrics_.route_cache_hits);
+    return table;
+  }
+  sim_->GetStats().Incr(metrics_.route_cache_misses);
+  // Full BFS over up links builds the min-hop parent forest rooted at `from`;
+  // ties break toward smaller node ids because links_ is an ordered map —
+  // deterministic routing. Parents are assigned at first discovery, so the
+  // forest yields the same paths a per-query BFS would.
+  table.parent.clear();
+  table.parent[from] = from;
   std::deque<NodeId> frontier{from};
-  parent[from] = from;
   while (!frontier.empty()) {
     NodeId cur = frontier.front();
     frontier.pop_front();
@@ -93,18 +107,27 @@ std::vector<NodeId> Network::Route(NodeId from, NodeId to) const {
       if (key.a == cur) next = key.b;
       else if (key.b == cur) next = key.a;
       else continue;
-      if (parent.count(next)) continue;
-      parent[next] = cur;
-      if (next == to) {
-        std::vector<NodeId> path{to};
-        for (NodeId n = to; n != from; n = parent[n]) path.push_back(parent[n]);
-        std::reverse(path.begin(), path.end());
-        return path;
-      }
+      if (table.parent.count(next)) continue;
+      table.parent[next] = cur;
       frontier.push_back(next);
     }
   }
-  return {};
+  table.version = topology_version_;
+  return table;
+}
+
+std::vector<NodeId> Network::Route(NodeId from, NodeId to) const {
+  if (!nodes_.count(from) || !nodes_.count(to)) return {};
+  if (from == to) return {from};
+  const RouteTable& table = TableFor(from);
+  auto it = table.parent.find(to);
+  if (it == table.parent.end()) return {};
+  std::vector<NodeId> path{to};
+  for (NodeId n = to; n != from; n = table.parent.at(n)) {
+    path.push_back(table.parent.at(n));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 void Network::Send(Message msg) {
@@ -136,9 +159,10 @@ void Network::Transmit(Message msg, int attempt) {
       return;
     }
     sim_->GetStats().Incr(metrics_.retransmits);
-    sim_->After(config_.retry_interval, [this, msg = std::move(msg), attempt]() {
-      Transmit(msg, attempt + 1);
-    });
+    sim_->After(config_.retry_interval,
+                [this, msg = std::move(msg), attempt]() mutable {
+                  Transmit(std::move(msg), attempt + 1);
+                });
     return;
   }
 
@@ -150,16 +174,16 @@ void Network::Transmit(Message msg, int attempt) {
   sim_->GetStats().Record(metrics_.route_hops, static_cast<int64_t>(path.size() - 1));
 
   NodeId dst_node = msg.dst.node;
-  sim_->After(latency, [this, msg = std::move(msg), attempt, dst_node]() {
+  sim_->After(latency, [this, msg = std::move(msg), attempt, dst_node]() mutable {
     // End-to-end verification at arrival time: if the partition happened
     // while the packet was in flight, the protocol retransmits.
     if (!Reachable(msg.src.node, dst_node)) {
-      Transmit(msg, attempt + 1);
+      Transmit(std::move(msg), attempt + 1);
       return;
     }
     sim_->GetStats().Incr(metrics_.delivered);
     auto it = nodes_.find(dst_node);
-    if (it != nodes_.end()) it->second(msg);
+    if (it != nodes_.end()) it->second(std::move(msg));
   });
 }
 

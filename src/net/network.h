@@ -62,8 +62,14 @@ class Network {
   bool Reachable(NodeId from, NodeId to) const;
 
   /// Min-hop route from -> to (inclusive of both endpoints); empty if
-  /// unreachable or unknown nodes.
+  /// unreachable or unknown nodes. Served from a per-source routing table
+  /// stamped with the topology version; tables recompute lazily after a
+  /// link or node state change (`net.route_cache_hits/misses`).
   std::vector<NodeId> Route(NodeId from, NodeId to) const;
+
+  /// Current topology version; bumps on every link/node state change.
+  /// A routing table stamped with an older version is stale.
+  uint64_t topology_version() const { return topology_version_; }
 
   /// Sends a message toward dst.node. Delivery is asynchronous; on final
   /// failure the sender receives a kTagSendFailed notice (if it asked for a
@@ -94,10 +100,21 @@ class Network {
   void NotifyReachabilityChanges(const std::map<NodeId, std::set<NodeId>>& before);
   std::map<NodeId, std::set<NodeId>> ReachableSets() const;
 
+  /// One source node's view of the topology: the BFS parent forest rooted at
+  /// `source`, valid while `version == topology_version_`.
+  struct RouteTable {
+    uint64_t version = 0;
+    std::map<NodeId, NodeId> parent;  ///< discovered node -> parent toward source
+  };
+
+  /// Returns the (lazily recomputed) routing table for `from`.
+  const RouteTable& TableFor(NodeId from) const;
+
   struct Metrics {
     explicit Metrics(sim::Stats& stats);
     sim::MetricId sent, delivered, retransmits, undeliverable;
     sim::MetricId link_cut, link_restored, node_isolated, node_reconnected;
+    sim::MetricId route_cache_hits, route_cache_misses;
     sim::MetricId route_hops;  // histogram
   };
 
@@ -107,6 +124,8 @@ class Network {
   std::map<NodeId, DeliverFn> nodes_;
   std::map<LinkKey, Link> links_;
   ReachabilityFn reachability_fn_;
+  uint64_t topology_version_ = 1;
+  mutable std::map<NodeId, RouteTable> route_tables_;
 };
 
 }  // namespace encompass::net

@@ -182,10 +182,12 @@ void Node::ScheduleDelivery(net::Message msg, SimDuration latency) {
     cpu_free_[dst_cpu] = start + config_.cpu_service_time;
     arrival = start + config_.cpu_service_time;
   }
-  sim()->At(arrival, [this, msg = std::move(msg)]() { DeliverLocal(msg); });
+  sim()->At(arrival, [this, msg = std::move(msg)]() mutable {
+    DeliverLocal(std::move(msg));
+  });
 }
 
-void Node::DeliverLocal(const net::Message& msg) {
+void Node::DeliverLocal(net::Message msg) {
   net::Pid pid = msg.dst.by_name() ? LookupName(msg.dst.name) : msg.dst.pid;
   Process* target = (pid != 0) ? Find(pid) : nullptr;
   if (target == nullptr) {
@@ -193,7 +195,7 @@ void Node::DeliverLocal(const net::Message& msg) {
     SendFailureNotice(msg, Status::Code::kUnavailable);
     return;
   }
-  target->DeliverToProcess(msg);
+  target->DeliverToProcess(std::move(msg));
 }
 
 void Node::SendFailureNotice(const net::Message& request, Status::Code code) {
@@ -206,7 +208,9 @@ void Node::SendFailureNotice(const net::Message& request, Status::Code code) {
   fail.status = code;
   if (request.src.node == id_) {
     sim()->After(config_.same_cpu_latency,
-                 [this, fail = std::move(fail)]() { DeliverLocal(fail); });
+                 [this, fail = std::move(fail)]() mutable {
+                   DeliverLocal(std::move(fail));
+                 });
   } else {
     cluster_->network().Send(std::move(fail));
   }

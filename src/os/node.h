@@ -99,8 +99,9 @@ class Node {
 
   /// Delivers a message arriving at this node (from the bus or the network):
   /// resolves a name address, finds the target process, and hands over.
-  /// Undeliverable requests produce a send-failed notice to the sender.
-  void DeliverLocal(const net::Message& msg);
+  /// Takes ownership of the message — it is moved, not copied, into the
+  /// target process. Undeliverable requests produce a send-failed notice.
+  void DeliverLocal(net::Message msg);
 
   /// Reachability event from the network layer: broadcast to all processes.
   void PeerReachability(net::NodeId peer, bool up);

@@ -176,7 +176,7 @@ void Process::CancelTimer(uint64_t timer_id) {
   if (timer_id != 0) sim()->Cancel(timer_id);
 }
 
-void Process::DeliverToProcess(const net::Message& msg) {
+void Process::DeliverToProcess(net::Message msg) {
   const sim::TraceContext saved = active_trace_;
   if (msg.trace.active()) {
     active_trace_ = msg.trace;
@@ -193,6 +193,17 @@ void Process::DeliverToProcess(const net::Message& msg) {
   // or respawn); only restore the context if we survived.
   std::weak_ptr<Process*> guard = self_;
   DispatchMessage(msg);
+  if (auto locked = guard.lock(); locked && *locked != nullptr) {
+    active_trace_ = saved;
+  }
+}
+
+void Process::WithTraceContext(const sim::TraceContext& ctx,
+                               const std::function<void()>& fn) {
+  const sim::TraceContext saved = active_trace_;
+  active_trace_ = ctx;
+  std::weak_ptr<Process*> guard = self_;
+  fn();
   if (auto locked = guard.lock(); locked && *locked != nullptr) {
     active_trace_ = saved;
   }

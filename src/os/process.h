@@ -119,12 +119,22 @@ class Process {
   virtual void OnNodeUp(net::NodeId peer) { (void)peer; }
 
   /// Message entry point called by the node; routes replies to pending
-  /// calls, everything else to OnMessage. Not an override point.
-  void DeliverToProcess(const net::Message& msg);
+  /// calls, everything else to OnMessage. Takes the message by value (the
+  /// node moves it in — the last hop of the copy-free delivery path).
+  /// Not an override point.
+  void DeliverToProcess(net::Message msg);
 
  protected:
   /// The simulation's stats registry (valid from OnAttach on).
   sim::Stats& stats() const { return *stats_; }
+
+  /// Runs fn with `ctx` installed as the active trace context, restoring the
+  /// previous context afterwards (robust to fn destroying this process).
+  /// Used when one physical event completes work for several causal chains —
+  /// e.g. replying to each waiter of a coalesced group-commit batch under
+  /// that waiter's own span instead of the batch leader's.
+  void WithTraceContext(const sim::TraceContext& ctx,
+                        const std::function<void()>& fn);
 
   /// Appends a trace event for `transid` at this node, under the span of the
   /// message/timer being handled. No-op when transid is 0 or tracing is off.

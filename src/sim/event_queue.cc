@@ -7,15 +7,17 @@ namespace encompass::sim {
 EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
   EventId id = next_id_++;
   heap_.push(Event{when, id, std::move(fn)});
+  pending_.insert(id);
   ++live_count_;
   return id;
 }
 
 void EventQueue::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  if (cancelled_.insert(id).second) {
-    if (live_count_ > 0) --live_count_;
-  }
+  // Only a still-pending event can be cancelled; a fired, cancelled, or
+  // unknown id is a no-op (no tombstone, no live_count_ change).
+  if (pending_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  --live_count_;
 }
 
 void EventQueue::SkipCancelled() const {
@@ -40,6 +42,7 @@ std::function<void()> EventQueue::PopNext(SimTime* when) {
   auto& top = const_cast<Event&>(heap_.top());
   *when = top.when;
   std::function<void()> fn = std::move(top.fn);
+  pending_.erase(top.id);
   heap_.pop();
   --live_count_;
   return fn;

@@ -24,8 +24,9 @@ class EventQueue {
   /// Schedules `fn` to fire at absolute time `when`. Returns a handle.
   EventId Schedule(SimTime when, std::function<void()> fn);
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event is
-  /// a no-op. O(1): the event is tombstoned and skipped on pop.
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
+  /// or unknown event is a true no-op (no tombstone, no accounting change).
+  /// O(1): a pending event is tombstoned and skipped on pop.
   void Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -54,6 +55,10 @@ class EventQueue {
   void SkipCancelled() const;
 
   mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Ids currently scheduled and not yet fired or cancelled. Cancel consults
+  // this set so a cancel racing an already-fired event cannot insert a
+  // permanent tombstone or corrupt live_count_.
+  std::unordered_set<EventId> pending_;
   mutable std::unordered_set<EventId> cancelled_;
   size_t live_count_ = 0;
   EventId next_id_ = 1;

@@ -35,6 +35,8 @@ void TmpProcess::OnPairAttach() {
   m_.phase1_sent = stats.RegisterCounter("tmf.phase1_sent");
   m_.audit_forces = stats.RegisterCounter("tmf.audit_forces");
   m_.commits = stats.RegisterCounter("tmf.commits");
+  m_.mat_forces = stats.RegisterCounter("tmf.mat_forces");
+  m_.mat_group_commit_size = stats.RegisterHistogram("tmf.mat_group_commit_size");
   m_.phase2_received = stats.RegisterCounter("tmf.phase2_received");
   m_.orphan_phase2 = stats.RegisterCounter("tmf.orphan_phase2");
   m_.orphan_aborts = stats.RegisterCounter("tmf.orphan_aborts");
@@ -431,27 +433,61 @@ void TmpProcess::CompleteCommit(const Transid& transid) {
   TxnEntry* txn = FindTxn(transid);
   if (txn == nullptr || txn->state != TxnState::kEnding) return;
   // The commit record force on the Monitor Audit Trail is the commit point.
-  SetTimer(config_.mat_force_latency, [this, transid]() {
-    TxnEntry* txn = FindTxn(transid);
-    if (txn == nullptr || txn->state != TxnState::kEnding) return;
-    if (config_.monitor_trail != nullptr) {
-      config_.monitor_trail->AppendForced(
-          audit::CompletionRecord{transid, audit::Completion::kCommitted});
+  // Group commit: every transaction whose phase 1 finished before a physical
+  // MAT write starts shares that write; a commit deciding while a write is
+  // in flight joins the batch for the next one.
+  mat_waiting_.push_back(MatWaiter{transid, current_trace()});
+  if (mat_write_in_flight_ || mat_gathering_) return;
+  ArmMatWrite();
+}
+
+void TmpProcess::ArmMatWrite() {
+  if (config_.mat_group_commit_window > 0) {
+    mat_gathering_ = true;
+    SetTimer(config_.mat_group_commit_window, [this]() { StartMatWrite(); });
+  } else {
+    StartMatWrite();
+  }
+}
+
+void TmpProcess::StartMatWrite() {
+  mat_gathering_ = false;
+  if (mat_waiting_.empty()) return;
+  mat_write_in_flight_ = true;
+  std::vector<MatWaiter> batch = std::move(mat_waiting_);
+  mat_waiting_.clear();
+  stats().Incr(m_.mat_forces);
+  stats().Record(m_.mat_group_commit_size, static_cast<int64_t>(batch.size()));
+  SetTimer(config_.mat_force_latency, [this, batch = std::move(batch)]() {
+    mat_write_in_flight_ = false;
+    for (const MatWaiter& w : batch) {
+      WithTraceContext(w.trace,
+                       [this, &w]() { CommitPointReached(w.transid); });
     }
-    Trace(sim::TraceEventKind::kCommitRecord, transid.Pack());
-    SetState(txn, TxnState::kEnded);
-    stats().Incr(m_.commits);
-    // Phase two: unlock everywhere. Locally via targeted state-change
-    // messages; remotely via safe-delivery (inaccessibility of a node does
-    // not impede END-TRANSACTION completion on the home node).
-    NotifyLocalDiscs(transid,
-                     static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
-    for (net::NodeId child : txn->children) {
-      QueueSafeDelivery(child, kTmfPhase2, transid);
-    }
-    ReplyToClient(txn, Status::Ok());
-    DropTxn(transid);
+    if (!mat_waiting_.empty()) ArmMatWrite();
   });
+}
+
+void TmpProcess::CommitPointReached(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding) return;
+  if (config_.monitor_trail != nullptr) {
+    config_.monitor_trail->AppendForced(
+        audit::CompletionRecord{transid, audit::Completion::kCommitted});
+  }
+  Trace(sim::TraceEventKind::kCommitRecord, transid.Pack());
+  SetState(txn, TxnState::kEnded);
+  stats().Incr(m_.commits);
+  // Phase two: unlock everywhere. Locally via targeted state-change
+  // messages; remotely via safe-delivery (inaccessibility of a node does
+  // not impede END-TRANSACTION completion on the home node).
+  NotifyLocalDiscs(transid,
+                   static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
+  for (net::NodeId child : txn->children) {
+    QueueSafeDelivery(child, kTmfPhase2, transid);
+  }
+  ReplyToClient(txn, Status::Ok());
+  DropTxn(transid);
 }
 
 void TmpProcess::HandlePhase2(const net::Message& msg) {

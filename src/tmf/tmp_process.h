@@ -36,6 +36,11 @@ struct TmpConfig {
   std::string backout_process = "$BACKOUT";  ///< local BACKOUTPROCESS name
   audit::MonitorAuditTrail* monitor_trail = nullptr;  ///< durable, per node
   SimDuration mat_force_latency = Millis(8);   ///< commit-record force cost
+  /// Group commit for the commit-point force: how long the first committer
+  /// of a batch waits for company before the physical MAT write starts.
+  /// 0 (default) starts immediately; commits arriving while a write is in
+  /// flight still coalesce into the next write either way.
+  SimDuration mat_group_commit_window = 0;
   SimDuration phase1_timeout = Seconds(2);     ///< critical-response deadline
   SimDuration force_timeout = Seconds(2);      ///< local audit force deadline
   SimDuration safe_retry_interval = Millis(500);  ///< safe-delivery pacing
@@ -104,7 +109,15 @@ class TmpProcess : public os::PairedProcess {
   /// `done(ok)`.
   void RunPhase1(TxnEntry* txn, std::function<void(bool)> done);
   /// Commit decided: write the MAT record, release locks, propagate phase 2.
+  /// Concurrent committers share one physical MAT write (group commit).
   void CompleteCommit(const Transid& transid);
+  /// Starts the physical MAT write for every transaction in mat_waiting_.
+  void StartMatWrite();
+  /// Schedules the next MAT write cycle (honouring the batching window).
+  void ArmMatWrite();
+  /// The commit record of `transid` is durable: release locks, propagate
+  /// phase 2, answer the client.
+  void CommitPointReached(const Transid& transid);
   /// Abort decided: mark aborting, back out, release, propagate abort.
   void StartAbort(const Transid& transid, const std::string& reason);
   void FinishAbort(const Transid& transid);
@@ -134,6 +147,8 @@ class TmpProcess : public os::PairedProcess {
     sim::MetricId state_broadcasts, txns_seen, auto_aborts, illegal_transitions;
     sim::MetricId begins, ends, voluntary_aborts, remote_begins;
     sim::MetricId phase1_received, phase1_sent, audit_forces, commits;
+    sim::MetricId mat_forces;
+    sim::MetricId mat_group_commit_size;  // histogram
     sim::MetricId phase2_received, orphan_phase2, orphan_aborts;
     sim::MetricId aborts_started, backouts, forced_dispositions;
     sim::MetricId unilateral_aborts, safe_queued, safe_delivered;
@@ -154,6 +169,17 @@ class TmpProcess : public os::PairedProcess {
   };
   std::list<SafeDelivery> safe_queue_;
   uint64_t safe_timer_ = 0;
+
+  /// One committer waiting for its commit record to reach the MAT.
+  struct MatWaiter {
+    Transid transid;
+    sim::TraceContext trace;  ///< finish the commit under its own span
+  };
+  // Group-commit state (primary-only, volatile: a takeover re-runs phase 1
+  // for ending transactions, which re-enters CompleteCommit).
+  std::vector<MatWaiter> mat_waiting_;
+  bool mat_gathering_ = false;        ///< window timer armed
+  bool mat_write_in_flight_ = false;  ///< mat_force_latency timer armed
 };
 
 }  // namespace encompass::tmf

@@ -1,14 +1,19 @@
-// Tests for audit records, audit trails (force/volatility/purge), and the
-// Monitor Audit Trail.
+// Tests for audit records, audit trails (force/volatility/purge), the
+// Monitor Audit Trail, and group commit in the AUDITPROCESS.
 
 #include <gtest/gtest.h>
 
 #include "audit/audit_process.h"
 #include "audit/audit_record.h"
 #include "audit/audit_trail.h"
+#include "os/cluster.h"
+#include "os/process_pair.h"
+#include "test_util.h"
 
 namespace encompass::audit {
 namespace {
+
+using testutil::TestClient;
 
 AuditRecord MakeRecord(uint64_t seq, const std::string& key) {
   AuditRecord rec;
@@ -156,6 +161,115 @@ TEST(MonitorAuditTrailTest, CommitAndAbortLookup) {
   EXPECT_EQ(mat.Lookup(Transid{1, 0, 2}), 0);
   EXPECT_EQ(mat.Lookup(Transid{1, 0, 3}), -1);
   EXPECT_EQ(mat.size(), 2u);
+}
+
+TEST(MonitorAuditTrailTest, FirstCompletionWinsOverDuplicates) {
+  MonitorAuditTrail mat;
+  // Idempotent re-commits (phase-2 retries, takeover replays) append
+  // duplicate records; the disposition answered must never change.
+  mat.AppendForced(CompletionRecord{Transid{1, 0, 5}, Completion::kCommitted});
+  mat.AppendForced(CompletionRecord{Transid{1, 0, 5}, Completion::kCommitted});
+  EXPECT_EQ(mat.Lookup(Transid{1, 0, 5}), 1);
+  EXPECT_EQ(mat.size(), 2u);  // the log keeps both, the index keeps one
+}
+
+// -- AUDITPROCESS group commit ----------------------------------------------
+
+class AuditGroupCommitTest : public ::testing::Test {
+ protected:
+  void Start(SimDuration window) {
+    sim_ = std::make_unique<sim::Simulation>(11);
+    cluster_ = std::make_unique<os::Cluster>(sim_.get());
+    node_ = cluster_->AddNode(1);
+    AuditProcessConfig acfg;
+    acfg.trail = &trail_;
+    acfg.group_commit_window = window;
+    os::SpawnPair<AuditProcess>(node_, "$AUDIT", 0, 1, acfg);
+    client_ = node_->Spawn<TestClient>(2);
+    sim_->Run();
+  }
+
+  net::Address Audit() { return net::Address(1, "$AUDIT"); }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<os::Cluster> cluster_;
+  os::Node* node_ = nullptr;
+  AuditTrail trail_{"AT1"};
+  TestClient* client_ = nullptr;
+};
+
+TEST_F(AuditGroupCommitTest, ConcurrentForcesCoalesce) {
+  Start(/*window=*/0);
+  // Four force requests in flight together: the first starts a physical
+  // write; the other three arrive while it is in flight and share the next
+  // one. Two writes total, batch sizes exactly {1, 3}.
+  auto* a = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* b = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* c = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* d = client_->CallRaw(Audit(), kAuditForce, {});
+  sim_->Run();
+  for (auto* out : {a, b, c, d}) {
+    ASSERT_TRUE(out->done);
+    EXPECT_TRUE(out->status.ok());
+  }
+  EXPECT_EQ(sim_->GetStats().Counter("audit.forces"), 2);
+  const auto* sizes = sim_->GetStats().FindHistogram("audit.group_commit_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count(), 2u);
+  EXPECT_EQ(sizes->Sum(), 4);
+  EXPECT_EQ(sizes->Min(), 1);
+  EXPECT_EQ(sizes->Max(), 3);
+}
+
+TEST_F(AuditGroupCommitTest, BatchingWindowMergesIntoOneWrite) {
+  Start(Millis(1));
+  // With a batching window longer than the arrival spread, all four forces
+  // land in one physical write.
+  auto* a = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* b = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* c = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* d = client_->CallRaw(Audit(), kAuditForce, {});
+  sim_->Run();
+  for (auto* out : {a, b, c, d}) {
+    ASSERT_TRUE(out->done);
+    EXPECT_TRUE(out->status.ok());
+  }
+  EXPECT_EQ(sim_->GetStats().Counter("audit.forces"), 1);
+  const auto* sizes = sim_->GetStats().FindHistogram("audit.group_commit_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count(), 1u);
+  EXPECT_EQ(sizes->Max(), 4);
+}
+
+TEST_F(AuditGroupCommitTest, SequentialForcesDoNotCoalesce) {
+  Start(/*window=*/0);
+  // Forces separated in time keep the pre-group-commit behaviour: one
+  // physical write each.
+  for (int i = 0; i < 3; ++i) {
+    auto* out = client_->CallRaw(Audit(), kAuditForce, {});
+    sim_->Run();
+    ASSERT_TRUE(out->done);
+    EXPECT_TRUE(out->status.ok());
+  }
+  EXPECT_EQ(sim_->GetStats().Counter("audit.forces"), 3);
+  const auto* sizes = sim_->GetStats().FindHistogram("audit.group_commit_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count(), 3u);
+  EXPECT_EQ(sizes->Max(), 1);
+}
+
+TEST_F(AuditGroupCommitTest, ForceCoversRecordsAppendedBeforeWriteStart) {
+  Start(/*window=*/0);
+  // A record appended before the physical write starts is durable once the
+  // force's reply arrives, even when the force coalesced into a batch.
+  trail_.Append(AuditRecord{});
+  auto* a = client_->CallRaw(Audit(), kAuditForce, {});
+  auto* b = client_->CallRaw(Audit(), kAuditForce, {});
+  sim_->Run();
+  ASSERT_TRUE(a->done && b->done);
+  EXPECT_TRUE(a->status.ok());
+  EXPECT_TRUE(b->status.ok());
+  EXPECT_EQ(trail_.durable_lsn(), 1u);
 }
 
 }  // namespace

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
@@ -176,6 +180,109 @@ TEST_F(NetworkTest, PerLinkLatencyHonoured) {
   SimTime before = sim_.Now();
   sim_.Run();
   EXPECT_EQ(sim_.Now() - before, Millis(42));
+}
+
+// Reference implementation for the route-cache tests: a fresh breadth-first
+// search per query over the same deterministic link order the Network uses.
+std::vector<NodeId> ReferenceBfs(std::vector<std::pair<NodeId, NodeId>> up_links,
+                                 NodeId from, NodeId to) {
+  if (from == to) return {from};
+  // Match the Network's deterministic tie-break: links are visited in the
+  // order of its normalized (min, max) ordered link map.
+  for (auto& [a, b] : up_links) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(up_links.begin(), up_links.end());
+  std::map<NodeId, NodeId> parent;
+  std::deque<NodeId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [a, b] : up_links) {
+      NodeId next;
+      if (a == cur) next = b;
+      else if (b == cur) next = a;
+      else continue;
+      if (parent.count(next)) continue;
+      parent[next] = cur;
+      frontier.push_back(next);
+    }
+  }
+  if (!parent.count(to)) return {};
+  std::vector<NodeId> path{to};
+  for (NodeId n = to; n != from; n = parent[n]) path.push_back(parent[n]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TEST_F(NetworkTest, RouteCacheSurvivesLinkFlaps) {
+  AddNodes(5);
+  // Two squares sharing the 2-3 edge, plus a 1-5 long-way edge: rich enough
+  // that partitions reroute rather than disconnect.
+  std::vector<std::pair<NodeId, NodeId>> links = {
+      {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5}, {2, 4}};
+  for (const auto& [a, b] : links) network_.AddLink(a, b);
+
+  auto up_links = [&](const std::set<std::pair<NodeId, NodeId>>& down) {
+    std::vector<std::pair<NodeId, NodeId>> up;
+    for (const auto& l : links) {
+      if (!down.count(l)) up.push_back(l);
+    }
+    return up;
+  };
+  auto check_all_pairs = [&](const std::set<std::pair<NodeId, NodeId>>& down) {
+    auto up = up_links(down);
+    for (NodeId from = 1; from <= 5; ++from) {
+      for (NodeId to = 1; to <= 5; ++to) {
+        EXPECT_EQ(network_.Route(from, to), ReferenceBfs(up, from, to))
+            << "route " << from << "->" << to;
+        EXPECT_EQ(network_.Reachable(from, to),
+                  !ReferenceBfs(up, from, to).empty());
+      }
+    }
+  };
+
+  check_all_pairs({});
+  // Partition the 2-3 bridge mid-run, re-query everything, then flap more
+  // links, heal, and re-verify: cached tables must always match a fresh BFS.
+  network_.SetLinkUp(2, 3, false);
+  check_all_pairs({{2, 3}});
+  network_.SetLinkUp(1, 2, false);
+  check_all_pairs({{2, 3}, {1, 2}});
+  network_.SetLinkUp(2, 3, true);
+  check_all_pairs({{1, 2}});
+  network_.SetLinkUp(1, 2, true);
+  check_all_pairs({});
+  // Repeated queries against an unchanged topology are cache hits.
+  int64_t misses_before = sim_.GetStats().Counter("net.route_cache_misses");
+  for (int i = 0; i < 100; ++i) network_.Route(1, 4);
+  EXPECT_EQ(sim_.GetStats().Counter("net.route_cache_misses"), misses_before);
+  EXPECT_GT(sim_.GetStats().Counter("net.route_cache_hits"), 100);
+}
+
+TEST_F(NetworkTest, RouteCacheInvalidatesOnIsolateAndReconnect) {
+  AddNodes(4);
+  network_.AddLink(1, 2);
+  network_.AddLink(2, 3);
+  network_.AddLink(3, 4);
+  network_.AddLink(4, 1);
+  uint64_t v0 = network_.topology_version();
+  ASSERT_EQ(network_.Route(1, 3).size(), 3u);  // warm the cache
+  network_.IsolateNode(2);
+  EXPECT_GT(network_.topology_version(), v0);
+  auto route = network_.Route(1, 3);
+  ASSERT_EQ(route.size(), 3u);  // re-routed around the isolated node
+  EXPECT_EQ(route[1], 4);
+  EXPECT_FALSE(network_.Reachable(1, 2));
+  network_.ReconnectNode(2);
+  EXPECT_TRUE(network_.Reachable(1, 2));
+  EXPECT_EQ(network_.Route(1, 2).size(), 2u);
+  // Isolating again without any change in between is a no-op: no version
+  // bump, cache stays valid.
+  uint64_t v1 = network_.topology_version();
+  network_.ReconnectNode(2);  // already connected
+  EXPECT_EQ(network_.topology_version(), v1);
 }
 
 }  // namespace

@@ -55,6 +55,41 @@ TEST(EventQueueTest, CancelUnknownIsNoop) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueueTest, CancelAfterFireIsTrueNoop) {
+  EventQueue q;
+  int fired = 0;
+  EventId id = q.Schedule(10, [&] { ++fired; });
+  SimTime when;
+  q.PopNext(&when)();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  // Cancelling the already-fired event must not tombstone future state or
+  // decrement the live count below the truth.
+  q.Cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.Schedule(20, [&] { ++fired; });
+  q.Schedule(30, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.empty());
+  while (!q.empty()) q.PopNext(&when)();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, DoubleCancelKeepsAccountingExact) {
+  EventQueue q;
+  EventId a = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Cancel(a);
+  q.Cancel(a);  // second cancel of the same id is a no-op
+  EXPECT_EQ(q.size(), 1u);
+  SimTime when;
+  q.PopNext(&when);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kNoDeadline);
+}
+
 TEST(EventQueueTest, CancelMiddleKeepsOthers) {
   EventQueue q;
   std::vector<int> order;

@@ -29,7 +29,9 @@ struct Rig {
 };
 
 // Three nodes, one audited file per node; the client lives on node 1.
-Rig MakeRig(uint64_t seed) {
+// `group_commit_window` > 0 opens the MAT/audit batching window (0 keeps the
+// default immediate-write behaviour).
+Rig MakeRig(uint64_t seed, SimDuration group_commit_window = 0) {
   Rig rig;
   rig.sim = std::make_unique<sim::Simulation>(seed);
   rig.deploy = std::make_unique<Deployment>(rig.sim.get());
@@ -40,6 +42,8 @@ Rig MakeRig(uint64_t seed) {
     spec.volumes = {app::VolumeSpec{"$DATA" + std::to_string(n),
                                     {app::FileSpec{"f" + std::to_string(n)}},
                                     {}}};
+    spec.tmp_config.mat_group_commit_window = group_commit_window;
+    spec.audit_config.group_commit_window = group_commit_window;
     rig.deploy->AddNode(spec);
   }
   rig.deploy->LinkAll();
@@ -205,6 +209,67 @@ TEST(TraceTest, SameSeedSameTrace) {
   EXPECT_NE(first.find("commit.record"), std::string::npos);
   EXPECT_NE(first.find("lock.acquire"), std::string::npos);
   EXPECT_NE(first.find("audit.force"), std::string::npos);
+}
+
+TEST(TraceTest, ConcurrentCommitsCoalesceDeterministically) {
+  // Two transactions commit concurrently: their commit-point MAT writes (and
+  // the audit forces under them) coalesce via group commit. The whole
+  // interleaving must stay deterministic — same seed, byte-identical traces —
+  // and the batch accounting must be exact.
+  struct RunResult {
+    std::string dump1, dump2;
+    int64_t mat_forces = 0;
+    size_t mat_batches = 0;
+    int64_t mat_batched_commits = 0;
+    int64_t mat_max_batch = 0;
+  };
+  auto run = [](uint64_t seed) {
+    // A window comfortably wider than the phase-1 completion spread (the two
+    // audit forces serialize at ~8ms each) guarantees both commit points
+    // land in one batch.
+    Rig rig = MakeRig(seed, /*group_commit_window=*/Millis(20));
+    uint64_t t1 = Begin(rig);
+    uint64_t t2 = Begin(rig);
+    EXPECT_TRUE(Insert(rig, t1, "f1", "ka", "v").ok());
+    EXPECT_TRUE(Insert(rig, t1, "f2", "ka", "v").ok());
+    EXPECT_TRUE(Insert(rig, t2, "f1", "kb", "v").ok());
+    EXPECT_TRUE(Insert(rig, t2, "f2", "kb", "v").ok());
+    // Issue both ENDs back to back so the commits overlap.
+    auto* e1 = rig.client->CallRaw(
+        net::Address(1, "$TMP"), tmf::kTmfEnd,
+        tmf::EncodeTransidPayload(Transid::Unpack(t1)), t1);
+    auto* e2 = rig.client->CallRaw(
+        net::Address(1, "$TMP"), tmf::kTmfEnd,
+        tmf::EncodeTransidPayload(Transid::Unpack(t2)), t2);
+    rig.sim->Run();
+    EXPECT_TRUE(e1->done && e1->status.ok());
+    EXPECT_TRUE(e2->done && e2->status.ok());
+    RunResult r;
+    r.dump1 = rig.sim->GetTrace().Dump(t1);
+    r.dump2 = rig.sim->GetTrace().Dump(t2);
+    r.mat_forces = rig.sim->GetStats().Counter("tmf.mat_forces");
+    const auto* sizes =
+        rig.sim->GetStats().FindHistogram("tmf.mat_group_commit_size");
+    if (sizes != nullptr) {
+      r.mat_batches = sizes->count();
+      r.mat_batched_commits = sizes->Sum();
+      r.mat_max_batch = sizes->Max();
+    }
+    return r;
+  };
+  RunResult first = run(211);
+  RunResult second = run(211);
+  EXPECT_FALSE(first.dump1.empty());
+  EXPECT_EQ(first.dump1, second.dump1);  // bit-identical across runs
+  EXPECT_EQ(first.dump2, second.dump2);
+  // Exact accounting: both commit records went through the MAT write path,
+  // and every physical write is counted once.
+  EXPECT_EQ(first.mat_batched_commits, 2);
+  EXPECT_EQ(static_cast<int64_t>(first.mat_batches), first.mat_forces);
+  EXPECT_EQ(first.mat_forces, 1);   // the two commit points share one write
+  EXPECT_EQ(first.mat_max_batch, 2);
+  EXPECT_EQ(first.dump1.find("commit.record") != std::string::npos, true);
+  EXPECT_EQ(first.dump2.find("commit.record") != std::string::npos, true);
 }
 
 TEST(TraceTest, SafeDeliveryDrainsAfterReconnect) {
