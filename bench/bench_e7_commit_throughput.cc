@@ -173,13 +173,6 @@ struct E7Result {
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
 };
 
-double PercentileMs(std::vector<SimDuration>& v, double p) {
-  if (v.empty()) return 0;
-  size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(v.size() - 1));
-  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
-  return static_cast<double>(v[idx]) / 1e3;
-}
-
 E7Result RunE7(E7Rig& rig) {
   sim::Stats& stats = rig.sim->GetStats();
   int64_t forces0 = stats.Counter("audit.forces");

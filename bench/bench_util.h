@@ -6,12 +6,14 @@
 #ifndef ENCOMPASS_BENCH_BENCH_UTIL_H_
 #define ENCOMPASS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/banking/banking.h"
 #include "encompass/deployment.h"
@@ -179,6 +181,15 @@ inline void Header(const std::string& title) {
 inline double TxnPerSec(uint64_t committed, SimTime elapsed_us) {
   if (elapsed_us <= 0) return 0;
   return static_cast<double>(committed) * 1e6 / static_cast<double>(elapsed_us);
+}
+
+/// Percentile of a sample of simulated durations, in milliseconds.
+/// Partially sorts `v` in place (nth_element).
+inline double PercentileMs(std::vector<SimDuration>& v, double p) {
+  if (v.empty()) return 0;
+  size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
+  return static_cast<double>(v[idx]) / 1e3;
 }
 
 }  // namespace encompass::bench

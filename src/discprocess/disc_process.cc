@@ -52,7 +52,11 @@ void DiscProcess::OnPairAttach() {
   m_.flush_writes = stats.RegisterCounter("disc.flush_writes");
   m_.audit_records = stats.RegisterCounter("disc.audit_records");
   m_.audit_redelivery = stats.RegisterCounter("disc.audit_redelivery");
+  m_.ckpt_messages = stats.RegisterCounter("disc.ckpt_messages");
+  m_.ckpt_entries = stats.RegisterCounter("disc.ckpt_entries");
   m_.op_ios = stats.RegisterHistogram("disc.op_ios");
+  m_.queue_depth = stats.RegisterHistogram("disc.queue_depth");
+  m_.op_latency = stats.RegisterHistogram("disc.op_latency");
 }
 
 void DiscProcess::OnRequest(const net::Message& msg) {
@@ -82,7 +86,8 @@ void DiscProcess::OnRequest(const net::Message& msg) {
     if (cached != reply_cache_.end()) {
       stats().Incr(m_.dedup_replays);
       SendReply(msg.src, cached->second.tag, msg.request_id,
-                Status(cached->second.status, ""), cached->second.payload);
+                Status(cached->second.status, cached->second.message),
+                *cached->second.payload);
       return;
     }
     if (in_flight_.count(rk)) {
@@ -362,10 +367,9 @@ void DiscProcess::EmitAudit(const Transid& transid, storage::MutationOp op,
   // before-image would make a later backout silently incomplete.
   Bytes encoded = rec.Encode();
   if (HasBackup()) {
-    Bytes ckpt;
-    PutFixed8(&ckpt, kCkptAuditPush);
-    PutLengthPrefixed(&ckpt, Slice(encoded));
-    SendCheckpoint(std::move(ckpt));
+    CheckpointBatch batch;
+    CkptAuditPushEntry(&batch, encoded);
+    FlushCheckpoint(&batch);
   }
   audit_queue_.push_back(std::move(encoded));
   PumpAuditQueue();
@@ -392,9 +396,9 @@ void DiscProcess::PumpAuditQueue() {
          if (s.ok()) {
            audit_queue_.pop_front();
            if (HasBackup()) {
-             Bytes ckpt;
-             PutFixed8(&ckpt, kCkptAuditPop);
-             SendCheckpoint(std::move(ckpt));
+             CheckpointBatch batch;
+             CkptAuditPopEntry(&batch);
+             FlushCheckpoint(&batch);
            }
            PumpAuditQueue();
          } else {
@@ -446,23 +450,39 @@ void DiscProcess::FinishWithReply(const net::Message& msg, const Status& status,
   CheckpointBatch local;
   if (batch == nullptr) batch = &local;
 
+  // One shared copy of the payload serves the reply cache, the checkpoint
+  // encoding, and the delayed reply.
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
   if (msg.request_id != 0) {
-    CacheReply(rk, msg.tag, status, payload);
-    CkptReply(batch, rk, msg.tag, status.code(), payload);
+    CacheReply(rk, msg.tag, status, shared);
+    CkptReply(batch, rk, msg.tag, status.code(), status.message(), *shared);
     in_flight_.erase(rk);
   }
   FlushCheckpoint(batch);
 
   stats().Record(m_.op_ios, disc_ios);
-  SimDuration latency = config_.base_latency + disc_ios * config_.io_latency;
+  SimDuration latency;
+  if (config_.overlap_mirror_reads && disc_ios > 0) {
+    // Charge from the drive model: reads take the mirror that frees first
+    // (read-either), volume flushes occupy both drives (write-both).
+    const SimTime now = sim()->Now();
+    const SimDuration service = disc_ios * config_.io_latency;
+    storage::DriveSchedule sched = (msg.tag == kDiscFlushVolume)
+                                       ? config_.volume->ScheduleWrite(now, service)
+                                       : config_.volume->ScheduleRead(now, service);
+    stats().Record(m_.queue_depth, sched.queue_depth);
+    latency = config_.base_latency + (sched.complete - now);
+  } else {
+    latency = config_.base_latency + disc_ios * config_.io_latency;
+  }
+  stats().Record(m_.op_latency, latency);
   net::ProcessId requester = msg.src;
   uint64_t reply_to = msg.request_id;
   uint32_t tag = msg.tag;
-  Status::Code code = status.code();
   if (reply_to == 0) return;
-  SetTimer(latency, [this, requester, tag, reply_to, code,
-                     payload = std::move(payload)]() {
-    SendReply(requester, tag, reply_to, Status(code, ""), payload);
+  SetTimer(latency, [this, requester, tag, reply_to, status,
+                     shared = std::move(shared)]() {
+    SendReply(requester, tag, reply_to, status, *shared);
   });
 }
 
@@ -477,9 +497,11 @@ void DiscProcess::MarkResolved(const Transid& transid) {
 }
 
 void DiscProcess::CacheReply(const RequestKey& rk, uint32_t tag,
-                             const Status& status, const Bytes& payload) {
+                             const Status& status,
+                             std::shared_ptr<const Bytes> payload) {
   if (reply_cache_.count(rk)) return;
-  reply_cache_[rk] = CachedReply{tag, status.code(), payload};
+  reply_cache_[rk] =
+      CachedReply{tag, status.code(), status.message(), std::move(payload)};
   reply_cache_order_.push_back(rk);
   while (reply_cache_order_.size() > config_.reply_cache_capacity) {
     reply_cache_.erase(reply_cache_order_.front());
@@ -496,43 +518,90 @@ void DiscProcess::CkptGrant(CheckpointBatch* batch, const Transid& owner,
   PutFixed8(&batch->delta, kCkptGrantEntry);
   PutFixed64(&batch->delta, owner.Pack());
   PutLockKey(&batch->delta, key);
-  batch->empty = false;
+  ++batch->entries;
 }
 
 void DiscProcess::CkptRelease(CheckpointBatch* batch, const Transid& owner) {
   PutFixed8(&batch->delta, kCkptReleaseEntry);
   PutFixed64(&batch->delta, owner.Pack());
-  batch->empty = false;
+  ++batch->entries;
 }
 
 void DiscProcess::CkptAborting(CheckpointBatch* batch, const Transid& owner) {
   PutFixed8(&batch->delta, kCkptAbortingEntry);
   PutFixed64(&batch->delta, owner.Pack());
-  batch->empty = false;
+  ++batch->entries;
 }
 
 void DiscProcess::CkptReply(CheckpointBatch* batch, const RequestKey& rk,
                             uint32_t tag, Status::Code status,
-                            const Bytes& payload) {
+                            const std::string& message, const Bytes& payload) {
   PutFixed8(&batch->delta, kCkptReplyEntry);
   PutFixed16(&batch->delta, rk.first.node);
   PutFixed32(&batch->delta, rk.first.pid);
   PutFixed64(&batch->delta, rk.second);
   PutFixed32(&batch->delta, tag);
   PutFixed8(&batch->delta, static_cast<uint8_t>(status));
+  PutLengthPrefixed(&batch->delta, Slice(message));
   PutLengthPrefixed(&batch->delta, Slice(payload));
-  batch->empty = false;
+  ++batch->entries;
+}
+
+void DiscProcess::CkptAuditPushEntry(CheckpointBatch* batch,
+                                     const Bytes& encoded) {
+  PutFixed8(&batch->delta, kCkptAuditPush);
+  PutLengthPrefixed(&batch->delta, Slice(encoded));
+  ++batch->entries;
+}
+
+void DiscProcess::CkptAuditPopEntry(CheckpointBatch* batch) {
+  PutFixed8(&batch->delta, kCkptAuditPop);
+  ++batch->entries;
 }
 
 void DiscProcess::FlushCheckpoint(CheckpointBatch* batch) {
-  if (batch->empty || !HasBackup()) {
+  if (batch->entries == 0 || !HasBackup()) {
     batch->delta.clear();
-    batch->empty = true;
+    batch->entries = 0;
     return;
   }
-  SendCheckpoint(std::move(batch->delta));
+  stats().Incr(m_.ckpt_entries, batch->entries);
+  if (config_.ckpt_coalesce_window <= 0) {
+    stats().Incr(m_.ckpt_messages);
+    SendCheckpoint(std::move(batch->delta));
+    batch->delta.clear();
+    batch->entries = 0;
+    return;
+  }
+  // Coalesce: append to the pending buffer; one message carries everything
+  // accumulated when the window closes. Entry order across operations is
+  // preserved, so the backup applies exactly the per-op sequence.
+  pending_ckpt_.delta.insert(pending_ckpt_.delta.end(), batch->delta.begin(),
+                             batch->delta.end());
+  pending_ckpt_.entries += batch->entries;
   batch->delta.clear();
-  batch->empty = true;
+  batch->entries = 0;
+  if (!ckpt_timer_armed_) {
+    ckpt_timer_armed_ = true;
+    ckpt_timer_ = SetTimer(config_.ckpt_coalesce_window, [this]() {
+      ckpt_timer_armed_ = false;
+      FlushPendingCheckpoint();
+    });
+  }
+}
+
+void DiscProcess::FlushPendingCheckpoint() {
+  if (ckpt_timer_armed_) {
+    CancelTimer(ckpt_timer_);
+    ckpt_timer_armed_ = false;
+  }
+  if (pending_ckpt_.entries == 0) return;
+  if (HasBackup()) {
+    stats().Incr(m_.ckpt_messages);
+    SendCheckpoint(std::move(pending_ckpt_.delta));
+  }
+  pending_ckpt_.delta.clear();
+  pending_ckpt_.entries = 0;
 }
 
 void DiscProcess::OnCheckpoint(const Slice& delta) {
@@ -574,14 +643,18 @@ void DiscProcess::OnCheckpoint(const Slice& delta) {
         uint32_t pid, tag;
         uint64_t rid;
         uint8_t status;
+        std::string message;
         Bytes payload;
         if (!GetFixed16(&in, &node) || !GetFixed32(&in, &pid) ||
             !GetFixed64(&in, &rid) || !GetFixed32(&in, &tag) ||
-            !GetFixed8(&in, &status) || !GetLengthPrefixedBytes(&in, &payload)) {
+            !GetFixed8(&in, &status) ||
+            !GetLengthPrefixedString(&in, &message) ||
+            !GetLengthPrefixedBytes(&in, &payload)) {
           return;
         }
         CacheReply(RequestKey{net::ProcessId{node, pid}, rid}, tag,
-                   Status(static_cast<Status::Code>(status), ""), payload);
+                   Status(static_cast<Status::Code>(status), std::move(message)),
+                   std::make_shared<const Bytes>(std::move(payload)));
         break;
       }
       case kCkptAuditPush: {
@@ -609,11 +682,22 @@ void DiscProcess::OnTakeover() {
 }
 
 void DiscProcess::OnBackupAttached() {
+  // Deltas coalesced for a previous backup are superseded by this full-state
+  // resynchronization; drop them rather than replaying stale entries.
+  if (ckpt_timer_armed_) {
+    CancelTimer(ckpt_timer_);
+    ckpt_timer_armed_ = false;
+  }
+  pending_ckpt_.delta.clear();
+  pending_ckpt_.entries = 0;
+
   // Full-state resynchronization: replay every held lock, the aborting set,
-  // and the reply cache as one checkpoint.
+  // and the reply cache as one checkpoint (sent immediately — a fresh backup
+  // must not sit unsynchronized for a coalescing window).
   CheckpointBatch batch;
   for (const auto& [rk, cached] : reply_cache_) {
-    CkptReply(&batch, rk, cached.tag, cached.status, cached.payload);
+    CkptReply(&batch, rk, cached.tag, cached.status, cached.message,
+              *cached.payload);
   }
   for (const auto& t : aborting_) {
     CkptAborting(&batch, t);
@@ -621,12 +705,19 @@ void DiscProcess::OnBackupAttached() {
   for (const auto& grant : locks_.AllHeld()) {
     CkptGrant(&batch, grant.owner, grant.key);
   }
-  FlushCheckpoint(&batch);
+  if (batch.entries > 0 && HasBackup()) {
+    stats().Incr(m_.ckpt_entries, batch.entries);
+    stats().Incr(m_.ckpt_messages);
+    SendCheckpoint(std::move(batch.delta));
+  }
   for (const auto& encoded : audit_queue_) {
-    Bytes ckpt;
-    PutFixed8(&ckpt, kCkptAuditPush);
-    PutLengthPrefixed(&ckpt, Slice(encoded));
-    SendCheckpoint(std::move(ckpt));
+    CheckpointBatch push;
+    CkptAuditPushEntry(&push, encoded);
+    if (HasBackup()) {
+      stats().Incr(m_.ckpt_entries, push.entries);
+      stats().Incr(m_.ckpt_messages);
+      SendCheckpoint(std::move(push.delta));
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include <deque>
 #include <list>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -37,6 +38,17 @@ struct DiscProcessConfig {
   SimDuration io_latency = Millis(10);      ///< per physical disc read
   SimDuration default_lock_timeout = Seconds(1);  ///< deadlock detection
   size_t reply_cache_capacity = 4096;
+  /// Charge read latency from the volume's per-drive schedule (the paper's
+  /// write-both / read-either rule: concurrent reads overlap across the
+  /// mirror) instead of a flat disc_ios * io_latency. Default off preserves
+  /// the legacy timing exactly (same convention as group_commit_window=0).
+  bool overlap_mirror_reads = false;
+  /// Piggyback consecutive operations' checkpoint deltas into one backup
+  /// message flushed after this window. 0 = flush per operation (today's
+  /// behavior). A nonzero window trades a bounded takeover-replay gap for
+  /// far fewer interprocessor messages — the acknowledged main cost of
+  /// process pairs.
+  SimDuration ckpt_coalesce_window = 0;
 };
 
 /// The DISCPROCESS pair.
@@ -60,14 +72,18 @@ class DiscProcess : public os::PairedProcess {
   struct CachedReply {
     uint32_t tag;
     Status::Code status;
-    Bytes payload;
+    std::string message;  ///< full Status text, replayed verbatim on retries
+    /// Shared with the in-flight delayed reply — caching never copies the
+    /// payload bytes.
+    std::shared_ptr<const Bytes> payload;
   };
   using RequestKey = std::pair<net::ProcessId, uint64_t>;
 
-  /// Accumulates one operation's checkpoint entries, flushed as one message.
+  /// Accumulates one operation's checkpoint entries, flushed as one message
+  /// (or folded into the coalescing buffer when ckpt_coalesce_window > 0).
   struct CheckpointBatch {
     Bytes delta;
-    bool empty = true;
+    int entries = 0;
   };
 
   void HandleOperation(const net::Message& msg, const DiscRequest& req);
@@ -90,15 +106,22 @@ class DiscProcess : public os::PairedProcess {
   /// AUDITPROCESS (one in-flight batch; retried until acknowledged).
   void PumpAuditQueue();
   void CacheReply(const RequestKey& rk, uint32_t tag, const Status& status,
-                  const Bytes& payload);
+                  std::shared_ptr<const Bytes> payload);
 
   // Checkpoint encoding helpers.
   void CkptGrant(CheckpointBatch* batch, const Transid& owner, const LockKey& key);
   void CkptRelease(CheckpointBatch* batch, const Transid& owner);
   void CkptAborting(CheckpointBatch* batch, const Transid& owner);
   void CkptReply(CheckpointBatch* batch, const RequestKey& rk, uint32_t tag,
-                 Status::Code status, const Bytes& payload);
+                 Status::Code status, const std::string& message,
+                 const Bytes& payload);
+  void CkptAuditPushEntry(CheckpointBatch* batch, const Bytes& encoded);
+  void CkptAuditPopEntry(CheckpointBatch* batch);
+  /// Sends the batch now (window 0) or folds it into the coalescing buffer
+  /// and arms the flush timer.
   void FlushCheckpoint(CheckpointBatch* batch);
+  /// Sends whatever the coalescing buffer holds, immediately.
+  void FlushPendingCheckpoint();
 
   /// Marks a transaction as resolved (committed or backed out). A request
   /// carrying a resolved transid arriving later — e.g. a retransmission
@@ -114,7 +137,8 @@ class DiscProcess : public os::PairedProcess {
     sim::MetricId lock_waits, lock_timeouts, lock_releases;
     sim::MetricId scan_batches, scan_records, undo_ops, flush_writes;
     sim::MetricId audit_records, audit_redelivery;
-    sim::MetricId op_ios;  // histogram
+    sim::MetricId ckpt_messages, ckpt_entries;
+    sim::MetricId op_ios, queue_depth, op_latency;  // histograms
   };
 
   DiscProcessConfig config_;
@@ -141,6 +165,13 @@ class DiscProcess : public os::PairedProcess {
   // WAL-equivalent). FIFO with one batch in flight preserves LSN order.
   std::deque<Bytes> audit_queue_;  // encoded AuditRecords
   bool audit_in_flight_ = false;
+
+  // Coalescing buffer (ckpt_coalesce_window > 0): deltas accumulated since
+  // the last backup message, flushed by timer, by a fresh backup attaching,
+  // or discarded when the backup is lost (the full-state resync supersedes).
+  CheckpointBatch pending_ckpt_;
+  uint64_t ckpt_timer_ = 0;
+  bool ckpt_timer_armed_ = false;
 };
 
 }  // namespace encompass::discprocess

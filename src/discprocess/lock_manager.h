@@ -4,14 +4,26 @@
 // central lock manager exists. Two granularities (file and record), all
 // locks exclusive, FIFO waiting, deadlock resolution by timeout (the
 // timeout itself lives in the DISCPROCESS, which cancels the wait).
+//
+// Internally the table is organized for O(1) grant checks: file names are
+// interned to dense ids, each file owns a hash table of record units plus a
+// maintained count of record units held per owner, so "does any OTHER
+// transaction hold a record of this file" is a subtraction instead of a map
+// scan. Waiter promotion iterates only units that actually have waiters, in
+// the same deterministic order (file-level unit first, then record keys in
+// byte order) as the original full-scan implementation, so grant order —
+// and therefore every same-seed simulation trace — is unchanged.
 
 #ifndef ENCOMPASS_DISCPROCESS_LOCK_MANAGER_H_
 #define ENCOMPASS_DISCPROCESS_LOCK_MANAGER_H_
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/slice.h"
@@ -72,12 +84,12 @@ class LockManager {
   /// True if `owner` holds `key` itself or a covering file lock.
   bool Holds(const Transid& owner, const LockKey& key) const;
 
-  size_t held_count() const;
-  size_t waiter_count() const;
+  size_t held_count() const { return held_count_; }
+  size_t waiter_count() const { return waiter_count_; }
   /// Transactions currently holding at least one lock.
   std::vector<Transid> Holders() const;
-  /// Every held (owner, key) pair — used for full-state checkpoints when a
-  /// fresh backup attaches.
+  /// Every held (owner, key) pair, ordered by (file, record) — used for
+  /// full-state checkpoints when a fresh backup attaches.
   std::vector<LockGrant> AllHeld() const;
 
  private:
@@ -86,14 +98,50 @@ class LockManager {
     std::deque<Transid> waiters;   // FIFO
   };
 
-  bool FileLockedByOther(const std::string& file, const Transid& owner) const;
-  bool AnyRecordLockedByOther(const std::string& file, const Transid& owner) const;
-  /// Promotes waiters on units within `file` whose grant conditions now
-  /// hold; appends grants.
-  void PromoteWaiters(const std::string& file, std::vector<LockGrant>* grants);
+  struct BytesHash {
+    size_t operator()(const Bytes& b) const {
+      return std::hash<std::string_view>{}(std::string_view(
+          reinterpret_cast<const char*>(b.data()), b.size()));
+    }
+  };
 
-  std::map<LockKey, Unit> units_;
+  /// All lock state of one file. Record units live in a hash table; the set
+  /// of record keys with a nonempty wait queue is kept sorted so promotion
+  /// scans only contended units, in deterministic byte order.
+  struct FileTable {
+    std::string name;
+    Unit file_unit;
+    std::unordered_map<Bytes, Unit, BytesHash> records;
+    size_t held_records = 0;  ///< record units with a valid holder
+    /// packed owner -> record units of this file it holds (absent = 0).
+    std::unordered_map<uint64_t, size_t> held_by;
+    std::set<Bytes> waiting_records;  ///< record keys with waiters, sorted
+  };
+
+  FileTable& InternFile(const std::string& file);
+  FileTable* FindFile(const std::string& file);
+  const FileTable* FindFile(const std::string& file) const;
+
+  /// Record units of `ft` held by transactions other than `owner`. O(1).
+  size_t RecordsHeldByOther(const FileTable& ft, const Transid& owner) const;
+
+  /// Promotes waiters of `ft` whose grant conditions now hold; appends
+  /// grants in the same order as a sorted full scan would produce.
+  void PromoteWaiters(FileTable& ft, std::vector<LockGrant>* grants);
+
+  void AddWait(const Transid& owner, const LockKey& key);
+  void RemoveWait(const Transid& owner, const LockKey& key);
+
+  std::unordered_map<std::string, uint32_t> file_ids_;
+  std::vector<FileTable> files_;
+  /// Keys held per owner, in deterministic (file, record) order — drives
+  /// release and promotion ordering. May contain stale entries for units
+  /// reassigned by ForceGrant; ReleaseAll checks the live holder.
   std::map<Transid, std::set<LockKey>> owned_;
+  /// Queues each owner waits in (for O(queues-of-owner) release scrubbing).
+  std::unordered_map<uint64_t, std::vector<LockKey>> waits_;
+  size_t held_count_ = 0;
+  size_t waiter_count_ = 0;
 };
 
 }  // namespace encompass::discprocess

@@ -42,6 +42,7 @@ struct Message {
   uint64_t request_id = 0;  ///< nonzero: sender expects a reply correlated by this
   uint64_t reply_to = 0;    ///< nonzero: this message answers that request_id
   Status::Code status = Status::Code::kOk;  ///< result code on replies
+  std::string status_text;  ///< human-readable status message on replies
   uint64_t transid = 0;     ///< packed Transid appended by the file system (0=none)
   sim::TraceContext trace;  ///< causal trace identity (transid may be carried
                             ///< here even when `transid` is 0, e.g. for TMP

@@ -119,6 +119,7 @@ void Process::Reply(const net::Message& request, const Status& status,
   msg.tag = request.tag;
   msg.reply_to = request.request_id;
   msg.status = status.code();
+  msg.status_text = status.message();
   msg.transid = request.transid;
   msg.payload = std::move(payload);
   StampTrace(msg);
@@ -134,6 +135,7 @@ void Process::SendReply(net::ProcessId requester, uint32_t tag, uint64_t reply_t
   msg.tag = tag;
   msg.reply_to = reply_to;
   msg.status = status.code();
+  msg.status_text = status.message();
   msg.payload = std::move(payload);
   StampTrace(msg);
   node_->Route(std::move(msg));
@@ -237,7 +239,7 @@ void Process::DispatchMessage(const net::Message& msg) {
     }
     Status status = (msg.status == Status::Code::kOk)
                         ? Status::Ok()
-                        : Status(msg.status, "");
+                        : Status(msg.status, msg.status_text);
     ResolveCall(msg.reply_to, status, msg);
     return;
   }

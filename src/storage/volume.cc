@@ -1,5 +1,7 @@
 #include "storage/volume.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 
 namespace encompass::storage {
@@ -33,6 +35,11 @@ Status Volume::DropFile(const std::string& fname) {
     if (e.file != fname) kept.push_back(std::move(e));
   }
   undo_ledger_ = std::move(kept);
+  // Resident records of the dropped file must not satisfy reads of a later
+  // file reusing the name. The interned id survives (and is reused), so a
+  // re-created file starts cold but keeps O(1) lookups.
+  auto it = cache_file_ids_.find(fname);
+  if (it != cache_file_ids_.end()) CacheDropFile(it->second);
   return Status::Ok();
 }
 
@@ -55,42 +62,58 @@ std::vector<std::string> Volume::FileNames() const {
 // Cache
 // ---------------------------------------------------------------------------
 
-namespace {
-std::string CacheKey(const std::string& fname, const Slice& key) {
-  std::string s = fname;
-  s.push_back('\0');
-  s.append(reinterpret_cast<const char*>(key.data()), key.size());
-  return s;
+uint32_t Volume::CacheFileId(const std::string& fname) {
+  auto it = cache_file_ids_.find(fname);
+  if (it != cache_file_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(cache_file_ids_.size());
+  cache_file_ids_.emplace(fname, id);
+  return id;
 }
-}  // namespace
 
-bool Volume::CacheHit(const std::string& fname, const Slice& key) {
-  auto it = cache_.find(CacheKey(fname, key));
+bool Volume::CacheHit(uint32_t file_id, const Slice& key) {
+  auto it = cache_.find(CacheRef{file_id, key});
   if (it == cache_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
   return true;
 }
 
-void Volume::CacheTouch(const std::string& fname, const Slice& key) {
-  std::string ck = CacheKey(fname, key);
-  auto it = cache_.find(ck);
+void Volume::CacheTouch(uint32_t file_id, const Slice& key) {
+  auto it = cache_.find(CacheRef{file_id, key});
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(ck);
-  cache_[ck] = lru_.begin();
+  lru_.push_front(CacheEntry{file_id, key.ToBytes()});
+  // The index key views the bytes owned by the node it points at.
+  cache_.emplace(CacheRef{file_id, Slice(lru_.front().key)}, lru_.begin());
   if (cache_.size() > config_.cache_capacity) {
-    cache_.erase(lru_.back());
+    const CacheEntry& victim = lru_.back();
+    cache_.erase(CacheRef{victim.file_id, Slice(victim.key)});
     lru_.pop_back();
   }
 }
 
-void Volume::CacheErase(const std::string& fname, const Slice& key) {
-  auto it = cache_.find(CacheKey(fname, key));
+void Volume::CacheErase(uint32_t file_id, const Slice& key) {
+  auto it = cache_.find(CacheRef{file_id, key});
   if (it == cache_.end()) return;
   lru_.erase(it->second);
   cache_.erase(it);
+}
+
+void Volume::CacheDropFile(uint32_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->file_id == file_id) {
+      cache_.erase(CacheRef{it->file_id, Slice(it->key)});
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Volume::CacheClear() {
+  cache_.clear();
+  lru_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -109,6 +132,7 @@ OpResult Volume::Mutate(const std::string& fname, MutationOp op, const Slice& ke
     out.status = Status::NotFound("no file: " + fname);
     return out;
   }
+  const uint32_t fid = CacheFileId(fname);
 
   // Capture the before-image (needed for audit and for the volatile ledger).
   if (op != MutationOp::kInsert && !key.empty()) {
@@ -132,7 +156,7 @@ OpResult Volume::Mutate(const std::string& fname, MutationOp op, const Slice& ke
       if (out.status.ok()) {
         out.key = assigned;
         undo.key = assigned;
-        CacheTouch(fname, Slice(assigned));
+        CacheTouch(fid, Slice(assigned));
       }
       break;
     }
@@ -141,7 +165,7 @@ OpResult Volume::Mutate(const std::string& fname, MutationOp op, const Slice& ke
       if (out.status.ok()) {
         out.key = key.ToBytes();
         undo.key = key.ToBytes();
-        CacheTouch(fname, key);
+        CacheTouch(fid, key);
       }
       break;
     case MutationOp::kDelete:
@@ -149,7 +173,7 @@ OpResult Volume::Mutate(const std::string& fname, MutationOp op, const Slice& ke
       if (out.status.ok()) {
         out.key = key.ToBytes();
         undo.key = key.ToBytes();
-        CacheErase(fname, key);
+        CacheErase(fid, key);
       }
       break;
   }
@@ -179,6 +203,7 @@ OpResult Volume::ApplyUndo(const std::string& fname, MutationOp original_op,
     out.status = Status::NotFound("no file: " + fname);
     return out;
   }
+  const uint32_t fid = CacheFileId(fname);
   auto current = file->Read(key);
 
   UndoEntry undo;
@@ -195,7 +220,7 @@ OpResult Volume::ApplyUndo(const std::string& fname, MutationOp original_op,
       undo.before = std::move(*current);
       undo.existed = true;
       out.status = PhysicalRemove(file, key);
-      if (out.status.ok()) CacheErase(fname, key);
+      if (out.status.ok()) CacheErase(fid, key);
       break;
     case MutationOp::kUpdate:
       if (!current.ok()) {
@@ -210,7 +235,7 @@ OpResult Volume::ApplyUndo(const std::string& fname, MutationOp original_op,
       undo.before = std::move(*current);
       undo.existed = true;
       out.status = file->Update(key, before);
-      if (out.status.ok()) CacheTouch(fname, key);
+      if (out.status.ok()) CacheTouch(fid, key);
       break;
     case MutationOp::kDelete:
       if (current.ok()) {
@@ -219,7 +244,7 @@ OpResult Volume::ApplyUndo(const std::string& fname, MutationOp original_op,
       }
       undo.op = MutationOp::kInsert;
       out.status = file->Insert(key, before, nullptr);
-      if (out.status.ok()) CacheTouch(fname, key);
+      if (out.status.ok()) CacheTouch(fid, key);
       break;
   }
   if (out.status.ok()) {
@@ -247,7 +272,8 @@ OpResult Volume::ReadRecord(const std::string& fname, const Slice& key) {
   if (r.ok()) {
     out.value = std::move(*r);
     out.key = key.ToBytes();
-    if (CacheHit(fname, key)) {
+    const uint32_t fid = CacheFileId(fname);
+    if (CacheHit(fid, key)) {
       ++cache_hits_;
       if (stats_ != nullptr) stats_->Incr(m_cache_hits_);
     } else {
@@ -256,7 +282,7 @@ OpResult Volume::ReadRecord(const std::string& fname, const Slice& key) {
       out.disc_ios = file->access_depth();
       physical_reads_ += out.disc_ios;
       if (stats_ != nullptr) stats_->Incr(m_physical_reads_, out.disc_ios);
-      CacheTouch(fname, key);
+      CacheTouch(fid, key);
     }
   }
   return out;
@@ -279,7 +305,8 @@ OpResult Volume::SeekRecord(const std::string& fname, const Slice& key,
   if (r.ok()) {
     out.key = std::move(r->key);
     out.value = std::move(r->value);
-    if (CacheHit(fname, Slice(out.key))) {
+    const uint32_t fid = CacheFileId(fname);
+    if (CacheHit(fid, Slice(out.key))) {
       ++cache_hits_;
       if (stats_ != nullptr) stats_->Incr(m_cache_hits_);
     } else {
@@ -288,7 +315,7 @@ OpResult Volume::SeekRecord(const std::string& fname, const Slice& key,
       out.disc_ios = file->access_depth();
       physical_reads_ += out.disc_ios;
       if (stats_ != nullptr) stats_->Incr(m_physical_reads_, out.disc_ios);
-      CacheTouch(fname, Slice(out.key));
+      CacheTouch(fid, Slice(out.key));
     }
   }
   return out;
@@ -353,9 +380,9 @@ void Volume::DropVolatile() {
     }
   }
   undo_ledger_.clear();
-  // Main memory is gone with the node: the cache is cold.
-  lru_.clear();
-  cache_.clear();
+  // Main memory is gone with the node: the cache is cold. Interned file ids
+  // survive — they name files, not contents.
+  CacheClear();
 }
 
 // ---------------------------------------------------------------------------
@@ -399,6 +426,77 @@ int Volume::UpDrives() const {
   int n = 0;
   for (int d = 0; d < drive_count(); ++d) n += drive_up_[d] ? 1 : 0;
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// Drive schedule
+// ---------------------------------------------------------------------------
+
+DriveSchedule Volume::ScheduleRead(SimTime now, SimDuration service) {
+  // Read-either: place the transfer on the up drive that frees first
+  // (ties -> lower index), so back-to-back reads land on alternate drives
+  // and overlap in time.
+  int best = -1;
+  SimTime best_start = 0;
+  for (int d = 0; d < drive_count(); ++d) {
+    if (!drive_up_[d]) continue;
+    SimTime start = std::max(now, drive_busy_until_[d]);
+    if (best < 0 || start < best_start) {
+      best = d;
+      best_start = start;
+    }
+  }
+  DriveSchedule s;
+  if (best < 0) {  // no drive up; callers guard with Usable()
+    s.complete = now + service;
+    return s;
+  }
+  auto& inflight = drive_inflight_[best];
+  while (!inflight.empty() && inflight.front() <= now) inflight.pop_front();
+  s.drive = best;
+  s.queue_depth = static_cast<int>(inflight.size());
+  s.complete = best_start + service;
+  drive_busy_until_[best] = s.complete;
+  drive_busy_time_[best] += service;
+  ++drive_reads_[best];
+  inflight.push_back(s.complete);
+  return s;
+}
+
+DriveSchedule Volume::ScheduleWrite(SimTime now, SimDuration service) {
+  // Write-both: the transfer occupies every up drive; it completes when the
+  // slowest copy finishes.
+  DriveSchedule s;
+  s.drive = -1;
+  SimTime latest = now + service;
+  for (int d = 0; d < drive_count(); ++d) {
+    if (!drive_up_[d]) continue;
+    auto& inflight = drive_inflight_[d];
+    while (!inflight.empty() && inflight.front() <= now) inflight.pop_front();
+    if (s.drive < 0) {
+      s.drive = d;
+      s.queue_depth = static_cast<int>(inflight.size());
+    }
+    SimTime start = std::max(now, drive_busy_until_[d]);
+    SimTime complete = start + service;
+    drive_busy_until_[d] = complete;
+    drive_busy_time_[d] += service;
+    inflight.push_back(complete);
+    latest = std::max(latest, complete);
+  }
+  if (s.drive < 0) s.drive = 0;
+  s.complete = latest;
+  return s;
+}
+
+int64_t Volume::drive_busy_time(int drive) const {
+  if (drive < 0 || drive >= drive_count()) return 0;
+  return drive_busy_time_[drive];
+}
+
+int64_t Volume::drive_reads(int drive) const {
+  if (drive < 0 || drive >= drive_count()) return 0;
+  return drive_reads_[drive];
 }
 
 // ---------------------------------------------------------------------------
@@ -457,8 +555,7 @@ Status Volume::RestoreFromArchive(const Slice& archive) {
   }
   files_ = std::move(restored);
   undo_ledger_.clear();
-  lru_.clear();
-  cache_.clear();
+  CacheClear();
   return Status::Ok();
 }
 

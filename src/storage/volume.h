@@ -8,19 +8,25 @@
 //   * structured files (the three organizations) living on the volume, and
 //   * whole-volume archives for ROLLFORWARD.
 //
-// A Volume is passive hardware: latency is charged by the DISCPROCESS using
-// the disc_ios count each operation reports.
+// A Volume is passive hardware: latency is charged by the DISCPROCESS. It
+// either charges a flat disc_ios * io_latency (legacy model), or — with
+// overlap_mirror_reads — consults the volume's per-drive schedule, which
+// implements the paper's write-both / read-either rule: reads occupy the
+// drive that frees first, writes occupy every up drive.
 
 #ifndef ENCOMPASS_STORAGE_VOLUME_H_
 #define ENCOMPASS_STORAGE_VOLUME_H_
 
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "sim/stats.h"
 #include "storage/file.h"
 
@@ -42,6 +48,13 @@ struct OpResult {
   Bytes key;          ///< Seek: located key; Insert: assigned key
   Bytes before;       ///< Mutate: prior record image (for the audit trail)
   bool existed = false;  ///< Mutate: a prior image existed
+};
+
+/// One scheduled physical disc operation (see Volume::ScheduleRead/Write).
+struct DriveSchedule {
+  SimTime complete = 0;  ///< simulated completion time of the transfer
+  int drive = 0;         ///< drive the read was placed on (first, for writes)
+  int queue_depth = 0;   ///< ops already pending on that drive at issue time
 };
 
 /// A mirrored logical disc volume holding structured files.
@@ -109,6 +122,20 @@ class Volume {
   bool Usable() const;
   int UpDrives() const;
 
+  // -- Drive schedule (read-either / write-both timing model) -----------------------
+
+  /// Places a physical read of `service` duration on whichever up drive
+  /// frees first (the paper's read-either rule): concurrent reads alternate
+  /// across the mirror and overlap. Advances that drive's busy-until time.
+  DriveSchedule ScheduleRead(SimTime now, SimDuration service);
+  /// Places a physical write on every up drive (write-both); completion is
+  /// when the slowest copy finishes.
+  DriveSchedule ScheduleWrite(SimTime now, SimDuration service);
+  /// Total simulated time drive `d` has spent transferring.
+  int64_t drive_busy_time(int drive) const;
+  /// Physical reads placed on drive `d` by ScheduleRead.
+  int64_t drive_reads(int drive) const;
+
   // -- Archive (for ROLLFORWARD) -------------------------------------------------------
 
   /// Self-contained snapshot of every file (schema + content). Call at a
@@ -128,6 +155,10 @@ class Volume {
   int64_t physical_reads() const { return physical_reads_; }
   int64_t physical_writes() const { return physical_writes_; }
 
+  /// Stable dense id the cache interns `fname` to; creates one on first use.
+  /// Exposed for tests (id stability across DropFile/CreateFile reuse).
+  uint32_t CacheFileId(const std::string& fname);
+
  private:
   struct UndoEntry {
     std::string file;
@@ -137,11 +168,40 @@ class Volume {
     bool existed;
   };
 
+  /// One resident cache line: which record of which (interned) file.
+  struct CacheEntry {
+    uint32_t file_id;
+    Bytes key;
+  };
+  using LruList = std::list<CacheEntry>;
+
+  /// Index key viewing the bytes owned by the LRU node (list nodes are
+  /// pointer-stable across splice), so lookups hash caller-provided slices
+  /// directly — a cache hit allocates nothing.
+  struct CacheRef {
+    uint32_t file_id;
+    Slice key;
+  };
+  struct CacheRefHash {
+    size_t operator()(const CacheRef& r) const {
+      size_t h = std::hash<std::string_view>{}(std::string_view(
+          reinterpret_cast<const char*>(r.key.data()), r.key.size()));
+      return h ^ (static_cast<size_t>(r.file_id) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct CacheRefEq {
+    bool operator()(const CacheRef& a, const CacheRef& b) const {
+      return a.file_id == b.file_id && a.key == b.key;
+    }
+  };
+
   /// Physically removes a record regardless of organization (undo of insert).
   Status PhysicalRemove(StructuredFile* file, const Slice& key);
-  void CacheTouch(const std::string& fname, const Slice& key);
-  bool CacheHit(const std::string& fname, const Slice& key);
-  void CacheErase(const std::string& fname, const Slice& key);
+  void CacheTouch(uint32_t file_id, const Slice& key);
+  bool CacheHit(uint32_t file_id, const Slice& key);
+  void CacheErase(uint32_t file_id, const Slice& key);
+  void CacheDropFile(uint32_t file_id);
+  void CacheClear();
 
   std::string name_;
   VolumeConfig config_;
@@ -150,9 +210,17 @@ class Volume {
   bool drive_up_[2] = {true, true};
   bool drive_stale_[2] = {false, false};
 
-  // LRU cache over "file\0key" strings.
-  std::list<std::string> lru_;
-  std::unordered_map<std::string, std::list<std::string>::iterator> cache_;
+  // Drive schedule (consulted only under overlap_mirror_reads).
+  SimTime drive_busy_until_[2] = {0, 0};
+  std::deque<SimTime> drive_inflight_[2];  ///< completion times, pruned lazily
+  int64_t drive_busy_time_[2] = {0, 0};
+  int64_t drive_reads_[2] = {0, 0};
+
+  // LRU cache over (interned file id, record key) pairs.
+  std::unordered_map<std::string, uint32_t> cache_file_ids_;
+  LruList lru_;
+  std::unordered_map<CacheRef, LruList::iterator, CacheRefHash, CacheRefEq>
+      cache_;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
   int64_t physical_reads_ = 0;

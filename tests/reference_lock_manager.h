@@ -1,0 +1,202 @@
+// ReferenceLockManager: the original O(records-in-file) lock table, kept
+// verbatim as an executable specification. The production LockManager was
+// restructured for O(1) grant checks; the randomized differential test
+// (lock_manager_diff_test.cc) drives both with identical operation streams
+// and asserts identical observable behavior — acquire results, grant order,
+// held/waiter counts, Holds answers, and AllHeld contents.
+
+#ifndef ENCOMPASS_TESTS_REFERENCE_LOCK_MANAGER_H_
+#define ENCOMPASS_TESTS_REFERENCE_LOCK_MANAGER_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "discprocess/lock_manager.h"
+
+namespace encompass::discprocess {
+
+class ReferenceLockManager {
+ public:
+  using AcquireResult = LockManager::AcquireResult;
+
+  AcquireResult Acquire(const Transid& owner, const LockKey& key) {
+    if (!key.file_level()) {
+      auto fit = units_.find(LockKey{key.file, {}});
+      if (fit != units_.end() && fit->second.holder == owner) {
+        return AcquireResult::kGranted;
+      }
+    }
+
+    Unit& unit = units_[key];
+    if (unit.holder == owner) return AcquireResult::kGranted;
+
+    bool grantable;
+    if (key.file_level()) {
+      grantable = !unit.holder.valid() && unit.waiters.empty() &&
+                  !AnyRecordLockedByOther(key.file, owner);
+    } else {
+      grantable = !unit.holder.valid() && unit.waiters.empty() &&
+                  !FileLockedByOther(key.file, owner);
+    }
+
+    if (grantable) {
+      unit.holder = owner;
+      owned_[owner].insert(key);
+      return AcquireResult::kGranted;
+    }
+    for (const auto& w : unit.waiters) {
+      if (w == owner) return AcquireResult::kQueued;
+    }
+    unit.waiters.push_back(owner);
+    return AcquireResult::kQueued;
+  }
+
+  void ForceGrant(const Transid& owner, const LockKey& key) {
+    Unit& unit = units_[key];
+    unit.holder = owner;
+    owned_[owner].insert(key);
+  }
+
+  std::vector<LockGrant> ReleaseAll(const Transid& owner) {
+    std::vector<LockGrant> grants;
+    auto oit = owned_.find(owner);
+    std::set<std::string> touched_files;
+
+    if (oit != owned_.end()) {
+      for (const auto& key : oit->second) {
+        auto uit = units_.find(key);
+        if (uit != units_.end() && uit->second.holder == owner) {
+          uit->second.holder = Transid{};
+          touched_files.insert(key.file);
+        }
+      }
+      owned_.erase(oit);
+    }
+    for (auto& [key, unit] : units_) {
+      (void)key;
+      for (auto wit = unit.waiters.begin(); wit != unit.waiters.end();) {
+        if (*wit == owner) wit = unit.waiters.erase(wit);
+        else ++wit;
+      }
+    }
+
+    for (const auto& file : touched_files) {
+      PromoteWaiters(file, &grants);
+    }
+    for (auto it = units_.begin(); it != units_.end();) {
+      if (!it->second.holder.valid() && it->second.waiters.empty()) {
+        it = units_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return grants;
+  }
+
+  bool CancelWait(const Transid& owner, const LockKey& key) {
+    auto it = units_.find(key);
+    if (it == units_.end()) return false;
+    for (auto wit = it->second.waiters.begin();
+         wit != it->second.waiters.end(); ++wit) {
+      if (*wit == owner) {
+        it->second.waiters.erase(wit);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Holds(const Transid& owner, const LockKey& key) const {
+    if (!key.file_level()) {
+      auto fit = units_.find(LockKey{key.file, {}});
+      if (fit != units_.end() && fit->second.holder == owner) return true;
+    }
+    auto it = units_.find(key);
+    return it != units_.end() && it->second.holder == owner;
+  }
+
+  size_t held_count() const {
+    size_t n = 0;
+    for (const auto& [key, unit] : units_) {
+      (void)key;
+      n += unit.holder.valid() ? 1 : 0;
+    }
+    return n;
+  }
+
+  size_t waiter_count() const {
+    size_t n = 0;
+    for (const auto& [key, unit] : units_) {
+      (void)key;
+      n += unit.waiters.size();
+    }
+    return n;
+  }
+
+  std::vector<LockGrant> AllHeld() const {
+    std::vector<LockGrant> out;
+    for (const auto& [key, unit] : units_) {
+      if (unit.holder.valid()) out.push_back(LockGrant{unit.holder, key});
+    }
+    return out;
+  }
+
+ private:
+  struct Unit {
+    Transid holder;
+    std::deque<Transid> waiters;
+  };
+
+  bool FileLockedByOther(const std::string& file, const Transid& owner) const {
+    auto it = units_.find(LockKey{file, {}});
+    return it != units_.end() && it->second.holder.valid() &&
+           !(it->second.holder == owner);
+  }
+
+  bool AnyRecordLockedByOther(const std::string& file,
+                              const Transid& owner) const {
+    for (auto it = units_.upper_bound(LockKey{file, {}});
+         it != units_.end() && it->first.file == file; ++it) {
+      if (it->second.holder.valid() && !(it->second.holder == owner)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void PromoteWaiters(const std::string& file, std::vector<LockGrant>* grants) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = units_.lower_bound(LockKey{file, {}});
+           it != units_.end() && it->first.file == file; ++it) {
+        Unit& unit = it->second;
+        if (unit.holder.valid() || unit.waiters.empty()) continue;
+        const Transid& candidate = unit.waiters.front();
+        bool grantable;
+        if (it->first.file_level()) {
+          grantable = !AnyRecordLockedByOther(file, candidate);
+        } else {
+          grantable = !FileLockedByOther(file, candidate);
+        }
+        if (grantable) {
+          unit.holder = candidate;
+          owned_[candidate].insert(it->first);
+          grants->push_back(LockGrant{candidate, it->first});
+          unit.waiters.pop_front();
+          progress = true;
+        }
+      }
+    }
+  }
+
+  std::map<LockKey, Unit> units_;
+  std::map<Transid, std::set<LockKey>> owned_;
+};
+
+}  // namespace encompass::discprocess
+
+#endif  // ENCOMPASS_TESTS_REFERENCE_LOCK_MANAGER_H_
