@@ -1,0 +1,108 @@
+// E9 — Chaos recovery campaign. "The failure of a single component will not
+// disrupt any other component — recovery, not failure masking, is what keeps
+// the data base consistent." Runs the seeded fault-storm campaign across
+// many seeds and reports survival statistics: atomicity-oracle verdicts,
+// quiesce rate, recovery work, and what the storms actually threw at the
+// cluster.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "encompass/chaos.h"
+
+namespace encompass::bench {
+namespace {
+
+app::ChaosCampaignConfig CampaignConfig(uint64_t seed) {
+  app::ChaosCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.nodes = 3;
+  cfg.accounts_per_node = 20;
+  cfg.clients_per_node = 2;
+  cfg.schedule.faults = 8;
+  cfg.schedule.min_node_crashes = 1;
+  return cfg;
+}
+
+void TableSurvival() {
+  Header("E9.a campaign survival across seeds");
+  printf("%6s %7s %8s %7s %9s %9s %9s %8s %9s\n", "seed", "faults", "crashes",
+         "txns", "committed", "aborted", "unknown", "quiesced", "violations");
+  size_t runs = 0, survived = 0, total_faults = 0, total_crashes = 0;
+  uint64_t total_txns = 0, total_committed = 0;
+  size_t total_negotiated = 0, total_redo = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    app::ChaosCampaignResult r = app::RunChaosCampaign(CampaignConfig(seed));
+    bool ok = r.quiesced && r.violations.empty() &&
+              r.balance_sum == r.expected_sum && r.leaked_locks == 0;
+    ++runs;
+    if (ok) ++survived;
+    total_faults += r.faults_fired;
+    total_crashes += r.node_crashes;
+    total_txns += r.txns_started;
+    total_committed += r.txns_committed;
+    total_negotiated += r.rollforward_negotiated;
+    total_redo += r.rollforward_redo_applied;
+    printf("%6llu %7zu %8zu %7llu %9llu %9llu %9llu %8s %9zu\n",
+           static_cast<unsigned long long>(seed), r.faults_fired,
+           r.node_crashes, static_cast<unsigned long long>(r.txns_started),
+           static_cast<unsigned long long>(r.txns_committed),
+           static_cast<unsigned long long>(r.txns_aborted),
+           static_cast<unsigned long long>(r.txns_unknown),
+           r.quiesced ? "yes" : "NO", r.violations.size());
+  }
+  printf("survived %zu/%zu storms; %zu faults (%zu node crashes), "
+         "%llu txns (%llu committed), rollforward negotiated %zu, "
+         "redo images %zu\n",
+         survived, runs, total_faults, total_crashes,
+         static_cast<unsigned long long>(total_txns),
+         static_cast<unsigned long long>(total_committed), total_negotiated,
+         total_redo);
+  ReportValue("runs", static_cast<double>(runs));
+  ReportValue("survived", static_cast<double>(survived));
+  ReportValue("faults_fired", static_cast<double>(total_faults));
+  ReportValue("node_crashes", static_cast<double>(total_crashes));
+  ReportValue("txns_started", static_cast<double>(total_txns));
+  ReportValue("txns_committed", static_cast<double>(total_committed));
+  ReportValue("rollforward_negotiated", static_cast<double>(total_negotiated));
+  ReportValue("rollforward_redo_applied", static_cast<double>(total_redo));
+}
+
+void TableStormShape() {
+  Header("E9.b what one storm throws (seed 1 schedule)");
+  app::ChaosCampaignConfig cfg = CampaignConfig(1);
+  sim::FaultScheduleConfig scfg = cfg.schedule;
+  scfg.nodes = cfg.nodes;
+  scfg.cpus_per_node = 4;
+  sim::FaultSchedule schedule = sim::FaultScheduleGenerator(scfg).Generate(1);
+  printf("%s", schedule.Dump().c_str());
+  printf("(every fault heals; heavy faults get disjoint windows; the dump\n"
+         " above replays bit-identically via ReplayChaosCampaign)\n");
+}
+
+void BM_ChaosCampaign(benchmark::State& state) {
+  uint64_t seed = 100;
+  for (auto _ : state) {
+    app::ChaosCampaignResult r = app::RunChaosCampaign(CampaignConfig(seed++));
+    benchmark::DoNotOptimize(r.balance_sum);
+    if (!r.quiesced || !r.violations.empty()) {
+      state.SkipWithError("campaign failed");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_ChaosCampaign)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace encompass::bench
+
+int main(int argc, char** argv) {
+  encompass::bench::InitReport("e9_chaos_campaign");
+  printf("E9: chaos recovery campaign — fault storms vs the atomicity oracle\n");
+  encompass::bench::TableSurvival();
+  encompass::bench::TableStormShape();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  encompass::bench::WriteReport();
+  return 0;
+}

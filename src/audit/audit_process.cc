@@ -1,5 +1,7 @@
 #include "audit/audit_process.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "common/logging.h"
 
@@ -143,6 +145,16 @@ void AuditProcess::HandleFetch(const net::Message& msg) {
     return;
   }
   auto records = config_.trail->RecordsForTransaction(Transid::Unpack(packed));
+  // Images at or below the undo floor predate a volume rebuild and are not
+  // reflected in the volume; backing them out would apply stale values.
+  const uint64_t floor = config_.trail->undo_floor();
+  if (floor != 0) {
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [floor](const AuditRecord& r) {
+                                   return r.lsn <= floor;
+                                 }),
+                  records.end());
+  }
   Reply(msg, Status::Ok(), EncodeAuditBatch(records));
 }
 

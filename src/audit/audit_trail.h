@@ -49,6 +49,16 @@ class AuditTrail {
   /// are durable. Returns the number of files purged.
   size_t Purge(uint64_t up_to_lsn);
 
+  /// Raises the undo floor: records with lsn <= `lsn` are excluded from
+  /// backout fetches. Set by recovery after a volume is rebuilt from its
+  /// archive plus committed redo — the surviving pre-crash images are not
+  /// reflected in the rebuilt volume, and applying their before-images
+  /// during a later backout would clobber writes committed since.
+  void SetUndoFloor(uint64_t lsn) {
+    if (lsn > undo_floor_) undo_floor_ = lsn;
+  }
+  uint64_t undo_floor() const { return undo_floor_; }
+
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t durable_lsn() const { return durable_lsn_; }
   size_t record_count() const;
@@ -68,6 +78,7 @@ class AuditTrail {
   std::deque<AuditFile> files_;
   uint64_t next_lsn_ = 1;
   uint64_t durable_lsn_ = 0;  // highest LSN forced to disc
+  uint64_t undo_floor_ = 0;   // see SetUndoFloor
   uint64_t first_file_number_ = 1;
   uint64_t next_file_number_ = 1;
 };

@@ -70,6 +70,12 @@ void DiscProcess::OnRequest(const net::Message& msg) {
     HandleStateChange(msg);
     return;
   }
+  if (msg.tag == kDiscListLockOwners) {
+    LockOwnersReply rep;
+    rep.owners = locks_.Holders();
+    Reply(msg, Status::Ok(), rep.Encode());
+    return;
+  }
 
   auto req = DiscRequest::Decode(Slice(msg.payload));
   if (!req.ok()) {

@@ -92,6 +92,27 @@ Result<ScanReply> ScanReply::Decode(const Slice& payload) {
   return rep;
 }
 
+Bytes LockOwnersReply::Encode() const {
+  Bytes out;
+  PutVarint64(&out, owners.size());
+  for (const Transid& t : owners) PutFixed64(&out, t.Pack());
+  return out;
+}
+
+Result<LockOwnersReply> LockOwnersReply::Decode(const Slice& payload) {
+  Slice in = payload;
+  LockOwnersReply rep;
+  uint64_t n;
+  if (!GetVarint64(&in, &n)) return DecodeError("lock owners reply");
+  rep.owners.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t packed;
+    if (!GetFixed64(&in, &packed)) return DecodeError("lock owners reply");
+    rep.owners.push_back(Transid::Unpack(packed));
+  }
+  return rep;
+}
+
 Bytes TxnStateChange::Encode() const {
   Bytes out;
   PutFixed64(&out, transid.Pack());

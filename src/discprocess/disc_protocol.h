@@ -5,6 +5,7 @@
 #define ENCOMPASS_DISCPROCESS_DISC_PROTOCOL_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/sim_time.h"
@@ -28,6 +29,12 @@ enum DiscTag : uint32_t {
   kDiscUndo = net::kTagDisc + 9,        ///< from BACKOUTPROCESS: compensate
   kDiscFlushVolume = net::kTagDisc + 10,///< force cached data blocks to disc
   kDiscScan = net::kTagDisc + 11,       ///< batched range scan (browse read)
+  /// From TMF: enumerate the transactions currently holding locks here. The
+  /// TMP's orphan-lock sweep compares the reply against its transaction
+  /// table and resolves unknown holders with the home TMP — locks acquired
+  /// by an operation retry that raced a node crash/recovery would otherwise
+  /// be held forever (no TMP tracks the transid any more).
+  kDiscListLockOwners = net::kTagDisc + 12,
 };
 
 /// Transaction states a DISCPROCESS reacts to (subset of the TMF states).
@@ -72,6 +79,14 @@ struct ScanReply {
 
   Bytes Encode() const;
   static Result<ScanReply> Decode(const Slice& payload);
+};
+
+/// Reply payload of kDiscListLockOwners: transactions holding >= 1 lock.
+struct LockOwnersReply {
+  std::vector<Transid> owners;
+
+  Bytes Encode() const;
+  static Result<LockOwnersReply> Decode(const Slice& payload);
 };
 
 /// Payload of kDiscTxnStateChange.

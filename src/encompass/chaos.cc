@@ -1,0 +1,638 @@
+#include "encompass/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "storage/record.h"
+#include "tmf/tmf_protocol.h"
+
+namespace encompass::app {
+
+namespace {
+
+std::string VolName(int n) { return "$DATA" + std::to_string(n); }
+std::string MarkerFile(int n) { return "mark" + std::to_string(n); }
+
+std::string AcctKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "acct%05d", i);
+  return buf;
+}
+
+int64_t ParseBalance(const Bytes& image) {
+  auto rec = storage::Record::Decode(Slice(image));
+  if (!rec.ok()) return 0;
+  return strtoll(rec->Get("balance").c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+// ---- AtomicityOracle --------------------------------------------------------
+
+void AtomicityOracle::RegisterIntent(uint64_t transid, std::string marker_key,
+                                     std::vector<IntentTarget> targets) {
+  Intent& in = intents_[transid];
+  in.marker_key = std::move(marker_key);
+  in.targets = std::move(targets);
+}
+
+void AtomicityOracle::RecordTransfer(uint64_t transid, int from_acct,
+                                     int to_acct, int64_t amount) {
+  auto it = intents_.find(transid);
+  if (it == intents_.end()) return;
+  it->second.from_acct = from_acct;
+  it->second.to_acct = to_acct;
+  it->second.amount = amount;
+}
+
+void AtomicityOracle::RecordOutcome(uint64_t transid, Outcome outcome) {
+  auto it = intents_.find(transid);
+  if (it != intents_.end()) it->second.outcome = outcome;
+}
+
+uint64_t AtomicityOracle::count(Outcome o) const {
+  uint64_t n = 0;
+  for (const auto& [id, in] : intents_) {
+    if (in.outcome == o) ++n;
+  }
+  return n;
+}
+
+std::vector<AtomicityOracle::Violation> AtomicityOracle::Check(
+    Deployment* deploy) const {
+  std::vector<Violation> out;
+  for (const auto& [transid, in] : intents_) {
+    std::string present_on, absent_on;
+    size_t present = 0;
+    for (const auto& tgt : in.targets) {
+      NodeDeployment* nd = deploy->GetNode(tgt.node);
+      auto& vol = nd->storage().volumes.at(tgt.volume);
+      bool here =
+          vol->ReadRecord(tgt.marker_file, Slice(in.marker_key)).status.ok();
+      (here ? present_on : absent_on) += " " + tgt.volume;
+      if (here) ++present;
+    }
+    switch (in.outcome) {
+      case Outcome::kCommitted:
+        if (present != in.targets.size()) {
+          out.push_back({transid, "lost committed update: marker " +
+                                      in.marker_key + " missing on" +
+                                      absent_on});
+        }
+        break;
+      case Outcome::kAborted:
+        if (present != 0) {
+          out.push_back({transid, "resurrected aborted update: marker " +
+                                      in.marker_key + " present on" +
+                                      present_on});
+        }
+        break;
+      case Outcome::kUnknown:
+        if (present != 0 && present != in.targets.size()) {
+          out.push_back({transid, "atomicity violation: marker " +
+                                      in.marker_key + " present on" +
+                                      present_on + " but missing on" +
+                                      absent_on});
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---- ChaosClient ------------------------------------------------------------
+
+net::Address ChaosClient::LocalTmp() const {
+  return net::Address(node()->id(), "$TMP");
+}
+
+void ChaosClient::OnStart() {
+  fs_ = std::make_unique<tmf::FileSystem>(this, config_.catalog);
+  ScheduleNext();
+}
+
+void ChaosClient::ScheduleNext() {
+  set_current_transid(0);
+  txn_ = 0;
+  SimDuration jitter = static_cast<SimDuration>(
+      rng_.Uniform(static_cast<uint64_t>(config_.think_time) + 1));
+  SetTimer(config_.think_time + jitter, [this]() { StartTxn(); });
+}
+
+void ChaosClient::StartTxn() {
+  if (sim()->Now() >= config_.stop_at) return;  // storm over: go quiet
+  int total = config_.nodes * config_.accounts_per_node;
+  from_ = static_cast<int>(rng_.Uniform(total));
+  to_ = static_cast<int>(rng_.Uniform(total - 1));
+  if (to_ >= from_) ++to_;
+  // Acquire locks in account order to keep deadlocks (resolved by lock
+  // timeout + abort) from dominating the workload.
+  if (from_ > to_) std::swap(from_, to_);
+  amount_ = 1 + static_cast<int64_t>(
+                    rng_.Uniform(static_cast<uint64_t>(config_.max_amount)));
+  os::CallOptions opt;
+  opt.timeout = Seconds(2);
+  opt.retries = 2;  // BEGIN is idempotent from the oracle's view
+  Call(
+      LocalTmp(), tmf::kTmfBegin, {},
+      [this](const Status& s, const net::Message& m) { OnBegun(s, m); }, opt);
+}
+
+void ChaosClient::OnBegun(const Status& s, const net::Message& reply) {
+  if (!s.ok()) {
+    ScheduleNext();
+    return;
+  }
+  auto t = tmf::DecodeTransidPayload(Slice(reply.payload));
+  if (!t.ok()) {
+    ScheduleNext();
+    return;
+  }
+  txn_ = t->Pack();
+  ++started_;
+  marker_key_ = "t" + std::to_string(txn_);
+  targets_.clear();
+  int na = 1 + from_ / config_.accounts_per_node;
+  int nb = 1 + to_ / config_.accounts_per_node;
+  targets_.push_back({static_cast<net::NodeId>(na), VolName(na), MarkerFile(na)});
+  if (nb != na) {
+    targets_.push_back(
+        {static_cast<net::NodeId>(nb), VolName(nb), MarkerFile(nb)});
+  }
+  // Intent is on record BEFORE the first write leaves this process: if the
+  // client dies mid-transaction the oracle still audits it (as unknown).
+  config_.oracle->RegisterIntent(txn_, marker_key_, targets_);
+  config_.oracle->RecordTransfer(txn_, from_, to_, amount_);
+  set_current_transid(txn_);
+  RunOps();
+}
+
+void ChaosClient::RunOps() {
+  fs_->Read("acct", Slice(AcctKey(from_)), /*lock=*/true,
+            [this](const Status& s, const Bytes& v) {
+              if (!s.ok()) return AbortTxn();
+              bal_from_ = ParseBalance(v);
+              fs_->Read("acct", Slice(AcctKey(to_)), /*lock=*/true,
+                        [this](const Status& s2, const Bytes& v2) {
+                          if (!s2.ok()) return AbortTxn();
+                          bal_to_ = ParseBalance(v2);
+                          storage::Record r1;
+                          r1.Set("balance", std::to_string(bal_from_ - amount_));
+                          fs_->Update(
+                              "acct", Slice(AcctKey(from_)), Slice(r1.Encode()),
+                              [this](const Status& s3, const Bytes&) {
+                                if (!s3.ok()) return AbortTxn();
+                                storage::Record r2;
+                                r2.Set("balance",
+                                       std::to_string(bal_to_ + amount_));
+                                fs_->Update(
+                                    "acct", Slice(AcctKey(to_)),
+                                    Slice(r2.Encode()),
+                                    [this](const Status& s4, const Bytes&) {
+                                      if (!s4.ok()) return AbortTxn();
+                                      marker_idx_ = 0;
+                                      InsertNextMarker();
+                                    });
+                              });
+                        });
+            });
+}
+
+void ChaosClient::InsertNextMarker() {
+  if (marker_idx_ >= targets_.size()) {
+    EndTxn();
+    return;
+  }
+  const AtomicityOracle::IntentTarget& tgt = targets_[marker_idx_++];
+  storage::Record rec;
+  rec.Set("txn", marker_key_);
+  fs_->Insert(tgt.marker_file, Slice(marker_key_), Slice(rec.Encode()),
+              [this](const Status& s, const Bytes&) {
+                if (!s.ok()) return AbortTxn();
+                InsertNextMarker();
+              });
+}
+
+void ChaosClient::EndTxn() {
+  // No transparent retries on END: if the first reply is lost, a resend can
+  // find the transaction already forgotten and read back presumed-abort for
+  // a commit that actually happened. A timeout stays "unknown" instead and
+  // the oracle holds it to the all-or-nothing standard.
+  os::CallOptions opt;
+  opt.timeout = Seconds(8);
+  uint64_t transid = txn_;
+  Call(LocalTmp(), tmf::kTmfEnd,
+       tmf::EncodeTransidPayload(Transid::Unpack(transid)),
+       [this, transid](const Status& s, const net::Message&) {
+         AtomicityOracle::Outcome o =
+             s.ok() ? AtomicityOracle::Outcome::kCommitted
+                    : (s.IsAborted() ? AtomicityOracle::Outcome::kAborted
+                                     : AtomicityOracle::Outcome::kUnknown);
+         config_.oracle->RecordOutcome(transid, o);
+         ScheduleNext();
+       },
+       opt);
+}
+
+void ChaosClient::AbortTxn() {
+  os::CallOptions opt;
+  opt.timeout = Seconds(8);
+  uint64_t transid = txn_;
+  Call(LocalTmp(), tmf::kTmfAbort,
+       tmf::EncodeTransidPayload(Transid::Unpack(transid)),
+       [this, transid](const Status& s, const net::Message&) {
+         // An ok or Aborted reply means backout finished: no commit can
+         // follow. Anything else (timeout, takeover) leaves it unknown.
+         AtomicityOracle::Outcome o =
+             (s.ok() || s.IsAborted()) ? AtomicityOracle::Outcome::kAborted
+                                       : AtomicityOracle::Outcome::kUnknown;
+         config_.oracle->RecordOutcome(transid, o);
+         ScheduleNext();
+       },
+       opt);
+}
+
+// ---- Campaign runner --------------------------------------------------------
+
+ChaosCampaignResult RunChaosCampaign(const ChaosCampaignConfig& config) {
+  sim::FaultScheduleConfig scfg = config.schedule;
+  scfg.nodes = config.nodes;
+  scfg.cpus_per_node = 4;
+  sim::FaultSchedule schedule =
+      sim::FaultScheduleGenerator(scfg).Generate(config.seed);
+  return ReplayChaosCampaign(config, schedule);
+}
+
+ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
+                                        const sim::FaultSchedule& schedule) {
+  ChaosCampaignResult res;
+  res.schedule = schedule;
+  res.schedule_dump = schedule.Dump();
+  res.node_crashes = schedule.CountOf(sim::FaultClass::kNodeCrash);
+
+  sim::Simulation sim(config.seed);
+  Deployment deploy(&sim);
+  for (int n = 1; n <= config.nodes; ++n) {
+    NodeSpec spec;
+    spec.id = static_cast<net::NodeId>(n);
+    spec.node_config.num_cpus = 4;
+    spec.disc_config.default_lock_timeout = Millis(300);
+    spec.tmp_config.auto_abort_timeout = Seconds(10);
+    // In-doubt participants of a dead home must resolve themselves, or
+    // their locks wedge the drain.
+    spec.tmp_config.indoubt_resolve_interval = Seconds(2);
+    spec.volumes = {VolumeSpec{
+        VolName(n), {FileSpec{"acct"}, FileSpec{MarkerFile(n)}}, {}}};
+    deploy.AddNode(spec);
+  }
+  deploy.LinkAll();
+
+  storage::FileDefinition def;
+  def.name = "acct";
+  for (int n = 1; n < config.nodes; ++n) {
+    def.partitions.AddPartition(
+        ToBytes(AcctKey(n * config.accounts_per_node)),
+        static_cast<net::NodeId>(n), VolName(n));
+  }
+  def.partitions.AddPartition({}, static_cast<net::NodeId>(config.nodes),
+                              VolName(config.nodes));
+  deploy.DefinePartitionedFile(def);
+  for (int n = 1; n <= config.nodes; ++n) {
+    deploy.DefineFile(MarkerFile(n), static_cast<net::NodeId>(n), VolName(n));
+  }
+
+  for (int n = 1; n <= config.nodes; ++n) {
+    auto* vol =
+        deploy.GetNode(static_cast<net::NodeId>(n))->storage().volumes
+            .at(VolName(n))
+            .get();
+    for (int i = (n - 1) * config.accounts_per_node;
+         i < n * config.accounts_per_node; ++i) {
+      storage::Record rec;
+      rec.Set("balance", std::to_string(config.initial_balance));
+      vol->Mutate("acct", storage::MutationOp::kInsert, Slice(AcctKey(i)),
+                  Slice(rec.Encode()));
+    }
+    vol->Flush();
+  }
+  res.expected_sum =
+      static_cast<long long>(config.nodes) * config.accounts_per_node *
+      config.initial_balance;
+
+  sim.RunFor(Millis(10));  // let the service pairs settle
+  // Archive every volume at this transaction-consistent point: the base
+  // ROLLFORWARD rebuilds a crashed node from.
+  for (int n = 1; n <= config.nodes; ++n) {
+    deploy.GetNode(static_cast<net::NodeId>(n))->ArchiveVolumes();
+  }
+
+  AtomicityOracle oracle;
+  sim::FaultInjector injector(&sim);
+  const SimTime stop_at = schedule.EndTime() + Seconds(2);
+
+  std::vector<uint64_t> client_gen(config.nodes + 1, 0);
+  auto spawn_clients = [&](net::NodeId n) {
+    for (int c = 0; c < config.clients_per_node; ++c) {
+      ChaosClientConfig ccfg;
+      ccfg.catalog = &deploy.catalog();
+      ccfg.oracle = &oracle;
+      ccfg.seed = config.seed * 1000003 + static_cast<uint64_t>(n) * 101 +
+                  static_cast<uint64_t>(c) * 17 + client_gen[n] * 7919;
+      ccfg.nodes = config.nodes;
+      ccfg.accounts_per_node = config.accounts_per_node;
+      ccfg.think_time = config.client_think;
+      ccfg.stop_at = stop_at;
+      // Spread clients over CPUs 1..3, away from CPU 0 where recovery runs.
+      deploy.GetNode(n)->node()->Spawn<ChaosClient>(1 + c % 3, ccfg);
+    }
+    ++client_gen[n];
+  };
+  for (int n = 1; n <= config.nodes; ++n) {
+    spawn_clients(static_cast<net::NodeId>(n));
+  }
+
+  // ---- bind the schedule to concrete cluster actions -----------------------
+  std::set<net::NodeId> crashed;
+  int recovering = 0;
+  auto fault_tag = [](const sim::FaultSpec& f) {
+    return std::string(sim::FaultClassName(f.fault)) + " node " +
+           std::to_string(f.node);
+  };
+  for (const sim::FaultSpec& f : schedule.faults) {
+    switch (f.fault) {
+      case sim::FaultClass::kCpuFail: {
+        injector.InjectAt(
+            f.at, fault_tag(f) + " cpu " + std::to_string(f.unit),
+            [&deploy, &crashed, &injector, f]() {
+              if (crashed.count(f.node)) {
+                injector.Note("suppressed cpu fail: node crashed");
+                return;
+              }
+              deploy.GetNode(f.node)->node()->FailCpu(f.unit);
+            });
+        injector.InjectAt(
+            f.at + f.heal_after, "reload node " + std::to_string(f.node) +
+                                     " cpu " + std::to_string(f.unit),
+            [&deploy, &crashed, &injector, f]() {
+              if (crashed.count(f.node)) {
+                injector.Note("suppressed cpu reload: node crashed");
+                return;
+              }
+              os::Node* node = deploy.GetNode(f.node)->node();
+              if (!node->CpuUp(f.unit)) node->ReloadCpu(f.unit);
+            });
+        break;
+      }
+      case sim::FaultClass::kBusCut: {
+        injector.InjectAt(f.at,
+                          fault_tag(f) + " bus " + std::to_string(f.unit),
+                          [&deploy, &crashed, &injector, f]() {
+                            if (crashed.count(f.node)) {
+                              injector.Note("suppressed bus cut: node crashed");
+                              return;
+                            }
+                            deploy.GetNode(f.node)->node()->SetBusUp(f.unit,
+                                                                     false);
+                          });
+        injector.InjectAt(f.at + f.heal_after,
+                          "restore node " + std::to_string(f.node) + " bus " +
+                              std::to_string(f.unit),
+                          [&deploy, &crashed, f]() {
+                            if (crashed.count(f.node)) return;  // reload did it
+                            deploy.GetNode(f.node)->node()->SetBusUp(f.unit,
+                                                                     true);
+                          });
+        break;
+      }
+      case sim::FaultClass::kDriveDrop: {
+        injector.InjectAt(
+            f.at, fault_tag(f) + " drive " + std::to_string(f.unit),
+            [&deploy, f]() {
+              deploy.GetNode(f.node)->storage().volumes.at(VolName(f.node))
+                  ->FailDrive(f.unit);
+            });
+        injector.InjectAt(
+            f.at + f.heal_after, "revive node " + std::to_string(f.node) +
+                                     " drive " + std::to_string(f.unit),
+            [&deploy, f]() {
+              (void)deploy.GetNode(f.node)->storage().volumes
+                  .at(VolName(f.node))
+                  ->ReviveDrive(f.unit);
+            });
+        break;
+      }
+      case sim::FaultClass::kLinkFlap: {
+        injector.InjectAt(f.at,
+                          "cut link " + std::to_string(f.node) + "-" +
+                              std::to_string(f.peer),
+                          [&deploy, &crashed, &injector, f]() {
+                            if (crashed.count(f.node) || crashed.count(f.peer)) {
+                              injector.Note("suppressed link cut: endpoint crashed");
+                              return;
+                            }
+                            deploy.cluster().CutLink(f.node, f.peer);
+                          });
+        injector.InjectAt(f.at + f.heal_after,
+                          "restore link " + std::to_string(f.node) + "-" +
+                              std::to_string(f.peer),
+                          [&deploy, &crashed, f]() {
+                            if (crashed.count(f.node) || crashed.count(f.peer))
+                              return;  // ReconnectNode restores it
+                            deploy.cluster().RestoreLink(f.node, f.peer);
+                          });
+        break;
+      }
+      case sim::FaultClass::kPartition: {
+        auto cross = [&config, f](auto&& fn) {
+          for (int a = 1; a <= config.nodes; ++a) {
+            for (int b = a + 1; b <= config.nodes; ++b) {
+              if (((f.mask >> a) & 1u) != ((f.mask >> b) & 1u)) {
+                fn(static_cast<net::NodeId>(a), static_cast<net::NodeId>(b));
+              }
+            }
+          }
+        };
+        injector.InjectAt(f.at,
+                          "partition mask=" + std::to_string(f.mask),
+                          [&deploy, &crashed, cross]() {
+                            cross([&](net::NodeId a, net::NodeId b) {
+                              if (crashed.count(a) || crashed.count(b)) return;
+                              deploy.cluster().CutLink(a, b);
+                            });
+                          });
+        injector.InjectAt(f.at + f.heal_after,
+                          "heal partition mask=" + std::to_string(f.mask),
+                          [&deploy, &crashed, cross]() {
+                            cross([&](net::NodeId a, net::NodeId b) {
+                              if (crashed.count(a) || crashed.count(b)) return;
+                              deploy.cluster().RestoreLink(a, b);
+                            });
+                          });
+        break;
+      }
+      case sim::FaultClass::kNodeCrash: {
+        injector.InjectAt(f.at, "crash node " + std::to_string(f.node),
+                          [&deploy, &crashed, f]() {
+                            crashed.insert(f.node);
+                            deploy.CrashNode(f.node);
+                          });
+        injector.InjectAt(
+            f.at + f.heal_after, "recover node " + std::to_string(f.node),
+            [&deploy, &crashed, &recovering, &injector, &res, &spawn_clients,
+             &sim, stop_at, f]() {
+              ++recovering;
+              deploy.RecoverNode(
+                  f.node,
+                  [&crashed, &recovering, &injector, &res, &spawn_clients,
+                   &sim, stop_at,
+                   f](const std::vector<tmf::RollforwardReport>& reports) {
+                    crashed.erase(f.node);
+                    --recovering;
+                    ++res.recoveries_completed;
+                    for (const auto& r : reports) {
+                      res.rollforward_negotiated += r.negotiated;
+                      res.rollforward_redo_applied += r.redo_applied;
+                    }
+                    injector.Note("node " + std::to_string(f.node) +
+                                  " recovered and back in service");
+                    if (sim.Now() < stop_at) {
+                      spawn_clients(f.node);
+                    }
+                  });
+            });
+        break;
+      }
+    }
+  }
+
+  // ---- the storm, then the drain -------------------------------------------
+  sim.RunUntil(stop_at);
+  const int max_spins =
+      static_cast<int>(config.max_drain / Seconds(1)) + 1;
+  for (int spin = 0; spin < max_spins; ++spin) {
+    sim.RunFor(Seconds(1));
+    if (!crashed.empty() || recovering > 0) continue;
+    bool quiet = true;
+    for (int n = 1; n <= config.nodes && quiet; ++n) {
+      NodeDeployment* nd = deploy.GetNode(static_cast<net::NodeId>(n));
+      tmf::TmpProcess* tmp = nd->tmp();
+      if (tmp == nullptr || tmp->ActiveTransactionCount() != 0 ||
+          tmp->PendingSafeDeliveries() != 0) {
+        quiet = false;
+        break;
+      }
+      auto* disc = nd->disc(VolName(n));
+      if (disc == nullptr || disc->locks().held_count() != 0) quiet = false;
+    }
+    if (quiet) {
+      res.quiesced = true;
+      break;
+    }
+  }
+  sim.RunFor(Seconds(2));  // settle any last timer pops
+
+  // ---- verdicts ------------------------------------------------------------
+  res.faults_fired = injector.fired();
+  for (const sim::FaultEvent& e : injector.journal()) {
+    res.journal.push_back("t=" + std::to_string(e.when) + " " + e.description);
+  }
+  if (!res.quiesced) {
+    // Name what failed to drain — these lines ride along in the journal a
+    // failing test prints, next to the fault sequence that caused them.
+    for (int n = 1; n <= config.nodes; ++n) {
+      NodeDeployment* nd = deploy.GetNode(static_cast<net::NodeId>(n));
+      tmf::TmpProcess* tmp = nd->tmp();
+      if (tmp == nullptr) {
+        res.journal.push_back("leftover: node " + std::to_string(n) +
+                              " has no TMP");
+        continue;
+      }
+      for (const auto& e : tmp->ListTransactions()) {
+        res.journal.push_back(
+            "leftover: node " + std::to_string(n) + " " +
+            e.transid.ToString() + " state=" +
+            tmf::TxnStateName(static_cast<tmf::TxnState>(e.state)) +
+            (e.is_home ? " home" : " participant of " +
+                                       std::to_string(e.parent)));
+      }
+      if (tmp->PendingSafeDeliveries() != 0) {
+        res.journal.push_back(
+            "leftover: node " + std::to_string(n) + " pending_safe=" +
+            std::to_string(tmp->PendingSafeDeliveries()));
+      }
+      auto* disc = nd->disc(VolName(n));
+      if (disc != nullptr && disc->locks().held_count() != 0) {
+        res.journal.push_back(
+            "leftover: node " + std::to_string(n) + " held_locks=" +
+            std::to_string(disc->locks().held_count()));
+      }
+    }
+  }
+  res.violations = oracle.Check(&deploy);
+  res.txns_started = oracle.intents();
+  res.txns_committed = oracle.count(AtomicityOracle::Outcome::kCommitted);
+  res.txns_aborted = oracle.count(AtomicityOracle::Outcome::kAborted);
+  res.txns_unknown = oracle.count(AtomicityOracle::Outcome::kUnknown);
+  res.illegal_transitions = sim.GetStats().Counter("tmf.illegal_transitions");
+  for (int n = 1; n <= config.nodes; ++n) {
+    NodeDeployment* nd = deploy.GetNode(static_cast<net::NodeId>(n));
+    if (tmf::TmpProcess* tmp = nd->tmp()) {
+      res.leaked_txns += tmp->ActiveTransactionCount();
+      res.pending_safe += tmp->PendingSafeDeliveries();
+    }
+    if (auto* disc = nd->disc(VolName(n))) {
+      res.leaked_locks += disc->locks().held_count();
+    }
+    auto* vol = nd->storage().volumes.at(VolName(n)).get();
+    for (int i = (n - 1) * config.accounts_per_node;
+         i < n * config.accounts_per_node; ++i) {
+      auto r = vol->ReadRecord("acct", Slice(AcctKey(i)));
+      if (r.status.ok()) res.balance_sum += ParseBalance(r.value);
+    }
+  }
+
+  if (res.balance_sum != res.expected_sum) {
+    // Attribute the drift: recompute each account from the committed
+    // transfers and name the transactions touching every account that
+    // disagrees with the durable value. Unknown-outcome transactions make
+    // an account legitimately ambiguous; list them so the reader can tell
+    // ambiguity from corruption.
+    int total = config.nodes * config.accounts_per_node;
+    std::vector<long long> expect(total, config.initial_balance);
+    for (const auto& [id, in] : oracle.all()) {
+      if (in.outcome != AtomicityOracle::Outcome::kCommitted) continue;
+      if (in.from_acct < 0) continue;
+      expect[in.from_acct] -= in.amount;
+      expect[in.to_acct] += in.amount;
+    }
+    for (int i = 0; i < total; ++i) {
+      int n = 1 + i / config.accounts_per_node;
+      auto r = deploy.GetNode(static_cast<net::NodeId>(n))
+                   ->storage().volumes.at(VolName(n))
+                   ->ReadRecord("acct", Slice(AcctKey(i)));
+      long long actual = r.status.ok() ? ParseBalance(r.value) : 0;
+      if (actual == expect[i]) continue;
+      res.journal.push_back("drift: acct " + std::to_string(i) + " actual=" +
+                            std::to_string(actual) + " committed-expected=" +
+                            std::to_string(expect[i]));
+      for (const auto& [id, in] : oracle.all()) {
+        if (in.from_acct != i && in.to_acct != i) continue;
+        const char* o = in.outcome == AtomicityOracle::Outcome::kCommitted
+                            ? "committed"
+                            : (in.outcome == AtomicityOracle::Outcome::kAborted
+                                   ? "aborted"
+                                   : "unknown");
+        res.journal.push_back(
+            "drift:   " + Transid::Unpack(id).ToString() + " " + o +
+            (in.from_acct == i ? " debit " : " credit ") +
+            std::to_string(in.amount));
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace encompass::app

@@ -1,0 +1,189 @@
+// Chaos recovery campaign: a seeded, replayable storm of faults (generated
+// by sim::FaultScheduleGenerator) over a multi-node ENCOMPASS deployment
+// running a transfer workload, with a machine-checked atomicity/durability
+// oracle evaluated after the cluster quiesces and every crashed node has
+// recovered through ROLLFORWARD.
+//
+// Oracle methodology. Every transaction, at BEGIN time, registers its
+// *intent*: the set of volumes it is about to write, plus a unique marker
+// record it will insert on each of them alongside the real updates. The
+// client then records the outcome it observed (END ok = committed, a
+// definite abort = aborted, anything else — timeouts, client death with the
+// node — = unknown). After quiesce the oracle inspects the durable volumes:
+//   * committed  -> the marker is present on EVERY intended volume
+//                   (a missing one is a lost committed update);
+//   * aborted    -> the marker is present on NO volume
+//                   (a present one is a resurrected aborted update);
+//   * unknown    -> all-or-nothing: either every volume has the marker or
+//                   none does (a mix is an atomicity violation).
+// A global balance-sum conservation check rides along (transfers are
+// zero-sum), catching partial redo of the real updates even when markers
+// survive.
+
+#ifndef ENCOMPASS_ENCOMPASS_CHAOS_H_
+#define ENCOMPASS_ENCOMPASS_CHAOS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encompass/deployment.h"
+#include "sim/fault_injector.h"
+#include "sim/fault_schedule.h"
+#include "tmf/file_system.h"
+
+namespace encompass::app {
+
+/// Cluster-wide atomicity/durability oracle (see file comment).
+class AtomicityOracle {
+ public:
+  enum class Outcome { kUnknown = 0, kCommitted = 1, kAborted = 2 };
+
+  /// One volume a transaction intends to write, and where its marker goes.
+  struct IntentTarget {
+    net::NodeId node;
+    std::string volume;
+    std::string marker_file;
+  };
+
+  struct Violation {
+    uint64_t transid;
+    std::string detail;
+  };
+
+  struct Intent {
+    std::string marker_key;
+    std::vector<IntentTarget> targets;
+    Outcome outcome = Outcome::kUnknown;
+    // The transfer behind the markers (for balance-drift attribution).
+    int from_acct = -1, to_acct = -1;
+    int64_t amount = 0;
+  };
+
+  /// Registers a transaction's intended writes (call right after BEGIN,
+  /// before the first write). `marker_key` must be unique per transaction.
+  void RegisterIntent(uint64_t transid, std::string marker_key,
+                      std::vector<IntentTarget> targets);
+  /// Records the accounts and amount the transaction moves, so a balance
+  /// drift can be attributed to the transactions touching the account.
+  void RecordTransfer(uint64_t transid, int from_acct, int to_acct,
+                      int64_t amount);
+  /// Records the client-observed outcome. Unreported transactions stay
+  /// kUnknown (e.g. the client died with its node).
+  void RecordOutcome(uint64_t transid, Outcome outcome);
+
+  /// Inspects the durable volumes and returns every violated invariant.
+  /// Call only after the cluster has quiesced and every node recovered.
+  std::vector<Violation> Check(Deployment* deploy) const;
+
+  size_t intents() const { return intents_.size(); }
+  uint64_t count(Outcome o) const;
+  const std::map<uint64_t, Intent>& all() const { return intents_; }
+
+ private:
+  std::map<uint64_t, Intent> intents_;
+};
+
+/// One chaos workload driver: runs sequential transfer transactions with
+/// marker inserts through the real client stack (TMP verbs + FileSystem),
+/// reporting intents and outcomes to the oracle. Lives on a node like any
+/// application process — and dies with it on a crash, leaving its in-flight
+/// transaction's outcome unknown (exactly what the oracle verifies).
+struct ChaosClientConfig {
+  const storage::Catalog* catalog = nullptr;
+  AtomicityOracle* oracle = nullptr;
+  uint64_t seed = 1;            ///< private PRNG stream for picks
+  int nodes = 3;
+  int accounts_per_node = 20;
+  int64_t max_amount = 50;
+  SimDuration think_time = Millis(25);
+  SimTime stop_at = 0;          ///< start no new transaction at/after this
+};
+
+class ChaosClient : public os::Process {
+ public:
+  explicit ChaosClient(ChaosClientConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  std::string DebugName() const override { return "chaos-client"; }
+
+  uint64_t started() const { return started_; }
+
+ protected:
+  void OnStart() override;
+
+ private:
+  net::Address LocalTmp() const;
+  void ScheduleNext();
+  void StartTxn();
+  void OnBegun(const Status& s, const net::Message& reply);
+  void RunOps();
+  void InsertNextMarker();
+  void EndTxn();
+  void AbortTxn();
+
+  ChaosClientConfig config_;
+  Random rng_;
+  std::unique_ptr<tmf::FileSystem> fs_;
+  uint64_t started_ = 0;
+
+  // In-flight transaction state (the client is strictly sequential).
+  uint64_t txn_ = 0;
+  int from_ = 0, to_ = 0;
+  int64_t amount_ = 0, bal_from_ = 0, bal_to_ = 0;
+  std::string marker_key_;
+  std::vector<AtomicityOracle::IntentTarget> targets_;
+  size_t marker_idx_ = 0;
+};
+
+/// Knobs of one campaign run.
+struct ChaosCampaignConfig {
+  uint64_t seed = 1;
+  int nodes = 3;
+  int accounts_per_node = 20;
+  int64_t initial_balance = 1000;
+  int clients_per_node = 2;
+  sim::FaultScheduleConfig schedule;  ///< nodes/cpus overwritten from above
+  SimDuration client_think = Millis(25);
+  /// Max quiesce time after the storm for transactions, safe deliveries,
+  /// and recoveries to drain.
+  SimDuration max_drain = Seconds(120);
+};
+
+/// Everything a test or bench asserts about one campaign run.
+struct ChaosCampaignResult {
+  sim::FaultSchedule schedule;
+  std::string schedule_dump;        ///< replayable (FaultSchedule::Parse)
+  std::vector<std::string> journal; ///< fired faults + annotations
+  size_t faults_fired = 0;
+  size_t node_crashes = 0;
+  size_t recoveries_completed = 0;
+  bool quiesced = false;            ///< everything drained within max_drain
+  std::vector<AtomicityOracle::Violation> violations;
+  long long balance_sum = 0;
+  long long expected_sum = 0;
+  uint64_t txns_started = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t txns_unknown = 0;
+  size_t leaked_locks = 0;
+  size_t leaked_txns = 0;
+  size_t pending_safe = 0;
+  int64_t illegal_transitions = 0;
+  size_t rollforward_negotiated = 0;  ///< dispositions settled via peers
+  size_t rollforward_redo_applied = 0;
+};
+
+/// Generates the fault schedule for `config.seed` and runs the campaign.
+ChaosCampaignResult RunChaosCampaign(const ChaosCampaignConfig& config);
+
+/// Runs the campaign against an explicit schedule (e.g. parsed from a
+/// failing run's dump). With the schedule that RunChaosCampaign generated
+/// for the same config, the run is bit-identical.
+ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
+                                        const sim::FaultSchedule& schedule);
+
+}  // namespace encompass::app
+
+#endif  // ENCOMPASS_ENCOMPASS_CHAOS_H_

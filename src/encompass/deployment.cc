@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "tmf/recovery.h"
 
 namespace encompass::app {
 
@@ -88,11 +89,28 @@ void NodeDeployment::StartServices() {
   tcfg.audit_processes = audit_names;
   tcfg.backout_process = "$BACKOUT";
   tcfg.monitor_trail = &storage_.monitor_trail;
+  // Each service (re)start is a new TMP incarnation: move the transid
+  // sequence floor past everything any earlier incarnation could have
+  // issued (seq is 40 bits; 32 bits of headroom per incarnation).
+  tcfg.seq_base = storage_.tmp_incarnation++ << 32;
   two_cpus(&a, &b);
   os::SpawnPair<tmf::TmpProcess>(node_, "$TMP", a, b, tcfg);
   RegisterRepairablePair<tmf::TmpProcess>("$TMP", tcfg);
 
   EnsureGuardians();
+}
+
+void NodeDeployment::ArchiveVolumes() {
+  for (const auto& vspec : spec_.volumes) {
+    storage::Volume* volume = storage_.volumes.at(vspec.name).get();
+    audit::AuditTrail* trail = storage_.trails.at(TrailName(vspec.name)).get();
+    volume->Flush();
+    trail->Force();
+    VolumeArchive archive;
+    archive.image = volume->Archive();
+    archive.archive_lsn = trail->next_lsn() - 1;
+    storage_.archives[vspec.name] = std::move(archive);
+  }
 }
 
 void NodeDeployment::RegisterRepairable(const std::string& name,
@@ -255,12 +273,48 @@ void Deployment::CrashNode(net::NodeId id) {
 void Deployment::RestartNode(net::NodeId id) {
   NodeDeployment* nd = GetNode(id);
   if (nd == nullptr) return;
-  for (int cpu = 0; cpu < nd->spec().node_config.num_cpus; ++cpu) {
-    nd->node()->ReloadCpu(cpu);
-  }
-  cluster_.ReconnectNode(id);
+  cluster_.ReloadNode(id);
   nd->StartServices();
   sim_->GetStats().Incr(m_node_restarts_);
+}
+
+void Deployment::RecoverNode(
+    net::NodeId id,
+    std::function<void(const std::vector<tmf::RollforwardReport>&)> done) {
+  NodeDeployment* nd = GetNode(id);
+  if (nd == nullptr) return;
+  cluster_.ReloadNode(id);
+  sim_->GetStats().Incr(m_node_restarts_);
+
+  tmf::NodeRecoveryConfig rcfg;
+  for (const auto& vspec : nd->spec().volumes) {
+    auto it = nd->storage().archives.find(vspec.name);
+    if (it == nd->storage().archives.end()) continue;  // never archived
+    tmf::VolumeRecoveryTask task;
+    task.volume = nd->storage().volumes.at(vspec.name).get();
+    task.trail = nd->storage().trails.at(NodeDeployment::TrailName(vspec.name)).get();
+    task.archive = &it->second.image;
+    task.archive_lsn = it->second.archive_lsn;
+    rcfg.tasks.push_back(task);
+  }
+  rcfg.monitor_trail = &nd->storage().monitor_trail;
+  os::Node* node = nd->node();
+  rcfg.on_done = [nd, node, done = std::move(done)](
+                     const std::vector<tmf::RollforwardReport>& reports) {
+    // Services start only now: no DISCPROCESS ever serves pre-ROLLFORWARD
+    // data, and the respawned TMP answers in-doubt queries from the MAT the
+    // recovery just completed.
+    nd->StartServices();
+    if (done) done(reports);
+    // The recovery process's job is over; release its slot. Deferred: we
+    // are running inside its own callback.
+    net::Pid self = node->LookupName("$RECOVER");
+    if (self != 0) {
+      node->sim()->After(0, [node, self]() { node->Kill(self); });
+    }
+  };
+  auto* recover = node->Spawn<tmf::NodeRecoveryProcess>(0, rcfg);
+  if (recover != nullptr) node->RegisterName("$RECOVER", recover->id().pid);
 }
 
 }  // namespace encompass::app

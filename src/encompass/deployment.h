@@ -10,6 +10,7 @@
 #ifndef ENCOMPASS_ENCOMPASS_DEPLOYMENT_H_
 #define ENCOMPASS_ENCOMPASS_DEPLOYMENT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "storage/partition.h"
 #include "storage/volume.h"
 #include "tmf/backout_process.h"
+#include "tmf/rollforward.h"
 #include "tmf/tmp_process.h"
 
 namespace encompass::app {
@@ -51,11 +53,22 @@ struct NodeSpec {
   audit::AuditProcessConfig audit_config;      // trail filled in
 };
 
+/// An archived copy of one volume, the base ROLLFORWARD rebuilds from.
+struct VolumeArchive {
+  Bytes image;               ///< Volume::Archive() snapshot
+  uint64_t archive_lsn = 0;  ///< the volume trail's LSN at archive time
+};
+
 /// Durable state of one node (survives anything except media loss).
 struct NodeStorage {
   std::map<std::string, std::unique_ptr<storage::Volume>> volumes;
   std::map<std::string, std::unique_ptr<audit::AuditTrail>> trails;
+  std::map<std::string, VolumeArchive> archives;  ///< by volume name
   audit::MonitorAuditTrail monitor_trail;
+  /// Durable count of TMP (re)starts on this node — the paper's crash-count
+  /// analogue. Folded into TmpConfig::seq_base so no transid of an earlier
+  /// incarnation is ever reissued after a total node failure.
+  uint64_t tmp_incarnation = 0;
 
   /// Total node failure: every unforced write (data and audit) is lost.
   void DropVolatile();
@@ -71,6 +84,11 @@ class NodeDeployment {
   /// Spawns all service pairs. Called at bootstrap and again after a
   /// whole-node restart.
   void StartServices();
+
+  /// Archives every volume at a transaction-consistent point (flushes the
+  /// volume, forces its trail, and snapshots), giving ROLLFORWARD a base to
+  /// rebuild from. Call while no transactions are in flight.
+  void ArchiveVolumes();
 
   /// Registers a process-pair for automatic repair by the node's service
   /// guardians: an exposed pair (one member lost) gets a fresh backup
@@ -184,6 +202,14 @@ class Deployment {
   /// the surviving durable storage. Data base recovery (ROLLFORWARD) is the
   /// caller's decision, as in a real site.
   void RestartNode(net::NodeId id);
+  /// Full crash recovery: reloads the node, runs ROLLFORWARD on every
+  /// archived volume — negotiating "ending" transactions with surviving
+  /// TMPs over the network — and only then restarts the services (so no
+  /// DISCPROCESS serves pre-recovery data). `done` fires with the
+  /// per-volume reports once the node is back in service.
+  void RecoverNode(
+      net::NodeId id,
+      std::function<void(const std::vector<tmf::RollforwardReport>&)> done = {});
 
  private:
   sim::Simulation* sim_;

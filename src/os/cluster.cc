@@ -56,4 +56,15 @@ void Cluster::CrashNode(net::NodeId id) {
   network_.IsolateNode(id);
 }
 
+void Cluster::ReloadNode(net::NodeId id) {
+  Node* node = GetNode(id);
+  if (node == nullptr) return;
+  for (int cpu = 0; cpu < node->config().num_cpus; ++cpu) {
+    if (!node->CpuUp(cpu)) node->ReloadCpu(cpu);
+  }
+  node->SetBusUp(0, true);
+  node->SetBusUp(1, true);
+  network_.ReconnectNode(id);
+}
+
 }  // namespace encompass::os

@@ -40,6 +40,10 @@ class Cluster {
   void ReconnectNode(net::NodeId id) { network_.ReconnectNode(id); }
   /// Fails every CPU of a node: total node failure.
   void CrashNode(net::NodeId id);
+  /// Reverses CrashNode: cold-reloads every CPU, restores both buses, and
+  /// reconnects the node's network links. Processes and volatile state are
+  /// gone — the caller re-spawns services (and runs ROLLFORWARD) afterwards.
+  void ReloadNode(net::NodeId id);
 
  private:
   sim::Simulation* sim_;

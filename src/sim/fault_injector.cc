@@ -10,6 +10,10 @@ void FaultInjector::InjectAt(SimTime when, std::string description,
   sim_->At(when, [this, description = std::move(description),
                   action = std::move(action)]() {
     LOG_INFO << "fault @" << sim_->Now() << "us: " << description;
+    // Count the firing and journal it *before* running the action: the
+    // action may re-entrantly schedule (or Note) further faults, and the
+    // books must already reflect this firing when it does.
+    ++fired_;
     journal_.push_back(FaultEvent{sim_->Now(), description});
     action();
   });
@@ -18,6 +22,10 @@ void FaultInjector::InjectAt(SimTime when, std::string description,
 void FaultInjector::InjectAfter(SimDuration delay, std::string description,
                                 std::function<void()> action) {
   InjectAt(sim_->Now() + delay, std::move(description), std::move(action));
+}
+
+void FaultInjector::Note(std::string description) {
+  journal_.push_back(FaultEvent{sim_->Now(), std::move(description)});
 }
 
 }  // namespace encompass::sim

@@ -27,23 +27,40 @@ class FaultInjector {
   explicit FaultInjector(Simulation* sim) : sim_(sim) {}
 
   /// Schedules `action` at absolute simulated time `when`, journaling it
-  /// under `description` when it fires.
+  /// under `description` when it fires. Safe to call from inside a firing
+  /// action: the injector keeps separate scheduled/fired counters, so
+  /// re-entrant scheduling never skews pending().
   void InjectAt(SimTime when, std::string description, std::function<void()> action);
 
   /// Schedules `action` `delay` microseconds from now.
   void InjectAfter(SimDuration delay, std::string description,
                    std::function<void()> action);
 
-  /// Journal of faults that have actually fired, in firing order.
+  /// Appends an annotation to the journal at the current simulated time
+  /// without scheduling anything. Campaign drivers use this to record
+  /// decisions (suppressed faults, recovery completions) next to the faults
+  /// themselves. Notes never count toward scheduled()/fired()/pending().
+  void Note(std::string description);
+
+  /// Journal of faults that have actually fired (plus Note() annotations),
+  /// in firing order.
   const std::vector<FaultEvent>& journal() const { return journal_; }
 
+  /// Faults ever scheduled / actually fired. fired() is tracked explicitly
+  /// rather than derived from journal().size(): the journal also carries
+  /// Note() entries, and an action may InjectAt() re-entrantly while its own
+  /// journal entry is being written.
+  size_t scheduled() const { return scheduled_; }
+  size_t fired() const { return fired_; }
+
   /// Number of scheduled faults that have not yet fired.
-  size_t pending() const { return scheduled_ - journal_.size(); }
+  size_t pending() const { return scheduled_ - fired_; }
 
  private:
   Simulation* sim_;
   std::vector<FaultEvent> journal_;
   size_t scheduled_ = 0;
+  size_t fired_ = 0;
 };
 
 }  // namespace encompass::sim

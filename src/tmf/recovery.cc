@@ -1,0 +1,119 @@
+#include "tmf/recovery.h"
+
+#include "common/logging.h"
+#include "os/node.h"
+#include "tmf/tmf_protocol.h"
+
+namespace encompass::tmf {
+
+void NodeRecoveryProcess::OnAttach() {
+  m_runs_ = stats().RegisterCounter("recovery.runs");
+  m_negotiations_ = stats().RegisterCounter("recovery.negotiations");
+  m_negotiation_retries_ = stats().RegisterCounter("recovery.negotiation_retries");
+  m_presumed_aborts_ = stats().RegisterCounter("recovery.presumed_aborts");
+}
+
+void NodeRecoveryProcess::OnStart() {
+  stats().Incr(m_runs_);
+  for (const auto& task : config_.tasks) {
+    RollforwardInput input;
+    input.volume = task.volume;
+    input.archive = task.archive;
+    input.trail = task.trail;
+    input.archive_lsn = task.archive_lsn;
+    input.monitor_trail = config_.monitor_trail;
+    auto plan = PlanRollforward(input);
+    if (!plan.ok()) {
+      LOG_ERROR << DebugName() << " cannot plan rollforward of "
+                << task.volume->name() << ": " << plan.status().ToString();
+      continue;
+    }
+    planned_.push_back(PlannedVolume{task, std::move(*plan)});
+  }
+
+  for (const auto& pv : planned_) {
+    for (const Transid& t : pv.plan.unresolved) {
+      if (t.home_node == node()->id()) {
+        // Home transactions with no durable MAT completion never committed:
+        // the forced home MAT record is the commit point, it survives the
+        // crash, and it is absent. Record the presumed abort durably so
+        // in-doubt participants elsewhere resolve against it instantly.
+        if (negotiated_.emplace(t, Disposition::kAborted).second) {
+          stats().Incr(m_presumed_aborts_);
+          if (config_.monitor_trail != nullptr) {
+            config_.monitor_trail->AppendForced(
+                audit::CompletionRecord{t, audit::Completion::kAborted});
+          }
+        }
+      } else {
+        pending_.insert(t);
+      }
+    }
+  }
+  ResolveNext();
+}
+
+void NodeRecoveryProcess::ResolveNext() {
+  if (pending_.empty()) {
+    Finish();
+    return;
+  }
+  const Transid t = *pending_.begin();
+  os::CallOptions opt;
+  opt.timeout = config_.resolve_timeout;
+  Call(net::Address(t.home_node, "$TMP"), kTmfResolveTxn,
+       EncodeResolveTxn(t, /*recovering=*/true),
+       [this, t](const Status& s, const net::Message& reply) {
+         Disposition d = Disposition::kUnknown;
+         if (s.ok()) DecodeDisposition(Slice(reply.payload), &d);
+         if (d == Disposition::kUnknown) {
+           // Home unreachable (or still deciding): negotiation simply waits.
+           // The campaign's single-open-heavy-fault discipline guarantees
+           // the home comes back; there is no safe unilateral answer here.
+           stats().Incr(m_negotiation_retries_);
+           SetTimer(config_.retry_interval, [this]() { ResolveNext(); });
+           return;
+         }
+         stats().Incr(m_negotiations_);
+         negotiated_[t] = d;
+         if (config_.monitor_trail != nullptr) {
+           config_.monitor_trail->AppendForced(audit::CompletionRecord{
+               t, d == Disposition::kCommitted ? audit::Completion::kCommitted
+                                               : audit::Completion::kAborted});
+         }
+         pending_.erase(t);
+         ResolveNext();
+       },
+       opt);
+}
+
+void NodeRecoveryProcess::Finish() {
+  std::vector<RollforwardReport> reports;
+  for (auto& pv : planned_) {
+    for (const Transid& t : pv.plan.unresolved) {
+      auto it = negotiated_.find(t);
+      if (it != negotiated_.end()) pv.plan.dispositions[t] = it->second;
+    }
+    RollforwardInput input;
+    input.volume = pv.task.volume;
+    input.archive = pv.task.archive;
+    input.trail = pv.task.trail;
+    input.archive_lsn = pv.task.archive_lsn;
+    input.monitor_trail = config_.monitor_trail;
+    auto report = ExecuteRollforward(input, pv.plan);
+    if (!report.ok()) {
+      LOG_ERROR << DebugName() << " rollforward of " << pv.task.volume->name()
+                << " failed: " << report.status().ToString();
+      reports.push_back(RollforwardReport{});
+      continue;
+    }
+    // The rebuilt volume holds exactly archive + committed redo: nothing in
+    // the trail up to this point is undoable any more.
+    pv.task.trail->SetUndoFloor(pv.task.trail->next_lsn() - 1);
+    reports.push_back(*report);
+  }
+  done_ = true;
+  if (config_.on_done) config_.on_done(reports);  // may destroy this process
+}
+
+}  // namespace encompass::tmf

@@ -1,6 +1,5 @@
 #include "tmf/rollforward.h"
 
-#include <map>
 #include <set>
 
 #include "common/logging.h"
@@ -40,43 +39,57 @@ Status RedoApply(storage::Volume* volume, const audit::AuditRecord& rec) {
   return Status::InvalidArgument("bad audit op");
 }
 
+/// Disposition lookup that never inserts: a transid the plan never
+/// classified falls to presumed abort.
+Disposition LookupDisposition(const std::map<Transid, Disposition>& dispositions,
+                              const Transid& t) {
+  auto it = dispositions.find(t);
+  return it == dispositions.end() ? Disposition::kUnknown : it->second;
+}
+
 }  // namespace
 
-Result<RollforwardReport> Rollforward(const RollforwardInput& input) {
+Result<RollforwardPlan> PlanRollforward(const RollforwardInput& input) {
   if (input.volume == nullptr || input.archive == nullptr ||
       input.trail == nullptr) {
     return Status::InvalidArgument("rollforward needs volume, archive, trail");
   }
-  RollforwardReport report;
-
-  ENCOMPASS_RETURN_IF_ERROR(
-      input.volume->RestoreFromArchive(Slice(*input.archive)));
-
-  auto records = input.trail->DurableRecordsAfter(input.archive_lsn);
-  report.redo_considered = records.size();
-
-  // Resolve each transaction's disposition once.
-  std::map<Transid, Disposition> dispositions;
-  for (const auto& rec : records) {
-    if (dispositions.count(rec.transid)) continue;
+  RollforwardPlan plan;
+  plan.records = input.trail->DurableRecordsAfter(input.archive_lsn);
+  for (const auto& rec : plan.records) {
+    if (plan.dispositions.count(rec.transid)) continue;
     Disposition d = Disposition::kUnknown;
     if (input.monitor_trail != nullptr) {
       int r = input.monitor_trail->Lookup(rec.transid);
       if (r == 1) d = Disposition::kCommitted;
       else if (r == 0) d = Disposition::kAborted;
     }
-    if (d == Disposition::kUnknown && input.resolve_remote) {
-      // The transaction was in "ending" (or never resolved locally) at
-      // failure time: negotiate with other nodes.
-      d = input.resolve_remote(rec.transid);
+    if (d == Disposition::kUnknown) plan.unresolved.push_back(rec.transid);
+    plan.dispositions[rec.transid] = d;
+  }
+  return plan;
+}
+
+Result<RollforwardReport> ExecuteRollforward(const RollforwardInput& input,
+                                             const RollforwardPlan& plan) {
+  if (input.volume == nullptr || input.archive == nullptr) {
+    return Status::InvalidArgument("rollforward needs volume, archive");
+  }
+  RollforwardReport report;
+  report.redo_considered = plan.records.size();
+  for (const Transid& t : plan.unresolved) {
+    if (LookupDisposition(plan.dispositions, t) != Disposition::kUnknown) {
       ++report.negotiated;
     }
-    dispositions[rec.transid] = d;
   }
 
+  ENCOMPASS_RETURN_IF_ERROR(
+      input.volume->RestoreFromArchive(Slice(*input.archive)));
+
   std::set<Transid> committed, discarded;
-  for (const auto& rec : records) {
-    if (dispositions[rec.transid] == Disposition::kCommitted) {
+  for (const auto& rec : plan.records) {
+    if (LookupDisposition(plan.dispositions, rec.transid) ==
+        Disposition::kCommitted) {
       ENCOMPASS_RETURN_IF_ERROR(RedoApply(input.volume, rec));
       ++report.redo_applied;
       committed.insert(rec.transid);
@@ -91,6 +104,20 @@ Result<RollforwardReport> Rollforward(const RollforwardInput& input) {
 
   input.volume->Flush();
   return report;
+}
+
+Result<RollforwardReport> Rollforward(const RollforwardInput& input) {
+  auto plan = PlanRollforward(input);
+  ENCOMPASS_RETURN_IF_ERROR(plan.status());
+  if (input.resolve_remote) {
+    // Transactions in "ending" (or never resolved locally) at failure time:
+    // negotiate with other nodes. Only definite answers update the plan.
+    for (const Transid& t : plan->unresolved) {
+      Disposition d = input.resolve_remote(t);
+      if (d != Disposition::kUnknown) plan->dispositions[t] = d;
+    }
+  }
+  return ExecuteRollforward(input, *plan);
 }
 
 }  // namespace encompass::tmf

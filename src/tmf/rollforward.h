@@ -9,11 +9,22 @@
 //
 // This is a utility over durable objects (archives, trails, the Monitor
 // Audit Trail), run after the node reloads; it is not a process.
+//
+// Two entry points:
+//  * Rollforward(input) — one-shot, with negotiation supplied as a
+//    synchronous callback. Suits tests and tools that can answer inline.
+//  * PlanRollforward / ExecuteRollforward — the split the real recovery
+//    path uses: Plan classifies every transaction against the local MAT and
+//    reports the still-unknown ("ending at failure time") transids; the
+//    caller negotiates those with surviving TMPs however long that takes
+//    (message round-trips in simulated time), writes the answers into the
+//    plan, and Execute then rebuilds the volume.
 
 #ifndef ENCOMPASS_TMF_ROLLFORWARD_H_
 #define ENCOMPASS_TMF_ROLLFORWARD_H_
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "audit/audit_trail.h"
@@ -32,8 +43,26 @@ struct RollforwardInput {
   const audit::MonitorAuditTrail* monitor_trail = nullptr;  ///< local MAT
   /// Negotiation with other nodes for transactions whose local disposition
   /// is unknown (they were in "ending" at failure time). Unknown after
-  /// negotiation means the updates are discarded (presumed abort).
+  /// negotiation means the updates are discarded (presumed abort). Used by
+  /// the one-shot Rollforward() only; the Plan/Execute split negotiates
+  /// between the two calls instead.
   std::function<Disposition(const Transid&)> resolve_remote;
+};
+
+/// Classification of the trail against the local MAT, ready to execute once
+/// every negotiable disposition has been settled (or presumed aborted).
+struct RollforwardPlan {
+  /// Durable after-images past the archive LSN, in trail order.
+  std::vector<audit::AuditRecord> records;
+  /// Disposition per transid appearing in `records`. Plan fills this from
+  /// the local MAT; the caller overwrites kUnknown entries with negotiated
+  /// answers before Execute. Execute treats a transid absent from this map
+  /// (never classified — e.g. records edge cases) as kUnknown: presumed
+  /// abort, never a default-inserted entry that skews the accounting.
+  std::map<Transid, Disposition> dispositions;
+  /// Transids still kUnknown after local classification — the "ending
+  /// state" set ROLLFORWARD negotiates with other nodes.
+  std::vector<Transid> unresolved;
 };
 
 /// What a rollforward run did.
@@ -42,11 +71,25 @@ struct RollforwardReport {
   size_t redo_applied = 0;      ///< images of committed transactions applied
   size_t txns_committed = 0;    ///< distinct committed transactions replayed
   size_t txns_discarded = 0;    ///< distinct aborted/unknown transactions
-  size_t negotiated = 0;        ///< dispositions resolved via other nodes
+  /// Dispositions that were locally unknown and got a *definite* answer
+  /// (committed or aborted) from negotiation. Negotiation attempts that
+  /// still came back unknown are not counted — those transactions fall to
+  /// presumed abort and appear in txns_discarded only.
+  size_t negotiated = 0;
 };
 
-/// Rebuilds `input.volume` from the archive plus committed after-images.
-/// The volume is flushed (fully durable) on success.
+/// Reads the trail and classifies every transaction against the local MAT.
+/// Does not touch the volume.
+Result<RollforwardPlan> PlanRollforward(const RollforwardInput& input);
+
+/// Rebuilds `input.volume` from the archive plus the plan's committed
+/// after-images; flushes the volume (fully durable) on success.
+/// `input.resolve_remote` is ignored here — negotiation already happened.
+Result<RollforwardReport> ExecuteRollforward(const RollforwardInput& input,
+                                             const RollforwardPlan& plan);
+
+/// One-shot: Plan, negotiate via `input.resolve_remote` (if provided),
+/// Execute.
 Result<RollforwardReport> Rollforward(const RollforwardInput& input);
 
 }  // namespace encompass::tmf

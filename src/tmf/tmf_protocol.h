@@ -38,6 +38,15 @@ enum TmfTag : uint32_t {
   kTmfForceDisposition = net::kTagTmf + 10, ///< manual in-doubt override
   kBackoutTxn = net::kTagTmf + 11,          ///< TMP -> BACKOUTPROCESS
   kTmfListTxns = net::kTagTmf + 12,         ///< enumerate tracked txns
+
+  // TMP-to-TMP: ROLLFORWARD / in-doubt negotiation. Sent to the transaction's
+  // home TMP; the reply carries a Disposition (Fixed8). With the `recovering`
+  // flag set the sender is a reloading node whose volatile phase-1 state is
+  // lost, and the home resolves a still-active transaction by aborting it
+  // (the recovering participant can no longer honor its phase-1 promise).
+  // Without the flag it is a live in-doubt refresh and the home only reports
+  // what its MAT already proves.
+  kTmfResolveTxn = net::kTagTmf + 13,
 };
 
 /// One row of a kTmfListTxns reply.
@@ -123,6 +132,39 @@ inline bool DecodeEnsureRemote(const Slice& payload, Transid* t,
   if (!GetFixed64(&in, &packed) || !GetFixed16(&in, &node)) return false;
   *t = Transid::Unpack(packed);
   *dest = node;
+  return true;
+}
+
+inline Bytes EncodeResolveTxn(const Transid& t, bool recovering) {
+  Bytes out;
+  PutFixed64(&out, t.Pack());
+  PutFixed8(&out, recovering ? 1 : 0);
+  return out;
+}
+
+inline bool DecodeResolveTxn(const Slice& payload, Transid* t,
+                             bool* recovering) {
+  Slice in = payload;
+  uint64_t packed;
+  uint8_t flag;
+  if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &flag)) return false;
+  *t = Transid::Unpack(packed);
+  *recovering = flag != 0;
+  return true;
+}
+
+/// Reply payload of kTmfResolveTxn (and kTmfStatus): one Disposition byte.
+inline Bytes EncodeDisposition(Disposition d) {
+  Bytes out;
+  PutFixed8(&out, static_cast<uint8_t>(d));
+  return out;
+}
+
+inline bool DecodeDisposition(const Slice& payload, Disposition* d) {
+  Slice in = payload;
+  uint8_t disp;
+  if (!GetFixed8(&in, &disp) || disp > 2) return false;
+  *d = static_cast<Disposition>(disp);
   return true;
 }
 

@@ -48,6 +48,12 @@ void TmpProcess::OnPairAttach() {
   m_.safe_delivered = stats.RegisterCounter("tmf.safe_delivered");
   m_.takeover_resumed_commits = stats.RegisterCounter("tmf.takeover_resumed_commits");
   m_.takeover_resumed_aborts = stats.RegisterCounter("tmf.takeover_resumed_aborts");
+  m_.resolves_served = stats.RegisterCounter("tmf.resolves_served");
+  m_.resolves_sent = stats.RegisterCounter("tmf.resolves_sent");
+  m_.indoubt_resolved_commits = stats.RegisterCounter("tmf.indoubt_resolved_commits");
+  m_.indoubt_resolved_aborts = stats.RegisterCounter("tmf.indoubt_resolved_aborts");
+  m_.orphan_lock_commits = stats.RegisterCounter("tmf.orphan_lock_commits");
+  m_.orphan_lock_aborts = stats.RegisterCounter("tmf.orphan_lock_aborts");
   for (int from = 0; from < kNumTxnStates; ++from) {
     for (int to = 0; to < kNumTxnStates; ++to) {
       m_.transition[from][to] = stats.RegisterCounter(
@@ -55,6 +61,34 @@ void TmpProcess::OnPairAttach() {
           "->" + TxnStateName(static_cast<TxnState>(to)));
     }
   }
+  // Never hand out a transid an earlier incarnation of this node may have
+  // used. The durable restart count sets the floor; scanning the surviving
+  // MAT for own-home transids additionally covers a fresh respawn that was
+  // not accompanied by a restart-count bump (both pair members lost on a
+  // live node).
+  if (next_seq_ < config_.seq_base) next_seq_ = config_.seq_base;
+  if (config_.monitor_trail != nullptr) {
+    for (const auto& rec : config_.monitor_trail->records()) {
+      if (rec.transid.home_node == node()->id() && rec.transid.seq > next_seq_) {
+        next_seq_ = rec.transid.seq;
+      }
+    }
+  }
+  ArmIndoubtResolve();
+}
+
+std::vector<TxnListEntry> TmpProcess::ListTransactions() const {
+  std::vector<TxnListEntry> entries;
+  entries.reserve(txns_.size());
+  for (const auto& [transid, txn] : txns_) {
+    TxnListEntry e;
+    e.transid = transid;
+    e.state = static_cast<uint8_t>(txn.state);
+    e.is_home = txn.is_home;
+    e.parent = txn.parent;
+    entries.push_back(e);
+  }
+  return entries;
 }
 
 bool TmpProcess::GetTxnState(const Transid& t, TxnState* state) const {
@@ -80,19 +114,10 @@ void TmpProcess::OnRequest(const net::Message& msg) {
     case kTmfAbortTxn: HandleAbortTxn(msg); break;
     case kTmfStatus: HandleStatus(msg); break;
     case kTmfForceDisposition: HandleForceDisposition(msg); break;
-    case kTmfListTxns: {
-      std::vector<TxnListEntry> entries;
-      for (const auto& [transid, txn] : txns_) {
-        TxnListEntry e;
-        e.transid = transid;
-        e.state = static_cast<uint8_t>(txn.state);
-        e.is_home = txn.is_home;
-        e.parent = txn.parent;
-        entries.push_back(e);
-      }
-      Reply(msg, Status::Ok(), EncodeTxnList(entries));
+    case kTmfResolveTxn: HandleResolveTxn(msg); break;
+    case kTmfListTxns:
+      Reply(msg, Status::Ok(), EncodeTxnList(ListTransactions()));
       break;
-    }
     default:
       Reply(msg, Status::InvalidArgument("unknown tmf tag"));
   }
@@ -182,8 +207,8 @@ void TmpProcess::NotifyLocalDiscs(const Transid& t, uint8_t disc_state) {
     // locks held forever. The retried call re-resolves the name and reaches
     // the new primary.
     os::CallOptions opt;
-    opt.timeout = Millis(500);
-    opt.retries = 6;
+    opt.timeout = config_.disc_notify_timeout;
+    opt.retries = config_.disc_notify_retries;
     Call(net::Address(node()->id(), name), discprocess::kDiscTxnStateChange,
          change.Encode(), [](const Status&, const net::Message&) {}, opt);
   }
@@ -510,17 +535,22 @@ void TmpProcess::HandlePhase2(const net::Message& msg) {
   }
   stats().Incr(m_.phase2_received);
   Trace(sim::TraceEventKind::kPhase2Recv, t->Pack());
+  ApplyRemoteCommit(*t, txn);
+}
+
+void TmpProcess::ApplyRemoteCommit(const Transid& transid, TxnEntry* txn) {
   if (config_.monitor_trail != nullptr) {
     config_.monitor_trail->AppendForced(
-        audit::CompletionRecord{*t, audit::Completion::kCommitted});
+        audit::CompletionRecord{transid, audit::Completion::kCommitted});
   }
   if (txn->state == TxnState::kActive) SetState(txn, TxnState::kEnding);
   SetState(txn, TxnState::kEnded);
-  NotifyLocalDiscs(*t, static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
+  NotifyLocalDiscs(transid,
+                   static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
   for (net::NodeId child : txn->children) {
-    QueueSafeDelivery(child, kTmfPhase2, *t);
+    QueueSafeDelivery(child, kTmfPhase2, transid);
   }
-  DropTxn(*t);
+  DropTxn(transid);
 }
 
 void TmpProcess::HandleAbortTxn(const net::Message& msg) {
@@ -634,21 +664,176 @@ void TmpProcess::HandleForceDisposition(const net::Message& msg) {
   }
   stats().Incr(m_.forced_dispositions);
   if (d == Disposition::kCommitted) {
-    if (config_.monitor_trail != nullptr) {
-      config_.monitor_trail->AppendForced(
-          audit::CompletionRecord{t, audit::Completion::kCommitted});
-    }
-    if (txn->state == TxnState::kActive) SetState(txn, TxnState::kEnding);
-    SetState(txn, TxnState::kEnded);
-    NotifyLocalDiscs(t, static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
-    for (net::NodeId child : txn->children) {
-      QueueSafeDelivery(child, kTmfPhase2, t);
-    }
-    DropTxn(t);
+    ApplyRemoteCommit(t, txn);
   } else {
     StartAbort(t, "manual override");
   }
   Reply(msg, Status::Ok());
+}
+
+void TmpProcess::HandleResolveTxn(const net::Message& msg) {
+  Transid t;
+  bool recovering;
+  if (!DecodeResolveTxn(Slice(msg.payload), &t, &recovering)) {
+    Reply(msg, Status::InvalidArgument("bad resolve-txn payload"));
+    return;
+  }
+  stats().Incr(m_.resolves_served);
+  // The durable MAT is ground truth wherever the query lands: a recorded
+  // completion outlives any crash.
+  Disposition d = LookupDisposition(t);
+  if (d != Disposition::kUnknown || t.home_node != node()->id()) {
+    // Not the home node: we can report our MAT but must not decide.
+    Reply(msg, Status::Ok(), EncodeDisposition(d));
+    return;
+  }
+  TxnEntry* txn = FindTxn(t);
+  if (txn == nullptr) {
+    // We are the home, there is no durable completion record, and the
+    // transaction is not tracked (this TMP may have been respawned fresh
+    // after losing both pair members). Commit requires the home's forced
+    // MAT record, so its absence proves no commit happened and never will:
+    // presumed abort is safe and final.
+    Reply(msg, Status::Ok(), EncodeDisposition(Disposition::kAborted));
+    return;
+  }
+  if (!recovering) {
+    // Live in-doubt refresh while the transaction is still in flight here:
+    // the querier keeps waiting for the normal phase-2/abort delivery.
+    Reply(msg, Status::Ok(), EncodeDisposition(Disposition::kUnknown));
+    return;
+  }
+  // A recovering participant lost its volatile phase-1 promise, so the
+  // transaction can no longer commit. Abort it; CommitPointReached checks
+  // the state, so a MAT write already in flight cannot commit it afterwards.
+  StartAbort(t, "participant node recovering");
+  Reply(msg, Status::Ok(), EncodeDisposition(Disposition::kAborted));
+}
+
+// ---------------------------------------------------------------------------
+// In-doubt resolution
+// ---------------------------------------------------------------------------
+
+void TmpProcess::ArmIndoubtResolve() {
+  if (config_.indoubt_resolve_interval <= 0) return;
+  SetTimer(config_.indoubt_resolve_interval, [this]() {
+    if (IsPrimary()) {
+      ResolveIndoubts();
+      SweepOrphanLocks();
+    }
+    ArmIndoubtResolve();
+  });
+}
+
+void TmpProcess::ResolveIndoubts() {
+  std::vector<Transid> indoubt;
+  for (const auto& [transid, txn] : txns_) {
+    if (!txn.is_home && txn.state == TxnState::kEnding) {
+      indoubt.push_back(transid);
+    }
+  }
+  for (const Transid& t : indoubt) {
+    if (t.home_node == node()->id()) continue;  // home resolves locally
+    stats().Incr(m_.resolves_sent);
+    os::CallOptions opt;
+    opt.timeout = config_.safe_call_timeout;
+    Call(Tmp(t.home_node), kTmfResolveTxn,
+         EncodeResolveTxn(t, /*recovering=*/false),
+         [this, t](const Status& s, const net::Message& reply) {
+           Disposition d;
+           if (!s.ok() || !DecodeDisposition(Slice(reply.payload), &d)) {
+             return;  // unreachable or malformed: retry next tick
+           }
+           TxnEntry* txn = FindTxn(t);
+           if (txn == nullptr || txn->state != TxnState::kEnding) return;
+           if (d == Disposition::kCommitted) {
+             stats().Incr(m_.indoubt_resolved_commits);
+             ApplyRemoteCommit(t, txn);
+           } else if (d == Disposition::kAborted) {
+             stats().Incr(m_.indoubt_resolved_aborts);
+             StartAbort(t, "in-doubt resolved by home");
+           }
+         },
+         opt);
+  }
+}
+
+void TmpProcess::SweepOrphanLocks() {
+  for (const auto& name : config_.disc_processes) {
+    os::CallOptions opt;
+    opt.timeout = config_.safe_call_timeout;
+    Call(net::Address(node()->id(), name), discprocess::kDiscListLockOwners,
+         {},
+         [this](const Status& s, const net::Message& reply) {
+           if (!s.ok()) return;  // disc mid-takeover: sweep again next tick
+           auto owners =
+               discprocess::LockOwnersReply::Decode(Slice(reply.payload));
+           if (!owners.ok()) return;
+           for (const Transid& t : owners->owners) {
+             if (FindTxn(t) != nullptr) {
+               orphan_suspects_.erase(t);  // tracked after all: not orphaned
+               continue;
+             }
+             // Two-strike rule: a holder unknown on one tick may be a
+             // remote begin still registering; unknown on two consecutive
+             // ticks is genuinely orphaned.
+             if (orphan_suspects_.insert(t).second) continue;
+             ResolveOrphanLock(t);
+           }
+         },
+         opt);
+  }
+}
+
+void TmpProcess::ResolveOrphanLock(const Transid& t) {
+  // The durable record outranks everything: a local MAT completion record
+  // (first-completion-wins) is the transaction's outcome.
+  Disposition d = LookupDisposition(t);
+  if (d != Disposition::kUnknown) {
+    ApplyOrphanDisposition(t, d);
+    return;
+  }
+  if (t.home_node == node()->id()) {
+    // We are the home TMP, we do not track it, and the MAT has no record:
+    // the transaction never reached its commit point. Presumed abort.
+    ApplyOrphanDisposition(t, Disposition::kAborted);
+    return;
+  }
+  stats().Incr(m_.resolves_sent);
+  os::CallOptions opt;
+  opt.timeout = config_.safe_call_timeout;
+  Call(Tmp(t.home_node), kTmfResolveTxn, EncodeResolveTxn(t, /*recovering=*/false),
+       [this, t](const Status& s, const net::Message& reply) {
+         Disposition d;
+         if (!s.ok() || !DecodeDisposition(Slice(reply.payload), &d)) {
+           return;  // home unreachable: keep the suspect, retry next tick
+         }
+         if (d == Disposition::kUnknown) {
+           // The home still tracks it live — the lock has an owner after
+           // all; forget the suspicion.
+           orphan_suspects_.erase(t);
+           return;
+         }
+         if (FindTxn(t) != nullptr) return;  // registered meanwhile
+         ApplyOrphanDisposition(t, d);
+       },
+       opt);
+}
+
+void TmpProcess::ApplyOrphanDisposition(const Transid& t, Disposition d) {
+  orphan_suspects_.erase(t);
+  // Recreate the entry and run the ordinary orphan pipeline (idempotent):
+  // commit releases the locks and keeps the images; abort drives the
+  // BACKOUTPROCESS so any re-applied images are undone before release.
+  TxnEntry* txn = CreateTxn(t, /*is_home=*/t.home_node == node()->id(),
+                            t.home_node);
+  if (d == Disposition::kCommitted) {
+    stats().Incr(m_.orphan_lock_commits);
+    ApplyRemoteCommit(t, txn);
+  } else {
+    stats().Incr(m_.orphan_lock_aborts);
+    StartAbort(t, "orphaned disc lock (transaction unknown everywhere)");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -707,7 +892,7 @@ void TmpProcess::TrySafeDeliveries() {
     uint32_t tag = it->tag;
     Transid transid = it->transid;
     os::CallOptions opt;
-    opt.timeout = Seconds(2);
+    opt.timeout = config_.safe_call_timeout;
     Call(Tmp(dest), tag, EncodeTransidPayload(transid),
          [this, dest, tag, transid](const Status& s, const net::Message&) {
            for (auto qit = safe_queue_.begin(); qit != safe_queue_.end(); ++qit) {

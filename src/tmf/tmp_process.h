@@ -44,12 +44,37 @@ struct TmpConfig {
   SimDuration phase1_timeout = Seconds(2);     ///< critical-response deadline
   SimDuration force_timeout = Seconds(2);      ///< local audit force deadline
   SimDuration safe_retry_interval = Millis(500);  ///< safe-delivery pacing
+  /// Per-attempt deadline of one safe-delivery call (the queue as a whole
+  /// retries forever; this only bounds how long a single attempt waits).
+  SimDuration safe_call_timeout = Seconds(2);
   SimDuration backout_timeout = Seconds(5);
+  /// Per-attempt deadline and retry budget for the retried DISCPROCESS
+  /// state-change notifications (phase 2 / abort lock release).
+  SimDuration disc_notify_timeout = Millis(500);
+  int disc_notify_retries = 6;
+  /// How often a participant holding in-doubt (ending, non-home)
+  /// transactions queries the home TMP for their disposition. Recovers
+  /// in-doubt locks after the home TMP lost its volatile state (both pair
+  /// members died and the guardian respawned it fresh): the home then
+  /// answers from its durable MAT — or presumed abort. 0 (default)
+  /// disables the timer.
+  SimDuration indoubt_resolve_interval = 0;
   /// A transaction still in "active" state this long after BEGIN is
   /// presumed abandoned (its requester died and the abort request was
   /// lost) and is automatically aborted so its locks release. 0 (default)
   /// disables the timer; production deployments should set it.
   SimDuration auto_abort_timeout = 0;
+  /// Floor for the transid sequence counter of a FRESH TMP incarnation —
+  /// the paper's crash-count analogue. Takeover within a pair continues the
+  /// checkpointed counter, but after a total node failure the respawned TMP
+  /// has no volatile state: without a floor it would restart at 1 and REUSE
+  /// packed transids of the previous incarnation, corrupting every durable
+  /// structure keyed by transid (the first-completion-wins MAT, audit
+  /// classification during ROLLFORWARD). Deployments derive this from a
+  /// durable per-node restart count, shifted clear of any plausible
+  /// single-incarnation sequence (seq is 40 bits; incarnation << 32 leaves
+  /// 4G transactions per incarnation).
+  uint64_t seq_base = 0;
 };
 
 /// The TMP pair.
@@ -65,6 +90,9 @@ class TmpProcess : public os::PairedProcess {
   bool GetTxnState(const Transid& t, TxnState* state) const;
   /// Pending safe-delivery messages (held for unreachable nodes).
   size_t PendingSafeDeliveries() const { return safe_queue_.size(); }
+  /// Snapshot of every tracked transaction (also the kTmfListTxns payload);
+  /// tests and campaign diagnostics use this to name what failed to drain.
+  std::vector<TxnListEntry> ListTransactions() const;
 
  protected:
   void OnPairAttach() override;
@@ -103,6 +131,10 @@ class TmpProcess : public os::PairedProcess {
   void HandleAbortTxn(const net::Message& msg);
   void HandleStatus(const net::Message& msg);
   void HandleForceDisposition(const net::Message& msg);
+  /// kTmfResolveTxn: disposition query from a recovering node's ROLLFORWARD
+  /// or a live in-doubt participant. As the home TMP this may decide the
+  /// outcome (presumed abort); elsewhere it only reports the local MAT.
+  void HandleResolveTxn(const net::Message& msg);
 
   // -- Commit machinery ---------------------------------------------------------
   /// Runs phase 1 (force local audit + critical-response to children), then
@@ -118,6 +150,10 @@ class TmpProcess : public os::PairedProcess {
   /// The commit record of `transid` is durable: release locks, propagate
   /// phase 2, answer the client.
   void CommitPointReached(const Transid& transid);
+  /// A remote decision (phase 2 or a resolved in-doubt query) says the
+  /// transaction committed: record it in the MAT, release locks, propagate
+  /// phase 2 to our children, drop the entry. Idempotent.
+  void ApplyRemoteCommit(const Transid& transid, TxnEntry* txn);
   /// Abort decided: mark aborting, back out, release, propagate abort.
   void StartAbort(const Transid& transid, const std::string& reason);
   void FinishAbort(const Transid& transid);
@@ -129,6 +165,30 @@ class TmpProcess : public os::PairedProcess {
   // -- Safe delivery --------------------------------------------------------------
   void QueueSafeDelivery(net::NodeId dest, uint32_t tag, const Transid& transid);
   void TrySafeDeliveries();
+
+  // -- In-doubt resolution ----------------------------------------------------------
+  /// Periodic timer (indoubt_resolve_interval) re-armed on both pair
+  /// members; the tick body runs on the primary only.
+  void ArmIndoubtResolve();
+  /// Queries the home TMP of every in-doubt (ending, non-home) transaction.
+  void ResolveIndoubts();
+
+  // -- Orphaned-lock sweep ------------------------------------------------------------
+  // A DISCPROCESS can end up holding locks under a transid no TMP tracks:
+  // an operation retried transparently across a participant node's crash
+  // and recovery re-acquires its lock (and re-applies its mutation) at the
+  // recovered DISCPROCESS *after* the transaction's abort was fully
+  // processed there — the disposition notification preceded the lock, so
+  // nothing ever releases it. The sweep (piggybacked on the in-doubt
+  // resolve tick) asks every local DISCPROCESS who holds locks, and any
+  // transid unknown to this TMP on two consecutive ticks (grace for
+  // in-flight remote-begin registration) is resolved against the durable
+  // record — local MAT, else the home TMP — and then run through the
+  // ordinary orphan commit/abort pipeline so backout also undoes the
+  // re-applied images.
+  void SweepOrphanLocks();
+  void ResolveOrphanLock(const Transid& t);
+  void ApplyOrphanDisposition(const Transid& t, Disposition d);
 
   // -- Helpers ----------------------------------------------------------------------
   TxnEntry* FindTxn(const Transid& t);
@@ -153,6 +213,9 @@ class TmpProcess : public os::PairedProcess {
     sim::MetricId aborts_started, backouts, forced_dispositions;
     sim::MetricId unilateral_aborts, safe_queued, safe_delivered;
     sim::MetricId takeover_resumed_commits, takeover_resumed_aborts;
+    sim::MetricId resolves_served, resolves_sent;
+    sim::MetricId indoubt_resolved_commits, indoubt_resolved_aborts;
+    sim::MetricId orphan_lock_commits, orphan_lock_aborts;
     sim::MetricId transition[kNumTxnStates][kNumTxnStates];
   };
 
@@ -169,6 +232,10 @@ class TmpProcess : public os::PairedProcess {
   };
   std::list<SafeDelivery> safe_queue_;
   uint64_t safe_timer_ = 0;
+
+  /// Lock-holding transids unknown to this TMP at the last sweep tick
+  /// (first strike); acted on if still unknown when seen again.
+  std::set<Transid> orphan_suspects_;
 
   /// One committer waiting for its commit record to reach the MAT.
   struct MatWaiter {

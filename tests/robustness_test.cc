@@ -240,6 +240,54 @@ TEST(RollforwardEdgeTest, RedoOfDeletesAndReruns) {
   EXPECT_EQ(vol.Find("f")->record_count(), 2u);
 }
 
+TEST(RollforwardEdgeTest, UnknownDispositionWithoutResolverIsPresumedAbort) {
+  // Regression: an after-image whose transid has no MAT completion record
+  // and no resolve_remote to ask used to be counted through a
+  // default-inserted disposition entry, skewing `negotiated`. It must fall
+  // to presumed abort — discarded, with negotiated untouched.
+  storage::Volume vol("$V");
+  storage::FileOptions opt;
+  opt.audited = true;
+  vol.CreateFile("f", storage::FileOrganization::kKeySequenced, opt);
+  vol.Mutate("f", storage::MutationOp::kInsert, Slice("a"), Slice("1"));
+  vol.Flush();
+  Bytes archive = vol.Archive();
+
+  audit::AuditTrail trail("AT");
+  audit::MonitorAuditTrail mat;  // empty: no completion record for txn 7
+  trail.Append(MakeAudit(7, storage::MutationOp::kUpdate, "a", "1", "77"));
+  trail.Force();
+
+  tmf::RollforwardInput input;
+  input.volume = &vol;
+  input.archive = &archive;
+  input.trail = &trail;
+  input.archive_lsn = 0;
+  input.monitor_trail = &mat;
+  // No resolve_remote on purpose.
+  auto report = tmf::Rollforward(input);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->redo_considered, 1u);
+  EXPECT_EQ(report->redo_applied, 0u);
+  EXPECT_EQ(report->txns_committed, 0u);
+  EXPECT_EQ(report->txns_discarded, 1u);
+  EXPECT_EQ(report->negotiated, 0u);
+  // The image was discarded: the volume shows the archived value.
+  EXPECT_EQ(ToString(vol.ReadRecord("f", Slice("a")).value), "1");
+
+  // The same trail with a resolver that answers committed: exactly one
+  // negotiated disposition, and the image applies.
+  input.resolve_remote = [](const Transid&) {
+    return tmf::Disposition::kCommitted;
+  };
+  auto report2 = tmf::Rollforward(input);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2->negotiated, 1u);
+  EXPECT_EQ(report2->txns_committed, 1u);
+  EXPECT_EQ(report2->txns_discarded, 0u);
+  EXPECT_EQ(ToString(vol.ReadRecord("f", Slice("a")).value), "77");
+}
+
 TEST(RollforwardEdgeTest, CorruptArchiveRejected) {
   storage::Volume vol("$V");
   vol.CreateFile("f", storage::FileOrganization::kKeySequenced);

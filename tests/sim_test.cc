@@ -239,6 +239,40 @@ TEST(FaultInjectorTest, FiresAndJournals) {
   EXPECT_EQ(fi.pending(), 0u);
 }
 
+TEST(FaultInjectorTest, ReentrantSchedulingKeepsCountsExact) {
+  // A firing action that schedules follow-up faults (the crash/heal pattern
+  // every chaos campaign uses) must observe exact counters mid-firing: its
+  // own firing is already counted, the newly scheduled one is pending.
+  Simulation sim;
+  FaultInjector fi(&sim);
+  int fired_chain = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired_chain;
+    EXPECT_EQ(fi.fired(), static_cast<size_t>(fired_chain));
+    if (depth > 0) {
+      fi.InjectAfter(Millis(1), "chain " + std::to_string(depth - 1),
+                     [&chain, depth] { chain(depth - 1); });
+      // The re-entrant schedule is visible immediately.
+      EXPECT_EQ(fi.pending(), 1u);
+      EXPECT_EQ(fi.scheduled(), static_cast<size_t>(fired_chain) + 1);
+    } else {
+      EXPECT_EQ(fi.pending(), 0u);
+    }
+  };
+  fi.InjectAt(Millis(1), "chain 3", [&chain] { chain(3); });
+  EXPECT_EQ(fi.scheduled(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired_chain, 4);
+  EXPECT_EQ(fi.scheduled(), 4u);
+  EXPECT_EQ(fi.fired(), 4u);
+  EXPECT_EQ(fi.pending(), 0u);
+  // Notes interleaved with re-entrant firing never skew the fault counters
+  // but do land in the journal.
+  fi.Note("annotation");
+  EXPECT_EQ(fi.journal().size(), 5u);
+  EXPECT_EQ(fi.fired(), 4u);
+}
+
 
 TEST(MetricIdTest, RegistrationIsIdempotentAndSurvivesClear) {
   Stats s;
