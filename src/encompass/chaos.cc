@@ -34,6 +34,7 @@ int64_t ParseBalance(const Bytes& image) {
 
 void AtomicityOracle::RegisterIntent(uint64_t transid, std::string marker_key,
                                      std::vector<IntentTarget> targets) {
+  std::lock_guard<std::mutex> lk(mu_);
   Intent& in = intents_[transid];
   in.marker_key = std::move(marker_key);
   in.targets = std::move(targets);
@@ -41,6 +42,7 @@ void AtomicityOracle::RegisterIntent(uint64_t transid, std::string marker_key,
 
 void AtomicityOracle::RecordTransfer(uint64_t transid, int from_acct,
                                      int to_acct, int64_t amount) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = intents_.find(transid);
   if (it == intents_.end()) return;
   it->second.from_acct = from_acct;
@@ -49,6 +51,7 @@ void AtomicityOracle::RecordTransfer(uint64_t transid, int from_acct,
 }
 
 void AtomicityOracle::RecordOutcome(uint64_t transid, Outcome outcome) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = intents_.find(transid);
   if (it != intents_.end()) it->second.outcome = outcome;
 }
@@ -273,7 +276,7 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
   res.schedule_dump = schedule.Dump();
   res.node_crashes = schedule.CountOf(sim::FaultClass::kNodeCrash);
 
-  sim::Simulation sim(config.seed);
+  sim::Simulation sim(config.seed, config.parallel_workers);
   Deployment deploy(&sim);
   for (int n = 1; n <= config.nodes; ++n) {
     NodeSpec spec;
@@ -355,6 +358,11 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
   }
 
   // ---- bind the schedule to concrete cluster actions -----------------------
+  // Fault actions run on the global loop (serial phase of the parallel
+  // engine), but RecoverNode's done-callback fires on the recovering node's
+  // own loop — two nodes finishing recovery in the same round would race on
+  // the shared campaign state without this mutex.
+  std::mutex campaign_mu;
   std::set<net::NodeId> crashed;
   int recovering = 0;
   auto fault_tag = [](const sim::FaultSpec& f) {
@@ -481,14 +489,15 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
                           });
         injector.InjectAt(
             f.at + f.heal_after, "recover node " + std::to_string(f.node),
-            [&deploy, &crashed, &recovering, &injector, &res, &spawn_clients,
-             &sim, stop_at, f]() {
+            [&deploy, &campaign_mu, &crashed, &recovering, &injector, &res,
+             &spawn_clients, &sim, stop_at, f]() {
               ++recovering;
               deploy.RecoverNode(
                   f.node,
-                  [&crashed, &recovering, &injector, &res, &spawn_clients,
-                   &sim, stop_at,
+                  [&campaign_mu, &crashed, &recovering, &injector, &res,
+                   &spawn_clients, &sim, stop_at,
                    f](const std::vector<tmf::RollforwardReport>& reports) {
+                    std::lock_guard<std::mutex> lk(campaign_mu);
                     crashed.erase(f.node);
                     --recovering;
                     ++res.recoveries_completed;

@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,9 @@ class AtomicityOracle {
   const std::map<uint64_t, Intent>& all() const { return intents_; }
 
  private:
+  // Clients on different nodes report concurrently when the campaign runs
+  // on the parallel engine; readers (Check/count/all) run post-quiesce.
+  mutable std::mutex mu_;
   std::map<uint64_t, Intent> intents_;
 };
 
@@ -149,6 +153,10 @@ struct ChaosCampaignConfig {
   /// Max quiesce time after the storm for transactions, safe deliveries,
   /// and recoveries to drain.
   SimDuration max_drain = Seconds(120);
+  /// Engine selector forwarded to sim::Simulation: 0 = legacy single queue,
+  /// 1 = PDES oracle, N >= 2 = worker pool. Same-seed results are
+  /// byte-identical at every setting.
+  int parallel_workers = 0;
 };
 
 /// Everything a test or bench asserts about one campaign run.

@@ -64,7 +64,7 @@ void Tcp::Step(size_t idx) {
     const auto& verb = term.program->verbs()[term.pc];
     switch (verb.type) {
       case ScreenProgram::VerbType::kAccept:
-        verb.accept(term.fields, sim()->Rng());
+        verb.accept(term.fields, sim()->RngFor(id().node));
         ++term.pc;
         continue;
       case ScreenProgram::VerbType::kCompute:
@@ -286,8 +286,9 @@ void Tcp::RestartTransaction(size_t idx) {
   // breaks phase-locked livelock when many terminals restart together.
   SimDuration backoff = Millis(20) * term.restarts;
   if (backoff > Millis(1000)) backoff = Millis(1000);
-  backoff = backoff / 2 + static_cast<SimDuration>(
-                              sim()->Rng().Uniform(static_cast<uint64_t>(backoff)));
+  backoff = backoff / 2 +
+            static_cast<SimDuration>(sim()->RngFor(id().node).Uniform(
+                static_cast<uint64_t>(backoff)));
   SetTimer(backoff, [this, idx]() { Step(idx); });
 }
 

@@ -22,12 +22,21 @@ Network::Metrics::Metrics(sim::Stats& stats)
 
 void Network::AddNode(NodeId id, DeliverFn deliver) {
   nodes_[id] = std::move(deliver);
+  sim_->EnsureNode(id);  // the node's event loop exists before any traffic
+  // Pre-create the per-source routing table entry: after setup the map's
+  // structure is frozen, so node events (possibly on worker threads) only
+  // ever touch their own node's mapped value.
+  route_tables_[id];
   ++topology_version_;
 }
 
 void Network::AddLink(NodeId a, NodeId b, SimDuration latency) {
   assert(nodes_.count(a) && nodes_.count(b) && a != b);
-  links_[Key(a, b)] = Link{latency > 0 ? latency : config_.link_latency, true};
+  const SimDuration l = latency > 0 ? latency : config_.link_latency;
+  links_[Key(a, b)] = Link{l, true};
+  // The conservative engine's lookahead is the minimum link latency: no
+  // cross-node interaction can take effect sooner than one hop.
+  sim_->NoteLinkLatency(l);
   ++topology_version_;
 }
 
@@ -136,9 +145,13 @@ void Network::Send(Message msg) {
 }
 
 void Network::Transmit(Message msg, int attempt) {
+  // Transmit always runs at the source node: the loss draw comes from the
+  // source's PRNG stream and retries are source-local timers, so a message's
+  // fate depends only on source-local state (plus the shared topology).
   auto path = Route(msg.src.node, msg.dst.node);
-  if (path.empty() || (config_.loss_probability > 0 &&
-                       sim_->Rng().Bernoulli(config_.loss_probability))) {
+  if (path.empty() ||
+      (config_.loss_probability > 0 &&
+       sim_->RngFor(msg.src.node).Bernoulli(config_.loss_probability))) {
     // No route now (or the transmission was lost): the end-to-end protocol
     // retries with pacing; after max_retries the sender is notified.
     if (attempt >= config_.max_retries) {
@@ -174,16 +187,25 @@ void Network::Transmit(Message msg, int attempt) {
   sim_->GetStats().Record(metrics_.route_hops, static_cast<int64_t>(path.size() - 1));
 
   NodeId dst_node = msg.dst.node;
-  sim_->After(latency, [this, msg = std::move(msg), attempt, dst_node]() mutable {
-    // End-to-end verification at arrival time: if the partition happened
-    // while the packet was in flight, the protocol retransmits.
-    if (!Reachable(msg.src.node, dst_node)) {
-      Transmit(std::move(msg), attempt + 1);
-      return;
-    }
+  // End-to-end verification is split between the two endpoints so that each
+  // side only touches its own node's state:
+  //   * the packet itself is delivered at the destination iff the topology
+  //     still connects the endpoints at arrival time (checked against the
+  //     destination's routing table — reachability is symmetric);
+  //   * a source-local probe fires at the same instant and, if the path is
+  //     gone, treats the attempt as failed and drives the retransmit (the
+  //     pre-split code ran this retransmit logic at the destination).
+  // Both events see the same topology version: topology mutations at the
+  // same timestamp are global events that order before node events.
+  sim_->PostToNode(dst_node, latency, [this, msg, dst_node]() mutable {
+    if (!Reachable(dst_node, msg.src.node)) return;  // dead packet
     sim_->GetStats().Incr(metrics_.delivered);
     auto it = nodes_.find(dst_node);
     if (it != nodes_.end()) it->second(std::move(msg));
+  });
+  sim_->After(latency, [this, msg = std::move(msg), attempt]() mutable {
+    if (!Route(msg.src.node, msg.dst.node).empty()) return;  // delivered
+    Transmit(std::move(msg), attempt + 1);
   });
 }
 

@@ -40,7 +40,7 @@ void Node::AdoptProcess(int cpu, std::unique_ptr<Process> proc) {
   // OnStart runs as a scheduled event so the subclass constructor has fully
   // completed and spawn order does not leak into event order.
   net::Pid captured = pid;
-  sim()->After(Micros(1), [this, captured]() {
+  sim()->AfterOn(id_, Micros(1), [this, captured]() {
     Process* p = Find(captured);
     if (p != nullptr) p->OnStart();
   });
@@ -113,7 +113,7 @@ void Node::FailCpu(int cpu) {
   slot.processes.clear();
   sim()->GetStats().Incr(metrics_.cpu_failures);
   // Survivors learn about it after the regroup (failure-detection) delay.
-  sim()->After(config_.regroup_delay, [this, cpu]() {
+  sim()->AfterOn(id_, config_.regroup_delay, [this, cpu]() {
     Broadcast([cpu](Process* p) { p->OnCpuDown(cpu); });
   });
 }
@@ -122,7 +122,7 @@ void Node::ReloadCpu(int cpu) {
   if (cpu < 0 || cpu >= static_cast<int>(cpus_.size()) || cpus_[cpu].up) return;
   cpus_[cpu].up = true;
   sim()->GetStats().Incr(metrics_.cpu_reloads);
-  sim()->After(config_.regroup_delay, [this, cpu]() {
+  sim()->AfterOn(id_, config_.regroup_delay, [this, cpu]() {
     Broadcast([cpu](Process* p) { p->OnCpuUp(cpu); });
   });
 }
@@ -182,7 +182,7 @@ void Node::ScheduleDelivery(net::Message msg, SimDuration latency) {
     cpu_free_[dst_cpu] = start + config_.cpu_service_time;
     arrival = start + config_.cpu_service_time;
   }
-  sim()->At(arrival, [this, msg = std::move(msg)]() mutable {
+  sim()->AtOn(id_, arrival, [this, msg = std::move(msg)]() mutable {
     DeliverLocal(std::move(msg));
   });
 }
@@ -207,10 +207,10 @@ void Node::SendFailureNotice(const net::Message& request, Status::Code code) {
   fail.reply_to = request.request_id;
   fail.status = code;
   if (request.src.node == id_) {
-    sim()->After(config_.same_cpu_latency,
-                 [this, fail = std::move(fail)]() mutable {
-                   DeliverLocal(std::move(fail));
-                 });
+    sim()->AfterOn(id_, config_.same_cpu_latency,
+                   [this, fail = std::move(fail)]() mutable {
+                     DeliverLocal(std::move(fail));
+                   });
   } else {
     cluster_->network().Send(std::move(fail));
   }

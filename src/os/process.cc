@@ -45,7 +45,7 @@ void Process::StampTrace(net::Message& msg) {
   sim::TraceLog& log = sim()->GetTrace();
   if (!log.enabled()) return;
   msg.trace.transid = transid;
-  msg.trace.span = log.NewSpan();
+  msg.trace.span = log.NewSpan(id().node);
   sim()->RecordTrace(sim::TraceEventKind::kMsgSend, msg.trace, id().node,
                      msg.tag, msg.dst.node, active_trace_.span);
 }
@@ -163,7 +163,9 @@ uint64_t Process::SetTimer(SimDuration delay, std::function<void()> fn) {
   // Timers inherit the trace context they were armed under, so causal chains
   // survive latency hops (audit-force delay, MAT force, disc service time).
   const sim::TraceContext ctx = active_trace_;
-  return sim()->After(delay, [guard, ctx, fn = std::move(fn)]() {
+  // Pinned to the process's own node loop even when armed from setup code
+  // or a global event, so CancelTimer from the node's events stays loop-local.
+  return sim()->AfterOn(id().node, delay, [guard, ctx, fn = std::move(fn)]() {
     auto locked = guard.lock();
     if (!locked || *locked == nullptr) return;
     const sim::TraceContext saved = (*locked)->active_trace_;

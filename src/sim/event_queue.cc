@@ -4,12 +4,19 @@
 
 namespace encompass::sim {
 
-EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
-  EventId id = next_id_++;
-  heap_.push(Event{when, id, std::move(fn)});
-  pending_.insert(id);
+EventId EventQueue::Schedule(SimTime when, uint16_t exec_node,
+                             std::function<void()> fn) {
+  uint64_t seq = next_seq_++;
+  heap_.push(Event{EventKey{when, origin_, seq}, exec_node, true, std::move(fn)});
+  pending_.insert(seq);
   ++live_count_;
-  return id;
+  return seq;
+}
+
+void EventQueue::ScheduleKeyed(const EventKey& key, uint16_t exec_node,
+                               std::function<void()> fn) {
+  heap_.push(Event{key, exec_node, false, std::move(fn)});
+  ++live_count_;
 }
 
 void EventQueue::Cancel(EventId id) {
@@ -21,28 +28,36 @@ void EventQueue::Cancel(EventId id) {
 }
 
 void EventQueue::SkipCancelled() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
+  // Only local events consult the tombstone set: a keyed event's seq lives
+  // in its sender's numbering and may collide with a cancelled local id.
+  while (!heap_.empty() && heap_.top().local) {
+    auto it = cancelled_.find(heap_.top().key.seq);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
     heap_.pop();
   }
 }
 
-SimTime EventQueue::NextTime() const {
+const EventKey* EventQueue::NextKey() const {
   SkipCancelled();
-  return heap_.empty() ? kNoDeadline : heap_.top().when;
+  return heap_.empty() ? nullptr : &heap_.top().key;
 }
 
-std::function<void()> EventQueue::PopNext(SimTime* when) {
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  return heap_.empty() ? kNoDeadline : heap_.top().key.time;
+}
+
+std::function<void()> EventQueue::PopNext(EventKey* key, uint16_t* exec_node) {
   SkipCancelled();
   assert(!heap_.empty());
   // priority_queue::top() is const; the callback is moved out via const_cast,
   // which is safe because the element is popped immediately after.
   auto& top = const_cast<Event&>(heap_.top());
-  *when = top.when;
+  *key = top.key;
+  *exec_node = top.exec_node;
   std::function<void()> fn = std::move(top.fn);
-  pending_.erase(top.id);
+  if (top.local) pending_.erase(top.key.seq);
   heap_.pop();
   --live_count_;
   return fn;

@@ -1,5 +1,16 @@
 // The event queue at the heart of the deterministic simulation: a priority
-// queue of (time, sequence) -> callback, with cancellation support.
+// queue of EventKey -> callback, with cancellation support.
+//
+// Events are totally ordered by EventKey = (time, origin, seq):
+//   * time   — the simulated firing time;
+//   * origin — the node whose schedule sequence stamped the event (0 for
+//     global/serial work). Ties at the same time order by origin, so global
+//     events run before any node's events at the same instant;
+//   * seq    — the origin's monotone schedule counter; ties within one
+//     origin fire in schedule order.
+// The key is assigned when the event is scheduled, by the scheduling node —
+// never by the executing thread — so the total order is a property of the
+// simulation's history, identical no matter how execution is interleaved.
 
 #ifndef ENCOMPASS_SIM_EVENT_QUEUE_H_
 #define ENCOMPASS_SIM_EVENT_QUEUE_H_
@@ -17,43 +28,89 @@ namespace encompass::sim {
 /// Handle for a scheduled event; used to cancel timers.
 using EventId = uint64_t;
 
-/// Min-heap of timed callbacks. Ties at the same timestamp fire in schedule
-/// order (sequence number), which is what makes the simulation deterministic.
+/// Total order on simulation events; see file comment.
+struct EventKey {
+  SimTime time = 0;
+  uint16_t origin = 0;
+  uint64_t seq = 0;
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return a.seq < b.seq;
+  }
+};
+
+/// Min-heap of timed callbacks ordered by EventKey. One EventQueue belongs
+/// to one event loop (one node, or the global loop); `origin` stamps the
+/// keys of locally scheduled events.
 class EventQueue {
  public:
-  /// Schedules `fn` to fire at absolute time `when`. Returns a handle.
-  EventId Schedule(SimTime when, std::function<void()> fn);
+  explicit EventQueue(uint16_t origin = 0) : origin_(origin) {}
 
-  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
-  /// or unknown event is a true no-op (no tombstone, no accounting change).
-  /// O(1): a pending event is tombstoned and skipped on pop.
+  uint16_t origin() const { return origin_; }
+
+  /// Schedules `fn` to fire at absolute time `when`, stamped with this
+  /// queue's origin and next sequence number. `exec_node` attributes the
+  /// work to a node for PRNG/stats/trace purposes (defaults to the origin).
+  /// Returns a handle for Cancel.
+  EventId Schedule(SimTime when, std::function<void()> fn) {
+    return Schedule(when, origin_, std::move(fn));
+  }
+  EventId Schedule(SimTime when, uint16_t exec_node, std::function<void()> fn);
+
+  /// Inserts an event carrying a foreign key (a cross-node post stamped by
+  /// its sender). Keyed events are not cancellable: their seq lives in the
+  /// sender's numbering, which may collide with local ids.
+  void ScheduleKeyed(const EventKey& key, uint16_t exec_node,
+                     std::function<void()> fn);
+
+  /// Draws the next local sequence number; used to stamp keys of cross-node
+  /// posts originating here.
+  uint64_t IssueSeq() { return next_seq_++; }
+
+  /// Cancels a pending locally-scheduled event. Cancelling an already-fired,
+  /// already-cancelled, or unknown event is a true no-op (no tombstone, no
+  /// accounting change). O(1): a pending event is tombstoned and skipped on
+  /// pop.
   void Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
   size_t size() const { return live_count_; }
 
+  /// Key of the earliest pending event; nullptr if empty.
+  const EventKey* NextKey() const;
+
   /// Time of the earliest pending event; kNoDeadline if empty.
   SimTime NextTime() const;
 
-  /// Pops and returns the earliest event's callback, setting *when to its
-  /// scheduled time. Precondition: !empty().
-  std::function<void()> PopNext(SimTime* when);
+  /// Pops and returns the earliest event's callback, setting *key to its
+  /// event key and *exec_node to its attribution. Precondition: !empty().
+  std::function<void()> PopNext(EventKey* key, uint16_t* exec_node);
+
+  /// Back-compat pop that only reports the firing time.
+  std::function<void()> PopNext(SimTime* when) {
+    EventKey key;
+    uint16_t exec_node;
+    auto fn = PopNext(&key, &exec_node);
+    *when = key.time;
+    return fn;
+  }
 
  private:
   struct Event {
-    SimTime when;
-    EventId id;
+    EventKey key;
+    uint16_t exec_node;
+    bool local;  // scheduled here (cancellable) vs keyed insert
     std::function<void()> fn;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+    bool operator()(const Event& a, const Event& b) const { return b.key < a.key; }
   };
 
   void SkipCancelled() const;
 
+  uint16_t origin_;
   mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
   // Ids currently scheduled and not yet fired or cancelled. Cancel consults
   // this set so a cancel racing an already-fired event cannot insert a
@@ -61,7 +118,7 @@ class EventQueue {
   std::unordered_set<EventId> pending_;
   mutable std::unordered_set<EventId> cancelled_;
   size_t live_count_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
 };
 
 }  // namespace encompass::sim

@@ -1,0 +1,12 @@
+#include "sim/exec_context.h"
+
+namespace encompass::sim::internal {
+
+namespace {
+thread_local ExecContext* g_exec = nullptr;
+}  // namespace
+
+ExecContext* Exec() { return g_exec; }
+void SetExec(ExecContext* ctx) { g_exec = ctx; }
+
+}  // namespace encompass::sim::internal

@@ -1,0 +1,46 @@
+// Thread-local execution context: what the executing thread knows about the
+// simulation event it is currently running.
+//
+// The engine publishes a context around every event callback. Three consumers
+// read it:
+//   * Stats and TraceLog route writes to the executing loop's shard, so
+//     parallel node loops never contend on (or race over) shared storage;
+//   * trace records are stamped with the running event's total-order key, so
+//     a k-way merge of the shards reproduces the canonical event order;
+//   * the scheduling API (Simulation::After / At) attributes follow-up events
+//     to the node whose work is executing.
+// Outside event execution (setup code, tests, tools) the context is null and
+// everything falls back to shard 0 / the global loop.
+
+#ifndef ENCOMPASS_SIM_EXEC_CONTEXT_H_
+#define ENCOMPASS_SIM_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace encompass::sim {
+
+class Stats;
+class TraceLog;
+
+namespace internal {
+
+struct ExecContext {
+  const void* sim = nullptr;  // owning Simulation, compared by identity only
+  Stats* stats = nullptr;     // that simulation's Stats
+  TraceLog* trace = nullptr;  // that simulation's TraceLog
+  uint32_t shard = 0;         // executing loop's shard index
+  uint16_t node = 0;          // node the running event is attributed to
+  EventKey key;               // total-order key of the running event
+};
+
+/// Context of the event the calling thread is executing; null outside event
+/// execution.
+ExecContext* Exec();
+void SetExec(ExecContext* ctx);
+
+}  // namespace internal
+}  // namespace encompass::sim
+
+#endif  // ENCOMPASS_SIM_EXEC_CONTEXT_H_

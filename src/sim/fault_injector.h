@@ -8,6 +8,7 @@
 #define ENCOMPASS_SIM_FAULT_INJECTOR_H_
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,11 @@ class FaultInjector {
   void Note(std::string description);
 
   /// Journal of faults that have actually fired (plus Note() annotations),
-  /// in firing order.
-  const std::vector<FaultEvent>& journal() const { return journal_; }
+  /// in canonical firing order. Entries are sorted by the total-order key of
+  /// the event that wrote them — not by insertion order, which on the
+  /// parallel engine depends on which worker thread got there first. Read it
+  /// only while the simulation is quiescent.
+  const std::vector<FaultEvent>& journal() const;
 
   /// Faults ever scheduled / actually fired. fired() is tracked explicitly
   /// rather than derived from journal().size(): the journal also carries
@@ -57,8 +61,19 @@ class FaultInjector {
   size_t pending() const { return scheduled_ - fired_; }
 
  private:
+  struct Entry {
+    EventKey key;      // key of the event that journaled this
+    uint64_t ordinal;  // insertion index: orders entries of one event
+    FaultEvent e;
+  };
+  void Append(std::string description);
+
   Simulation* sim_;
-  std::vector<FaultEvent> journal_;
+  // Notes (and re-entrant injections) can come from recovery callbacks
+  // executing on node loops, concurrently in parallel mode.
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  mutable std::vector<FaultEvent> journal_;  // sorted view, built on read
   size_t scheduled_ = 0;
   size_t fired_ = 0;
 };

@@ -1,27 +1,376 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace encompass::sim {
 
-bool Simulation::Step() {
-  if (queue_.empty()) return false;
-  SimTime when;
-  auto fn = queue_.PopNext(&when);
-  now_ = when;
+namespace {
+
+// Seed derivation for per-node PRNG streams: golden-ratio mixing keeps the
+// streams of adjacent node ids far apart. The formula is load-bearing: it is
+// baked into the golden trace files.
+uint64_t NodeSeed(uint64_t seed, uint16_t node) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(node) + 1));
+}
+
+SimTime SatAdd(SimTime a, SimTime b) {
+  return (a >= kNoDeadline - b) ? kNoDeadline : a + b;
+}
+
+}  // namespace
+
+Simulation::Simulation(uint64_t seed, int parallel_workers)
+    : mode_(parallel_workers <= 0  ? Mode::kLegacy
+            : parallel_workers == 1 ? Mode::kSingleLoop
+                                    : Mode::kParallel),
+      seed_(seed),
+      parallel_workers_(parallel_workers),
+      rng_(seed) {
+  loops_.push_back(std::make_unique<NodeLoop>(0, 0, NodeSeed(seed, 0)));
+  loop_index_.emplace(0, 0);
+}
+
+Simulation::~Simulation() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      stop_ = true;
+    }
+    pool_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+NodeLoop* Simulation::EnsureLoop(uint16_t node) {
+  auto it = loop_index_.find(node);
+  if (it != loop_index_.end()) return loops_[it->second].get();
+  // Loop creation mutates shared tables; it happens during topology setup
+  // and serial phases, never inside a parallel round.
+  assert(!in_round_);
+  const auto shard = static_cast<uint32_t>(loops_.size());
+  loops_.push_back(std::make_unique<NodeLoop>(node, shard, NodeSeed(seed_, node)));
+  loop_index_.emplace(node, shard);
+  loops_.back()->now = now_;
+  stats_.EnsureShards(loops_.size());
+  trace_.EnsureShards(loops_.size());
+  trace_.EnsureNodeSpans(node);
+  return loops_.back().get();
+}
+
+uint16_t Simulation::CtxNode() const {
+  const internal::ExecContext* ec = internal::Exec();
+  return (ec != nullptr && ec->sim == this) ? ec->node : 0;
+}
+
+EventId Simulation::ScheduleOn(uint16_t node, SimTime when,
+                               std::function<void()> fn) {
+  NodeLoop* loop =
+      mode_ == Mode::kLegacy ? loops_[0].get() : EnsureLoop(node);
+  // During a parallel round only the loop's own worker may touch its queue;
+  // cross-node work must go through PostToNode.
+  assert(!in_round_ || (internal::Exec() != nullptr &&
+                        internal::Exec()->shard == loop->shard));
+  const EventId seq = loop->queue.Schedule(when, node, std::move(fn));
+  return (static_cast<EventId>(loop->shard) << kSeqBits) | seq;
+}
+
+EventId Simulation::After(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleOn(CtxNode(), Now() + delay, std::move(fn));
+}
+
+EventId Simulation::At(SimTime when, std::function<void()> fn) {
+  const SimTime now = Now();
+  return ScheduleOn(CtxNode(), when < now ? now : when, std::move(fn));
+}
+
+EventId Simulation::AfterOn(uint16_t node, SimDuration delay,
+                            std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleOn(node, Now() + delay, std::move(fn));
+}
+
+EventId Simulation::AtOn(uint16_t node, SimTime when,
+                         std::function<void()> fn) {
+  const SimTime now = Now();
+  return ScheduleOn(node, when < now ? now : when, std::move(fn));
+}
+
+void Simulation::PostToNode(uint16_t dst, SimDuration delay,
+                            std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  const SimTime when = Now() + delay;
+  if (mode_ == Mode::kLegacy) {
+    loops_[0]->queue.Schedule(when, dst, std::move(fn));
+    return;
+  }
+  const internal::ExecContext* ec = internal::Exec();
+  NodeLoop* src = (ec != nullptr && ec->sim == this) ? loops_[ec->shard].get()
+                                                     : loops_[0].get();
+  NodeLoop* dl = EnsureLoop(dst);
+  // The key carries the sender's stamp: deliveries fire in send order, the
+  // same order the legacy engine's global sequence produces.
+  const EventKey key{when, src->node, src->queue.IssueSeq()};
+  if (dl == src || !in_round_) {
+    dl->queue.ScheduleKeyed(key, dst, std::move(fn));
+    return;
+  }
+  // The receiver may be running on another thread: buffer the post. It
+  // cannot be due within the receiver's current horizon — the horizon is at
+  // most (sender's round start + lookahead), the post is at least lookahead
+  // after the sender's current (>= round start) event — so draining inboxes
+  // between rounds loses nothing.
+  assert(delay >= lookahead_);
+  std::lock_guard<std::mutex> lk(dl->inbox_mu);
+  dl->inbox.push_back(NodeLoop::Post{key, dst, std::move(fn)});
+}
+
+void Simulation::Cancel(EventId id) {
+  const auto shard = static_cast<uint32_t>(id >> kSeqBits);
+  if (shard >= loops_.size()) return;
+  NodeLoop* loop = loops_[shard].get();
+  assert(!in_round_ || (internal::Exec() != nullptr &&
+                        internal::Exec()->shard == loop->shard));
+  loop->queue.Cancel(id & ((EventId{1} << kSeqBits) - 1));
+}
+
+void Simulation::ExecOne(NodeLoop* loop) {
+  EventKey key;
+  uint16_t exec_node = 0;
+  std::function<void()> fn = loop->queue.PopNext(&key, &exec_node);
+  loop->now = key.time;
+  internal::ExecContext ctx;
+  ctx.sim = this;
+  ctx.stats = &stats_;
+  ctx.trace = &trace_;
+  ctx.shard = loop->shard;
+  ctx.node = exec_node;
+  ctx.key = key;
+  internal::ExecContext* prev = internal::Exec();
+  internal::SetExec(&ctx);
   fn();
+  internal::SetExec(prev);
+  ++loop->executed;
+}
+
+void Simulation::DrainInboxes() {
+  for (auto& l : loops_) {
+    std::lock_guard<std::mutex> lk(l->inbox_mu);
+    for (NodeLoop::Post& p : l->inbox) {
+      l->queue.ScheduleKeyed(p.key, p.exec_node, std::move(p.fn));
+    }
+    l->inbox.clear();
+  }
+}
+
+bool Simulation::Step() {
+  if (mode_ == Mode::kParallel) DrainInboxes();
+  NodeLoop* best = nullptr;
+  const EventKey* bk = nullptr;
+  for (const auto& l : loops_) {
+    const EventKey* k = l->queue.NextKey();
+    if (k != nullptr && (bk == nullptr || *k < *bk)) {
+      best = l.get();
+      bk = k;
+    }
+  }
+  if (best == nullptr) return false;
+  ExecOne(best);
+  if (best->now > now_) now_ = best->now;
   return true;
 }
 
 size_t Simulation::Run(size_t max_events) {
+  if (mode_ == Mode::kParallel && max_events == SIZE_MAX) {
+    const uint64_t before = ExecutedEvents();
+    RunUntilParallel(kNoDeadline - 1);
+    return static_cast<size_t>(ExecutedEvents() - before);
+  }
   size_t n = 0;
   while (n < max_events && Step()) ++n;
   return n;
 }
 
+void Simulation::RunUntilSerial(SimTime deadline) {
+  for (;;) {
+    NodeLoop* best = nullptr;
+    const EventKey* bk = nullptr;
+    for (const auto& l : loops_) {
+      const EventKey* k = l->queue.NextKey();
+      if (k != nullptr && (bk == nullptr || *k < *bk)) {
+        best = l.get();
+        bk = k;
+      }
+    }
+    if (best == nullptr || bk->time > deadline) break;
+    ExecOne(best);
+    if (best->now > now_) now_ = best->now;
+  }
+}
+
 void Simulation::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.NextTime() <= deadline) {
-    Step();
+  if (mode_ == Mode::kParallel) {
+    RunUntilParallel(deadline);
+  } else {
+    RunUntilSerial(deadline);
   }
   if (now_ < deadline) now_ = deadline;
+  for (auto& l : loops_) {
+    if (l->now < deadline) l->now = deadline;
+  }
+}
+
+void Simulation::RunUntilParallel(SimTime deadline) {
+  StartWorkers();
+  for (;;) {
+    DrainInboxes();
+
+    // Serial phase: global-loop events sort before any node's events at the
+    // same time, so run them while none of the node loops has earlier work.
+    for (;;) {
+      const EventKey* k0 = loops_[0]->queue.NextKey();
+      if (k0 == nullptr || k0->time > deadline) break;
+      SimTime tn = kNoDeadline;
+      for (size_t i = 1; i < loops_.size(); ++i) {
+        tn = std::min(tn, loops_[i]->queue.NextTime());
+      }
+      if (k0->time > tn) break;
+      ExecOne(loops_[0].get());
+      if (loops_[0]->now > now_) now_ = loops_[0]->now;
+    }
+
+    // Round setup: every loop may run strictly below
+    //   min(cap, min over other loops of their next event time + lookahead)
+    // where cap stops at the next global-loop event or the deadline. The
+    // loop holding the globally minimal next event is always ready, so every
+    // iteration makes progress.
+    const SimTime t0 = loops_[0]->queue.NextTime();
+    const SimTime cap = std::min(SatAdd(deadline, 1), t0);
+    SimTime min1 = kNoDeadline, min2 = kNoDeadline;
+    for (size_t i = 1; i < loops_.size(); ++i) {
+      const SimTime e = loops_[i]->queue.NextTime();
+      if (e < min1) {
+        min2 = min1;
+        min1 = e;
+      } else if (e < min2) {
+        min2 = e;
+      }
+    }
+    if (min1 > deadline) break;  // no node work left within the deadline
+
+    ready_.clear();
+    for (size_t i = 1; i < loops_.size(); ++i) {
+      NodeLoop* l = loops_[i].get();
+      const SimTime e = l->queue.NextTime();
+      if (e == kNoDeadline) continue;
+      const SimTime others = (e == min1) ? min2 : min1;
+      const SimTime h = std::min(cap, SatAdd(others, lookahead_));
+      if (e < h) {
+        l->horizon = h;
+        ready_.push_back(l);
+      }
+    }
+    assert(!ready_.empty());
+
+    if (ready_.size() == 1 || threads_.empty()) {
+      // Nothing to overlap: run on this thread without the round barrier.
+      // Direct queue access elsewhere stays safe — workers are quiescent.
+      for (NodeLoop* l : ready_) RunLoopTo(l, l->horizon);
+    } else {
+      uint64_t round;
+      {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        round = ++round_seq_;
+        round_next_ = 0;
+        round_pending_ = ready_.size();
+        in_round_ = true;
+      }
+      pool_cv_.notify_all();
+      ClaimLoop(round);
+      {
+        std::unique_lock<std::mutex> lk(pool_mu_);
+        done_cv_.wait(lk, [this] { return round_pending_ == 0; });
+        // Workers only touch ready_ while in_round_ is set (checked under
+        // the same mutex), so clearing it here fences the vector for the
+        // next round's rebuild even against stragglers.
+        in_round_ = false;
+      }
+    }
+    for (NodeLoop* l : ready_) {
+      if (l->now > now_) now_ = l->now;
+    }
+  }
+}
+
+void Simulation::RunLoopTo(NodeLoop* loop, SimTime horizon) {
+  for (;;) {
+    const EventKey* k = loop->queue.NextKey();
+    if (k == nullptr || k->time >= horizon) break;
+    ExecOne(loop);
+  }
+}
+
+void Simulation::StartWorkers() {
+  if (!threads_.empty() || parallel_workers_ < 2) return;
+  const int n = parallel_workers_ - 1;  // the coordinator participates
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+void Simulation::WorkerMain() {
+  uint64_t last_seen = 0;
+  for (;;) {
+    uint64_t round;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [&] { return stop_ || round_seq_ != last_seen; });
+      if (stop_) return;
+      round = round_seq_;
+      last_seen = round;
+    }
+    ClaimLoop(round);
+  }
+}
+
+void Simulation::ClaimLoop(uint64_t round) {
+  for (;;) {
+    NodeLoop* l = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      // The round check precedes any access to ready_: a thread that
+      // lagged into a later round must not touch the vector the
+      // coordinator rebuilds between rounds (it only does so with
+      // in_round_ clear, under this mutex).
+      if (!in_round_ || round_seq_ != round) return;
+      if (round_next_ >= ready_.size()) return;
+      l = ready_[round_next_++];
+    }
+    RunLoopTo(l, l->horizon);
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    if (--round_pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+bool Simulation::Idle() const {
+  for (const auto& l : loops_) {
+    if (!l->queue.empty()) return false;
+  }
+  return true;  // inboxes are empty whenever no round is executing
+}
+
+size_t Simulation::PendingEvents() const {
+  size_t n = 0;
+  for (const auto& l : loops_) n += l->queue.size();
+  return n;
+}
+
+uint64_t Simulation::ExecutedEvents() const {
+  uint64_t n = 0;
+  for (const auto& l : loops_) n += l->executed;
+  return n;
 }
 
 }  // namespace encompass::sim

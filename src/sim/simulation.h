@@ -1,31 +1,103 @@
 // Simulation: the deterministic run context shared by every simulated
-// component — clock, event queue, PRNG, and statistics.
+// component — clocks, per-node event loops, PRNG streams, and statistics.
+//
+// The engine is a conservative parallel discrete-event simulator (PDES) with
+// an exact single-threaded oracle. Every simulated node owns an event loop
+// (clock + event queue + PRNG stream); loop 0 is the global loop for setup
+// code, fault injection, and topology events. Events carry a total-order key
+// (time, origin node, origin sequence) assigned at schedule time, so "the
+// order events fire in" is a property of the simulation's history, not of
+// the thread interleaving that executes it.
+//
+// `parallel_workers` selects among three engines that produce byte-identical
+// same-seed traces and metrics:
+//   0  — the classic single-queue engine: every event lands on loop 0 in one
+//        global schedule order (the pre-PDES behavior, bit-for-bit);
+//   1  — per-node loops multiplexed on the calling thread in canonical key
+//        order (the PDES oracle);
+//   N  — a pool of N threads executing node loops round-by-round under
+//        conservative synchronization: a loop may run up to
+//        min_{other loops j}(next event time of j) + lookahead, where
+//        lookahead is the minimum cross-node link latency. No rollback is
+//        ever needed because a node can only affect another node at least
+//        one link latency in the future (Network posts cross-node work via
+//        PostToNode, never with a shorter delay).
 
 #ifndef ENCOMPASS_SIM_SIMULATION_H_
 #define ENCOMPASS_SIM_SIMULATION_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/random.h"
 #include "common/sim_time.h"
 #include "sim/event_queue.h"
+#include "sim/exec_context.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
 namespace encompass::sim {
+
+/// One per-node event loop: its own clock, event queue, and PRNG stream.
+/// In parallel mode a locked inbox buffers cross-node posts made while the
+/// owner may be running on another thread; the coordinator drains inboxes
+/// between rounds (safe because a cross-node post is always at least one
+/// lookahead in the future, past every horizon granted in the round).
+struct NodeLoop {
+  NodeLoop(uint16_t node_id, uint32_t shard_index, uint64_t rng_seed)
+      : node(node_id), shard(shard_index), queue(node_id), rng(rng_seed) {}
+
+  const uint16_t node;
+  const uint32_t shard;  // index into Simulation::loops_ and the stat shards
+  SimTime now = 0;
+  EventQueue queue;
+  encompass::Random rng;
+  uint64_t executed = 0;
+  SimTime horizon = kNoDeadline;  // exclusive execution bound, current round
+
+  struct Post {
+    EventKey key;
+    uint16_t exec_node;
+    std::function<void()> fn;
+  };
+  std::mutex inbox_mu;
+  std::vector<Post> inbox;
+};
 
 /// One deterministic simulated world. All simulated components hold a
 /// pointer to their Simulation; nothing in the library touches wall-clock
 /// time or global randomness.
 class Simulation {
  public:
-  explicit Simulation(uint64_t seed = 1) : rng_(seed) {}
+  /// `parallel_workers` selects the engine; see the file comment. All modes
+  /// produce byte-identical same-seed output.
+  explicit Simulation(uint64_t seed = 1, int parallel_workers = 0);
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  SimTime Now() const { return now_; }
+  /// Inside event execution: the executing event's time (the owning loop's
+  /// clock). Outside: the global high-water clock.
+  SimTime Now() const {
+    const internal::ExecContext* ec = internal::Exec();
+    if (ec != nullptr && ec->sim == this) return ec->key.time;
+    return now_;
+  }
   encompass::Random& Rng() { return rng_; }
+
+  /// Per-node PRNG stream, derived deterministically from (seed, node).
+  /// Components attribute their draws to the node the drawing work belongs
+  /// to, so the values a node sees depend only on that node's local draw
+  /// order — never on how events from different nodes interleave globally.
+  encompass::Random& RngFor(uint16_t node) { return EnsureLoop(node)->rng; }
+
   Stats& GetStats() { return stats_; }
   TraceLog& GetTrace() { return trace_; }
 
@@ -35,7 +107,7 @@ class Simulation {
                    uint32_t a = 0, uint32_t b = 0, uint32_t parent = 0) {
     if (!trace_.enabled() || !ctx.active()) return;
     TraceEvent e;
-    e.time = now_;
+    e.time = Now();
     e.transid = ctx.transid;
     e.span = ctx.span;
     e.parent = parent;
@@ -46,41 +118,105 @@ class Simulation {
     trace_.Record(e);
   }
 
-  /// Schedules `fn` to run `delay` microseconds from now (>= 0).
-  EventId After(SimDuration delay, std::function<void()> fn) {
-    return queue_.Schedule(now_ + (delay < 0 ? 0 : delay), std::move(fn));
-  }
+  /// Schedules `fn` to run `delay` microseconds from now (>= 0), on the
+  /// loop of the node whose event is executing (loop 0 outside events).
+  EventId After(SimDuration delay, std::function<void()> fn);
 
-  /// Schedules `fn` at an absolute time (clamped to now).
-  EventId At(SimTime when, std::function<void()> fn) {
-    return queue_.Schedule(when < now_ ? now_ : when, std::move(fn));
-  }
+  /// Schedules `fn` at an absolute time (clamped to now); same loop
+  /// attribution as After.
+  EventId At(SimTime when, std::function<void()> fn);
 
-  void Cancel(EventId id) { queue_.Cancel(id); }
+  /// Schedules `fn` on `node`'s loop explicitly. Used where the OS layer
+  /// schedules work for a node from outside that node's own event (process
+  /// adoption, CPU regroup, message delivery hand-off).
+  EventId AfterOn(uint16_t node, SimDuration delay, std::function<void()> fn);
+  EventId AtOn(uint16_t node, SimTime when, std::function<void()> fn);
 
-  /// Runs one event. Returns false if the queue was empty.
+  /// Cross-node channel edge: schedules `fn` on `dst`'s loop, keyed with the
+  /// *sender's* (origin, seq) stamp so deliveries fire in send order at any
+  /// worker count. The only legal way for one node's event to schedule onto
+  /// another running loop; `delay` must be at least the lookahead (true for
+  /// every network latency by construction). Not cancellable.
+  void PostToNode(uint16_t dst, SimDuration delay, std::function<void()> fn);
+
+  void Cancel(EventId id);
+
+  /// Runs one event in canonical order. Returns false if no event pending.
   bool Step();
 
-  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Runs events until none are pending or `max_events` have fired.
   /// Returns the number of events processed.
   size_t Run(size_t max_events = SIZE_MAX);
 
-  /// Runs all events with time <= deadline, then advances the clock to
+  /// Runs all events with time <= deadline, then advances every clock to
   /// exactly `deadline` (even if no event fired).
   void RunUntil(SimTime deadline);
 
   /// RunUntil(Now() + d).
-  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+  void RunFor(SimDuration d) { RunUntil(Now() + d); }
 
-  bool Idle() const { return queue_.empty(); }
-  size_t PendingEvents() const { return queue_.size(); }
+  bool Idle() const;
+  size_t PendingEvents() const;
+  uint64_t ExecutedEvents() const;
+
+  int parallel_workers() const { return parallel_workers_; }
+
+  /// Creates `node`'s loop (idempotent). Called by Network::AddNode so every
+  /// simulated node has its loop before traffic starts.
+  void EnsureNode(uint16_t node) { EnsureLoop(node); }
+
+  /// Shrinks the conservative lookahead to `latency` if smaller. Called by
+  /// Network::AddLink; the lookahead is the minimum cross-node link latency.
+  void NoteLinkLatency(SimDuration latency) {
+    if (latency > 0 && latency < lookahead_) lookahead_ = latency;
+  }
+  SimDuration lookahead() const { return lookahead_; }
 
  private:
+  enum class Mode { kLegacy, kSingleLoop, kParallel };
+
+  // EventIds pack (loop shard << kSeqBits) | local seq; legacy mode keeps
+  // shard 0 so ids equal the pre-PDES global sequence numbers.
+  static constexpr int kSeqBits = 40;
+
+  NodeLoop* EnsureLoop(uint16_t node);
+  uint16_t CtxNode() const;
+  EventId ScheduleOn(uint16_t node, SimTime when, std::function<void()> fn);
+  void ExecOne(NodeLoop* loop);
+  void DrainInboxes();
+  void RunUntilSerial(SimTime deadline);
+  void RunUntilParallel(SimTime deadline);
+  void RunLoopTo(NodeLoop* loop, SimTime horizon);
+  void StartWorkers();
+  void WorkerMain();
+  void ClaimLoop(uint64_t round);
+
+  Mode mode_;
   SimTime now_ = 0;
-  EventQueue queue_;
+  uint64_t seed_;
+  int parallel_workers_;
   encompass::Random rng_;
+  SimDuration lookahead_ = kNoDeadline;
+
+  std::vector<std::unique_ptr<NodeLoop>> loops_;  // [0] is the global loop
+  std::unordered_map<uint16_t, uint32_t> loop_index_;  // node id -> shard
+
   Stats stats_;
   TraceLog trace_;
+
+  // --- worker pool (kParallel only; threads start lazily) -----------------
+  std::vector<std::thread> threads_;
+  std::mutex pool_mu_;  // guards round_seq_/next_/pending_, in_round_, stop_
+  std::condition_variable pool_cv_;   // round published / stop
+  std::condition_variable done_cv_;   // round_pending_ reached zero
+  // ready_ is rebuilt by the coordinator between rounds; workers only read
+  // it inside ClaimLoop with in_round_ set, checked under pool_mu_.
+  std::vector<NodeLoop*> ready_;      // loops of the current round
+  size_t round_next_ = 0;             // next unclaimed ready_ index
+  size_t round_pending_ = 0;
+  uint64_t round_seq_ = 0;
+  bool stop_ = false;
+  bool in_round_ = false;  // written only while workers are quiescent
 };
 
 }  // namespace encompass::sim

@@ -42,6 +42,20 @@ void Histogram::Add(int64_t v) {
   count_++;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (uint32_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0) return min_;
@@ -66,57 +80,96 @@ void Histogram::Clear() {
   max_ = 0;
 }
 
+Stats::Stats() { EnsureShards(1); }
+
 MetricId Stats::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
   auto [it, inserted] =
-      counter_ids_.emplace(name, static_cast<uint32_t>(counter_values_.size()));
-  if (inserted) {
-    counter_names_.push_back(name);
-    counter_values_.push_back(0);
-  }
+      counter_ids_.emplace(name, static_cast<uint32_t>(counter_names_.size()));
+  if (inserted) counter_names_.push_back(name);
   return MetricId(it->second);
 }
 
 MetricId Stats::RegisterHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
   auto [it, inserted] = histogram_ids_.emplace(
-      name, static_cast<uint32_t>(histogram_values_.size()));
-  if (inserted) {
-    histogram_names_.push_back(name);
-    histogram_values_.emplace_back();
-  }
+      name, static_cast<uint32_t>(histogram_names_.size()));
+  if (inserted) histogram_names_.push_back(name);
   return MetricId(it->second);
 }
 
+int64_t Stats::Counter(MetricId id) const {
+  if (!id.valid()) return 0;
+  int64_t total = 0;
+  for (const auto& s : shards_) {
+    if (id.index_ < s->counters.size()) total += s->counters[id.index_];
+  }
+  return total;
+}
+
 int64_t Stats::Counter(const std::string& name) const {
-  auto it = counter_ids_.find(name);
-  return it == counter_ids_.end() ? 0 : counter_values_[it->second];
+  uint32_t index;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    auto it = counter_ids_.find(name);
+    if (it == counter_ids_.end()) return 0;
+    index = it->second;
+  }
+  return Counter(MetricId(index));
+}
+
+const Histogram& Stats::MergedAt(uint32_t index) const {
+  while (merged_.size() <= index) merged_.emplace_back();
+  Histogram& m = merged_[index];
+  m.Clear();
+  for (const auto& s : shards_) {
+    auto it = s->histograms.find(index);
+    if (it != s->histograms.end()) m.Merge(it->second);
+  }
+  return m;
 }
 
 const Histogram* Stats::FindHistogram(const std::string& name) const {
-  auto it = histogram_ids_.find(name);
-  return it == histogram_ids_.end() ? nullptr : &histogram_values_[it->second];
+  uint32_t index;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    auto it = histogram_ids_.find(name);
+    if (it == histogram_ids_.end()) return nullptr;
+    index = it->second;
+  }
+  return &MergedAt(index);
 }
 
 std::map<std::string, int64_t> Stats::counters() const {
   std::map<std::string, int64_t> out;
-  for (size_t i = 0; i < counter_values_.size(); ++i) {
-    if (counter_values_[i] != 0) out.emplace(counter_names_[i], counter_values_[i]);
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    const int64_t total = Counter(MetricId(static_cast<uint32_t>(i)));
+    if (total != 0) out.emplace(counter_names_[i], total);
   }
   return out;
 }
 
 std::map<std::string, const Histogram*> Stats::histograms() const {
   std::map<std::string, const Histogram*> out;
+  std::lock_guard<std::mutex> lk(reg_mu_);
   for (size_t i = 0; i < histogram_names_.size(); ++i) {
-    if (histogram_values_[i].count() > 0) {
-      out.emplace(histogram_names_[i], &histogram_values_[i]);
-    }
+    const Histogram& m = MergedAt(static_cast<uint32_t>(i));
+    if (m.count() > 0) out.emplace(histogram_names_[i], &m);
   }
   return out;
 }
 
 void Stats::Clear() {
-  std::fill(counter_values_.begin(), counter_values_.end(), 0);
-  for (auto& h : histogram_values_) h.Clear();
+  for (auto& s : shards_) {
+    std::fill(s->counters.begin(), s->counters.end(), 0);
+    s->histograms.clear();
+  }
+  for (auto& m : merged_) m.Clear();
+}
+
+void Stats::EnsureShards(size_t n) {
+  while (shards_.size() < n) shards_.push_back(std::make_unique<Shard>());
 }
 
 std::string Stats::ToString() const {

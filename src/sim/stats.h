@@ -6,6 +6,15 @@
 // no string hashing or map walk per event. The string-keyed calls remain
 // for tests, reporting, and one-off call sites; they resolve the name on
 // every call and are roughly an order of magnitude slower.
+//
+// Storage is sharded per event loop: each update lands in the shard of the
+// loop executing the current event (shard 0 outside event execution), so
+// parallel node loops never write the same cache line. Counter totals and
+// merged histograms are only ever read between rounds (reporting, tests) and
+// are exact regardless of how updates were interleaved, because sums and
+// bucket merges are commutative. Registration is mutex-guarded: processes
+// register metrics when they attach, which can happen on a worker thread
+// during simulated recovery.
 
 #ifndef ENCOMPASS_SIM_STATS_H_
 #define ENCOMPASS_SIM_STATS_H_
@@ -13,9 +22,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "sim/exec_context.h"
 
 namespace encompass::sim {
 
@@ -55,6 +68,11 @@ class Histogram {
   /// p>=100 yields Max, both exact.
   int64_t Percentile(double p) const;
 
+  /// Adds every sample of `other` into this histogram. Exact for count, sum,
+  /// min, and max; bucket-exact for percentiles. Commutative and
+  /// associative, so shard merge order never matters.
+  void Merge(const Histogram& other);
+
   void Clear();
 
  private:
@@ -79,6 +97,8 @@ class Histogram {
 /// (typically at attach/construction time) and update via MetricId.
 class Stats {
  public:
+  Stats();
+
   // --- Interned fast path -------------------------------------------------
 
   /// Registers (or finds) a counter; idempotent per name.
@@ -89,15 +109,21 @@ class Stats {
   // Invalid handles (a process whose metrics were never registered) are
   // ignored: the guard is one well-predicted branch on the hot path.
   void Incr(MetricId id, int64_t delta = 1) {
-    if (id.valid()) counter_values_[id.index_] += delta;
+    if (!id.valid()) return;
+    std::vector<int64_t>& c = WriteShard().counters;
+    if (id.index_ >= c.size()) c.resize(ResizeTo(c.size(), id.index_), 0);
+    c[id.index_] += delta;
   }
   void Record(MetricId id, int64_t value) {
-    if (id.valid()) histogram_values_[id.index_].Add(value);
+    if (id.valid()) WriteShard().histograms[id.index_].Add(value);
   }
-  int64_t Counter(MetricId id) const {
-    return id.valid() ? counter_values_[id.index_] : 0;
+  /// Total across all shards.
+  int64_t Counter(MetricId id) const;
+  /// Merged view across all shards, rebuilt on each call; the reference is
+  /// refreshed (not invalidated) by later calls.
+  const Histogram& GetHistogram(MetricId id) const {
+    return MergedAt(id.index_);
   }
-  const Histogram& GetHistogram(MetricId id) const { return histogram_values_[id.index_]; }
 
   // --- String-keyed compatibility path ------------------------------------
 
@@ -107,14 +133,16 @@ class Stats {
   }
   int64_t Counter(const std::string& name) const;
   /// Returns nullptr if no histogram with that name was ever registered.
-  /// The pointer stays valid across later registrations and Clear().
+  /// The pointer stays valid across later registrations and Clear(); its
+  /// contents are refreshed on each Find/Get/histograms call.
   const Histogram* FindHistogram(const std::string& name) const;
 
   // --- Reporting ----------------------------------------------------------
 
-  /// Snapshot of all counters with a nonzero value, name-sorted.
+  /// Snapshot of all counters with a nonzero total, name-sorted.
   std::map<std::string, int64_t> counters() const;
-  /// Snapshot of all non-empty histograms, name-sorted.
+  /// Snapshot of all non-empty histograms (merged across shards),
+  /// name-sorted.
   std::map<std::string, const Histogram*> histograms() const;
 
   /// Zeroes all values. Registrations (and outstanding MetricIds) survive.
@@ -124,14 +152,41 @@ class Stats {
   /// non-empty histograms with n/min/mean/p50/p95/p99/max.
   std::string ToString() const;
 
+  /// Grows the shard set to `n`. Called by the engine as node loops are
+  /// created; never shrinks. Must not race with updates (it runs during
+  /// topology setup, between rounds).
+  void EnsureShards(size_t n);
+
  private:
+  struct Shard {
+    std::vector<int64_t> counters;  // dense by MetricId, grown on demand
+    // Sparse by MetricId: only histograms actually recorded in this shard
+    // are materialized (a Histogram is ~30 KB of buckets).
+    std::unordered_map<uint32_t, Histogram> histograms;
+  };
+
+  static size_t ResizeTo(size_t size, uint32_t index) {
+    size_t n = size < 16 ? 16 : size * 2;
+    return n > index ? n : static_cast<size_t>(index) + 1;
+  }
+
+  Shard& WriteShard() {
+    const internal::ExecContext* ec = internal::Exec();
+    return (ec != nullptr && ec->stats == this) ? *shards_[ec->shard]
+                                                : *shards_[0];
+  }
+
+  const Histogram& MergedAt(uint32_t index) const;
+
+  mutable std::mutex reg_mu_;  // guards the name->id maps and name vectors
   std::unordered_map<std::string, uint32_t> counter_ids_;
   std::vector<std::string> counter_names_;
-  std::vector<int64_t> counter_values_;
-
   std::unordered_map<std::string, uint32_t> histogram_ids_;
   std::vector<std::string> histogram_names_;
-  std::deque<Histogram> histogram_values_;  // deque: stable FindHistogram pointers
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Merge targets for reads; deque keeps FindHistogram pointers stable.
+  mutable std::deque<Histogram> merged_;
 };
 
 }  // namespace encompass::sim

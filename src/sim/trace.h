@@ -8,15 +8,23 @@
 // TraceEvents (no strings, no allocation beyond the ring) to the simulation's
 // bounded TraceLog ring; Dump(transid) renders a deterministic per-transaction
 // trace for tests and EXPERIMENTS.md.
+//
+// Storage is sharded per event loop: a record lands in the ring of the loop
+// executing the current event, stamped with that event's total-order key
+// (time, origin, seq) and a per-shard ordinal. Reads merge the shards by
+// (key, ordinal), which reproduces the canonical event order — the same
+// order on every engine (single-threaded or parallel), because keys are
+// assigned at schedule time, never by the executing thread.
 
 #ifndef ENCOMPASS_SIM_TRACE_H_
 #define ENCOMPASS_SIM_TRACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/sim_time.h"
+#include "sim/exec_context.h"
 
 namespace encompass::sim {
 
@@ -65,8 +73,9 @@ struct TraceEvent {
   std::string ToString() const;
 };
 
-/// Bounded ring of TraceEvents. When full, the oldest events are overwritten
-/// (and counted in dropped()); recording is O(1) and allocation-free.
+/// Sharded bounded rings of TraceEvents. When a shard's ring is full, its
+/// oldest events are overwritten (and counted in dropped()); recording is
+/// O(1) and allocation-free once a ring has grown to capacity.
 class TraceLog {
  public:
   explicit TraceLog(size_t capacity = 1 << 16);
@@ -74,28 +83,60 @@ class TraceLog {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
-  /// Issues the next causal span id. Deterministic given a deterministic
-  /// event order, so traces are bit-stable across same-seed runs.
-  uint32_t NewSpan() { return ++next_span_; }
+  /// Issues the next causal span id for work happening on `node`. Span ids
+  /// are `(node << 24) | per-node counter`: each node allocates from its own
+  /// counter, so the ids a node hands out depend only on that node's local
+  /// event order — not on how node events interleave globally. That keeps
+  /// traces bit-stable across same-seed runs on any engine (single-threaded
+  /// or parallel). Node ids above 255 fold into the 8 tag bits; counters
+  /// have 24 bits of headroom per node.
+  uint32_t NewSpan(uint16_t node) {
+    if (node >= span_counters_.size()) span_counters_.resize(node + 1, 0);
+    return (static_cast<uint32_t>(node & 0xff) << 24) | ++span_counters_[node];
+  }
+  /// Span for node-less (global) work; kept for tests and tools.
+  uint32_t NewSpan() { return NewSpan(0); }
 
+  /// Appends `e` to the executing loop's shard (shard 0 outside event
+  /// execution), stamped with the running event's key.
   void Record(const TraceEvent& e);
 
-  size_t size() const { return count_; }
-  size_t dropped() const { return dropped_; }
+  size_t size() const;     ///< retained events, all shards
+  size_t dropped() const;  ///< overwritten events, all shards
   void Clear();
 
-  /// All retained events for one transaction, in record (causal) order.
+  /// All retained events for one transaction, merged across shards into
+  /// canonical (event key, record order) order.
   std::vector<TraceEvent> Events(uint64_t transid) const;
 
   /// Deterministic multi-line rendering of Events(transid).
   std::string Dump(uint64_t transid) const;
 
+  /// Grows the shard set to `n`. Called by the engine as node loops are
+  /// created; must not race with records (it runs during topology setup).
+  void EnsureShards(size_t n);
+  /// Pre-sizes the span counter table so NewSpan(node) never reallocates it
+  /// on a worker thread.
+  void EnsureNodeSpans(uint16_t node) {
+    if (node >= span_counters_.size()) span_counters_.resize(node + 1, 0);
+  }
+
  private:
-  std::vector<TraceEvent> ring_;
-  size_t head_ = 0;   // next write position
-  size_t count_ = 0;  // number of valid events in the ring
-  size_t dropped_ = 0;
-  uint32_t next_span_ = 0;
+  struct Rec {
+    EventKey key;      // key of the event that recorded this
+    uint64_t ordinal;  // per-shard record order, tie-break at equal keys
+    TraceEvent e;
+  };
+  struct Shard {
+    std::vector<Rec> ring;  // grows lazily to capacity, then wraps
+    size_t head = 0;        // next overwrite position once full
+    size_t dropped = 0;
+    uint64_t next_ordinal = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t capacity_;
+  std::vector<uint32_t> span_counters_;  // per-node, see NewSpan
   bool enabled_ = true;
 };
 

@@ -108,6 +108,31 @@ TEST(ChaosReplayTest, DumpedScheduleReplaysDeterministically) {
   EXPECT_EQ(replay.journal, first.journal);
 }
 
+// The same storm on the parallel engine: every PDES worker count yields the
+// same history — journal, transaction counts, balances — and survives the
+// same invariants. The per-node PRNG streams and key-ordered journal are
+// what make this hold; a regression in either shows up as a diff here.
+TEST(ChaosParallelTest, SameSeedSameStormAtAnyWorkerCount) {
+  ChaosCampaignConfig cfg = CampaignConfig(7);
+  cfg.parallel_workers = 1;
+  ChaosCampaignResult oracle = RunChaosCampaign(cfg);
+  ExpectSurvived(oracle, 7);
+  for (int workers : {2, 4}) {
+    cfg.parallel_workers = workers;
+    ChaosCampaignResult r = RunChaosCampaign(cfg);
+    EXPECT_EQ(r.journal, oracle.journal) << "workers=" << workers;
+    EXPECT_EQ(r.txns_started, oracle.txns_started) << "workers=" << workers;
+    EXPECT_EQ(r.txns_committed, oracle.txns_committed)
+        << "workers=" << workers;
+    EXPECT_EQ(r.txns_aborted, oracle.txns_aborted) << "workers=" << workers;
+    EXPECT_EQ(r.txns_unknown, oracle.txns_unknown) << "workers=" << workers;
+    EXPECT_EQ(r.balance_sum, oracle.balance_sum) << "workers=" << workers;
+    EXPECT_EQ(r.recoveries_completed, oracle.recoveries_completed)
+        << "workers=" << workers;
+    EXPECT_EQ(r.faults_fired, oracle.faults_fired) << "workers=" << workers;
+  }
+}
+
 // The generator's structural guarantees hold for many seeds: every fault
 // heals, heavy faults never overlap, and the crash floor is honored.
 TEST(FaultScheduleTest, StructuralGuaranteesAcrossSeeds) {

@@ -1,0 +1,274 @@
+// Unit tests for the PDES building blocks: the (time, origin, seq) total
+// order of EventQueue, cancellation across key kinds, and the per-node PRNG
+// streams that make node-local randomness independent of global event
+// interleaving.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace encompass::sim {
+namespace {
+
+TEST(EventKeyTest, LexicographicOrder) {
+  EXPECT_LT((EventKey{1, 5, 9}), (EventKey{2, 0, 0}));
+  EXPECT_LT((EventKey{2, 0, 9}), (EventKey{2, 1, 0}));
+  EXPECT_LT((EventKey{2, 1, 3}), (EventKey{2, 1, 4}));
+  EXPECT_FALSE((EventKey{2, 1, 4}) < (EventKey{2, 1, 4}));
+}
+
+TEST(EventQueueTest, SameTimeEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(100, [&fired, i]() { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime when;
+    q.PopNext(&when)();
+    EXPECT_EQ(when, 100);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// The regression the (time, origin, seq) order pins down: however keyed
+// events are *inserted* into the heap, they fire in key order — so the
+// firing order is a function of the keys alone, not of heap internals or
+// insertion interleaving.
+TEST(EventQueueTest, ShuffledSameTimeInsertionsFireInKeyOrder) {
+  std::vector<EventKey> keys;
+  for (uint16_t origin = 1; origin <= 4; ++origin) {
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      keys.push_back(EventKey{500, origin, seq});  // all at the same time
+    }
+  }
+  std::vector<std::string> reference;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::mt19937 shuffler(trial);  // a different insertion order per trial
+    std::vector<EventKey> shuffled = keys;
+    std::shuffle(shuffled.begin(), shuffled.end(), shuffler);
+
+    EventQueue q;
+    std::vector<std::string> fired;
+    for (const EventKey& k : shuffled) {
+      q.ScheduleKeyed(k, k.origin, [&fired, k]() {
+        fired.push_back(std::to_string(k.origin) + ":" + std::to_string(k.seq));
+      });
+    }
+    while (!q.empty()) {
+      EventKey key;
+      uint16_t exec;
+      q.PopNext(&key, &exec)();
+    }
+    if (trial == 0) {
+      reference = fired;
+      // Sanity: key order is (origin, seq) at equal time.
+      EXPECT_EQ(fired.front(), "1:1");
+      EXPECT_EQ(fired.back(), "4:5");
+    } else {
+      EXPECT_EQ(fired, reference) << "insertion order leaked into firing order";
+    }
+  }
+}
+
+TEST(EventQueueTest, GlobalOriginSortsFirstAtEqualTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.ScheduleKeyed(EventKey{100, 3, 1}, 3, [&fired]() { fired.push_back(3); });
+  q.ScheduleKeyed(EventKey{100, 0, 99}, 0, [&fired]() { fired.push_back(0); });
+  q.ScheduleKeyed(EventKey{100, 1, 7}, 1, [&fired]() { fired.push_back(1); });
+  while (!q.empty()) {
+    EventKey key;
+    uint16_t exec;
+    q.PopNext(&key, &exec)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(EventQueueTest, CancelOnlyAffectsLocalEvents) {
+  EventQueue q(2);
+  std::vector<int> fired;
+  EventId a = q.Schedule(10, [&fired]() { fired.push_back(1); });
+  // A keyed event whose foreign seq collides with the local id being
+  // cancelled must not be swallowed by the tombstone.
+  q.ScheduleKeyed(EventKey{10, 7, a}, 7, [&fired]() { fired.push_back(2); });
+  q.Cancel(a);
+  q.Cancel(a);      // double-cancel: no-op
+  q.Cancel(12345);  // unknown: no-op
+  EXPECT_EQ(q.size(), 1u);
+  EventKey key;
+  uint16_t exec;
+  q.PopNext(&key, &exec)();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  EXPECT_EQ(exec, 7);
+}
+
+TEST(EventQueueTest, NextKeyReportsEarliest) {
+  EventQueue q(1);
+  EXPECT_EQ(q.NextKey(), nullptr);
+  EXPECT_EQ(q.NextTime(), kNoDeadline);
+  q.Schedule(300, []() {});
+  q.ScheduleKeyed(EventKey{200, 5, 1}, 5, []() {});
+  ASSERT_NE(q.NextKey(), nullptr);
+  EXPECT_EQ(q.NextKey()->time, 200);
+  EXPECT_EQ(q.NextKey()->origin, 5);
+  EXPECT_EQ(q.NextTime(), 200);
+}
+
+// --- per-node PRNG streams -------------------------------------------------
+
+TEST(NodeRngTest, StreamsAreDistinctAndSeedStable) {
+  Simulation sim_a(42);
+  Simulation sim_b(42);
+  Simulation sim_c(43);
+  // Same seed -> identical per-node sequences; different nodes or different
+  // seeds -> different sequences.
+  std::vector<uint64_t> n1a, n1b, n2a, n1c;
+  for (int i = 0; i < 16; ++i) n1a.push_back(sim_a.RngFor(1).Next());
+  for (int i = 0; i < 16; ++i) n1b.push_back(sim_b.RngFor(1).Next());
+  for (int i = 0; i < 16; ++i) n2a.push_back(sim_a.RngFor(2).Next());
+  for (int i = 0; i < 16; ++i) n1c.push_back(sim_c.RngFor(1).Next());
+  EXPECT_EQ(n1a, n1b);
+  EXPECT_NE(n1a, n2a);
+  EXPECT_NE(n1b, n1c);
+  // The node streams are also distinct from the legacy global stream.
+  std::vector<uint64_t> global;
+  for (int i = 0; i < 16; ++i) global.push_back(sim_b.Rng().Next());
+  EXPECT_NE(global, n1a);
+}
+
+TEST(NodeRngTest, NodeStreamUnaffectedByOtherNodesDraws) {
+  // Draw node 1's values with and without interleaved draws on node 2: the
+  // node-1 sequence must be identical. This is the property that lets
+  // parallel execution reorder node events without changing any node's
+  // randomness.
+  Simulation plain(7);
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(plain.RngFor(1).Next());
+
+  Simulation interleaved(7);
+  std::vector<uint64_t> got;
+  for (int i = 0; i < 16; ++i) {
+    interleaved.RngFor(2).Next();
+    got.push_back(interleaved.RngFor(1).Next());
+    interleaved.RngFor(3).Next();
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// --- cross-engine identity -------------------------------------------------
+
+namespace engine_test {
+
+// A micro-workload exercising everything the engines must agree on: per-node
+// timer chains (AfterOn), ring traffic with lookahead-respecting delays
+// (PostToNode), per-node PRNG draws, and a cancellation. Each node appends to
+// its own log (only that node's events touch it, so logging is race-free on
+// the worker pool); the per-node logs must be identical across engines.
+std::vector<std::string> RunMicroWorkload(int workers) {
+  constexpr int kNodes = 4;
+  Simulation sim(/*seed=*/99, workers);
+  sim.NoteLinkLatency(Millis(2));
+  for (int n = 1; n <= kNodes; ++n) sim.EnsureNode(static_cast<uint16_t>(n));
+
+  std::vector<std::vector<std::string>> logs(kNodes + 1);
+  struct Chain {
+    static void Step(Simulation* sim, std::vector<std::vector<std::string>>* logs,
+                     uint16_t node, int steps_left) {
+      uint64_t draw = sim->RngFor(node).Uniform(100);
+      (*logs)[node].push_back("t=" + std::to_string(sim->Now()) + " step d=" +
+                              std::to_string(draw));
+      if (steps_left % 3 == 0) {
+        auto dst = static_cast<uint16_t>(node % 4 + 1);
+        sim->PostToNode(dst, Millis(2) + Micros(node * 11),
+                        [sim, logs, dst]() {
+                          (*logs)[dst].push_back(
+                              "t=" + std::to_string(sim->Now()) + " recv");
+                        });
+      }
+      if (steps_left > 1) {
+        sim->AfterOn(node, Micros(150 + draw),
+                     [sim, logs, node, steps_left]() {
+                       Step(sim, logs, node, steps_left - 1);
+                     });
+      }
+    }
+  };
+  for (int n = 1; n <= kNodes; ++n) {
+    sim.AfterOn(static_cast<uint16_t>(n), Micros(20 + n * 5),
+                [&sim, &logs, n]() {
+                  Chain::Step(&sim, &logs, static_cast<uint16_t>(n), 12);
+                });
+  }
+  // A timer armed then cancelled from the owning node must never fire,
+  // on any engine.
+  for (int n = 1; n <= kNodes; ++n) {
+    sim.AfterOn(static_cast<uint16_t>(n), Micros(30),
+                [&sim, &logs, n]() {
+                  EventId id = sim.AfterOn(
+                      static_cast<uint16_t>(n), Millis(1),
+                      [&logs, n]() { logs[n].push_back("CANCELLED?"); });
+                  sim.Cancel(id);
+                });
+  }
+  sim.RunUntil(Millis(30));
+  std::vector<std::string> flat;
+  for (int n = 1; n <= kNodes; ++n) {
+    flat.push_back("--- node " + std::to_string(n));
+    for (const auto& line : logs[n]) flat.push_back(line);
+  }
+  return flat;
+}
+
+TEST(EngineTest, AllEnginesAgreeOnMicroWorkload) {
+  const std::vector<std::string> legacy = RunMicroWorkload(0);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(std::count(legacy.begin(), legacy.end(), "CANCELLED?"), 0);
+  for (int workers : {1, 2, 8}) {
+    EXPECT_EQ(RunMicroWorkload(workers), legacy) << "workers=" << workers;
+  }
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWithoutEvents) {
+  for (int workers : {0, 1, 2}) {
+    Simulation sim(1, workers);
+    sim.NoteLinkLatency(Millis(5));
+    sim.EnsureNode(1);
+    sim.EnsureNode(2);
+    sim.RunUntil(Millis(10));
+    EXPECT_EQ(sim.Now(), Millis(10)) << "workers=" << workers;
+    bool fired = false;
+    sim.AfterOn(1, Micros(1), [&fired]() { fired = true; });
+    sim.RunFor(Micros(5));
+    EXPECT_TRUE(fired) << "workers=" << workers;
+    EXPECT_EQ(sim.Now(), Millis(10) + Micros(5)) << "workers=" << workers;
+  }
+}
+
+TEST(EngineTest, ExecutedEventsCountsAcrossLoops) {
+  for (int workers : {0, 1, 4}) {
+    Simulation sim(1, workers);
+    sim.NoteLinkLatency(Millis(5));
+    for (uint16_t n = 1; n <= 3; ++n) {
+      sim.EnsureNode(n);
+      sim.AfterOn(n, Micros(n), []() {});
+      sim.AfterOn(n, Micros(100 + n), []() {});
+    }
+    sim.Run();
+    EXPECT_EQ(sim.ExecutedEvents(), 6u) << "workers=" << workers;
+    EXPECT_TRUE(sim.Idle());
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+  }
+}
+
+}  // namespace engine_test
+
+}  // namespace
+}  // namespace encompass::sim

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -143,12 +144,18 @@ TEST(TraceTest, DistributedCommitCausalSequence) {
   std::vector<std::string> actual = ProtocolSequence(rig, t);
   EXPECT_EQ(actual, expected);
 
-  // Causality: every send's parent span was issued earlier than the send's
-  // own span (span ids grow monotonically along the causal chain).
+  // Causality: every send's parent span is a distinct span that appeared
+  // earlier in the trace. (Span ids are per-node — node tag in the high
+  // bits, node-local counter below — so numeric order only holds within one
+  // node, not along a cross-node causal chain.)
+  std::set<uint32_t> seen;
   for (const auto& e : rig.sim->GetTrace().Events(t)) {
     if (e.kind == sim::TraceEventKind::kMsgSend && e.parent != 0) {
-      EXPECT_LT(e.parent, e.span);
+      EXPECT_NE(e.parent, e.span);
+      EXPECT_TRUE(seen.count(e.parent))
+          << "parent span " << e.parent << " never seen before span " << e.span;
     }
+    seen.insert(e.span);
     EXPECT_EQ(e.transid, t);
   }
 }
