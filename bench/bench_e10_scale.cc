@@ -168,6 +168,7 @@ BENCHMARK(BM_SyntheticEngine)
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e10_scale");
+  encompass::bench::ReportMeta(/*seed=*/42);
   printf("E10: conservative-PDES engine scaling — per-node event loops on a "
          "worker pool\n");
   encompass::bench::TableScaling();

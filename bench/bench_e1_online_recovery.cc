@@ -120,6 +120,7 @@ BENCHMARK(BM_TmfThroughFailure);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e1_online_recovery");
+  encompass::bench::ReportMeta(/*seed=*/41);
   printf("E1: online recovery (TMF) vs halt-and-restart (conventional)\n");
   encompass::bench::TableTmfTimeline();
   encompass::bench::TableBaselineTimeline();

@@ -152,6 +152,7 @@ BENCHMARK(BM_WalCommit)->Arg(0)->Arg(1);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e2_checkpoint_vs_wal");
+  encompass::bench::ReportMeta(/*seed=*/51);
   printf("E2: checkpoint-instead-of-WAL on the update path\n");
   encompass::bench::TableUpdatePathCost();
   encompass::bench::TableForceBatching();

@@ -207,6 +207,7 @@ BENCHMARK(BM_DistributedCommit)->Arg(1)->Arg(2)->Arg(4)->Iterations(20);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e3_distributed_commit");
+  encompass::bench::ReportMeta(/*seed=*/61);
   printf("E3: the distributed two-phase commit protocol\n");
   encompass::bench::TableCommitCostVsParticipants();
   encompass::bench::TableBroadcastAblation();

@@ -91,6 +91,7 @@ BENCHMARK(BM_ContendedTransfer)->Arg(4)->Arg(100);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e4_locking");
+  encompass::bench::ReportMeta(/*seed=*/81);
   printf("E4: decentralized locking and timeout deadlock resolution\n");
   encompass::bench::TableContentionSweep();
   encompass::bench::TableHotAccountSweep();

@@ -154,6 +154,7 @@ BENCHMARK(BM_Rollforward)->Arg(50)->Arg(500)->Iterations(3);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e5_rollforward");
+  encompass::bench::ReportMeta(/*seed=*/91);
   printf("E5: ROLLFORWARD — recovery from total node failure\n");
   encompass::bench::TableRecoveryVsAuditVolume();
   encompass::bench::TableNegotiation();

@@ -218,6 +218,7 @@ BENCHMARK(BM_SerializeCompressed);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e6_storage");
+  encompass::bench::ReportMeta(/*seed=*/97);
   printf("E6: storage — organizations, compression, cache, partitioning\n");
   encompass::bench::TableOrganizations();
   encompass::bench::TableCompression();

@@ -305,6 +305,7 @@ BENCHMARK(BM_CommitThroughput)->Arg(1)->Arg(8)->Iterations(2);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e7_commit_throughput");
+  encompass::bench::ReportMeta(/*seed=*/701);
   printf("E7: commit hot path — group commit, route cache, concurrency\n");
   encompass::bench::TableThroughputVsConcurrency();
   encompass::bench::TableWindowSweep();

@@ -595,6 +595,7 @@ BENCHMARK(BM_DataPathHotFile)->Arg(1)->Arg(0);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e8_data_path");
+  encompass::bench::ReportMeta(/*seed=*/97);
   printf("E8: data path — lock table, cache, mirror schedule, coalescing\n");
   encompass::bench::TableEngineAB();
   encompass::bench::TableMirrorScheduling();

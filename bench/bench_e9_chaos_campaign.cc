@@ -98,6 +98,7 @@ BENCHMARK(BM_ChaosCampaign)->Iterations(2)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("e9_chaos_campaign");
+  encompass::bench::ReportMeta(/*seed=*/1);
   printf("E9: chaos recovery campaign — fault storms vs the atomicity oracle\n");
   encompass::bench::TableSurvival();
   encompass::bench::TableStormShape();

@@ -159,6 +159,7 @@ BENCHMARK(BM_NetworkRouteRecompute)->Arg(4)->Arg(16)->Arg(50);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("fig1_architecture");
+  encompass::bench::ReportMeta(/*seed=*/7);
   printf("F1: Figure 1 — NonStop architecture redundancy\n");
   encompass::bench::TableMessagePaths();
   encompass::bench::TableSingleModuleFailures();

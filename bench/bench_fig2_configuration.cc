@@ -90,6 +90,7 @@ BENCHMARK(BM_TransferTransaction)->Arg(1)->Arg(8)->Arg(32);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("fig2_configuration");
+  encompass::bench::ReportMeta(/*seed=*/11);
   printf("F2: Figure 2 — ENCOMPASS configuration scaling\n");
   encompass::bench::TableThroughputVsCpus();
   encompass::bench::TableThroughputVsTerminals();

@@ -161,6 +161,7 @@ BENCHMARK(BM_CommitPath);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("fig3_states");
+  encompass::bench::ReportMeta(/*seed=*/5);
   printf("F3: Figure 3 — transaction state machine\n");
   encompass::bench::TableTransitionCensus();
   encompass::bench::TableStateMachineExhaustive();

@@ -237,6 +237,7 @@ BENCHMARK(BM_GlobalUpdateRoundTrip)->Iterations(20);
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("fig4_manufacturing");
+  encompass::bench::ReportMeta(/*seed=*/21);
   printf("F4: Figure 4 — the four-site manufacturing data base\n");
   encompass::bench::TableSuspenseTimeline();
   encompass::bench::TableConvergenceVsBacklog();

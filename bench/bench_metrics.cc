@@ -114,6 +114,7 @@ void RecordHandleLoop(sim::Stats& stats, int n) {
 
 int main(int argc, char** argv) {
   encompass::bench::InitReport("metrics");
+  encompass::bench::ReportMeta(/*seed=*/0);
   printf("Stats hot path: interned MetricId handles vs string keys\n");
   double incr = encompass::bench::TimedRatio(encompass::bench::IncrStringLoop,
                                              encompass::bench::IncrHandleLoop);

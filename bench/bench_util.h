@@ -28,10 +28,22 @@ namespace encompass::bench {
 /// only wall-clock-dependent field is "wall_ms" (total main() runtime).
 class JsonReport {
  public:
+  /// Schema version of the emitted JSON. Bump when the envelope changes;
+  /// version 2 added the mandatory "seed" / "parallel_workers" fields.
+  static constexpr int kSchemaVersion = 2;
+
   explicit JsonReport(std::string name)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
 
   void Add(const std::string& key, double value) { values_[key] = value; }
+
+  /// Records the run's primary simulation seed and engine worker count.
+  /// Every report carries both (0 until set), so downstream tooling can
+  /// reproduce any BENCH_*.json without reading the bench source.
+  void SetMeta(uint64_t seed, int parallel_workers) {
+    seed_ = seed;
+    parallel_workers_ = parallel_workers;
+  }
 
   /// Snapshots a simulation's Stats registry: every nonzero counter, and
   /// n/p50/p95/p99 for every non-empty histogram, prefixed with `prefix.`.
@@ -59,7 +71,11 @@ class JsonReport {
       fprintf(stderr, "cannot write %s\n", path.c_str());
       return;
     }
-    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_ms\": %.3f", name_.c_str(),
+    fprintf(f,
+            "{\n  \"bench\": \"%s\",\n  \"version\": %d,\n  \"seed\": %llu,\n"
+            "  \"parallel_workers\": %d,\n  \"wall_ms\": %.3f",
+            name_.c_str(), kSchemaVersion,
+            static_cast<unsigned long long>(seed_), parallel_workers_,
             wall_ms);
     for (const auto& [key, value] : values_) {
       if (std::fabs(value - std::llround(value)) < 1e-9) {
@@ -77,6 +93,8 @@ class JsonReport {
  private:
   std::string name_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t seed_ = 0;
+  int parallel_workers_ = 0;
   std::map<std::string, double> values_;
 };
 
@@ -95,6 +113,12 @@ inline void InitReport(const std::string& name) {
 
 inline void ReportValue(const std::string& key, double value) {
   if (GlobalReport() != nullptr) GlobalReport()->Add(key, value);
+}
+
+/// Stamps the report's reproducibility envelope (seed, engine workers).
+/// Call once per bench main(), right after InitReport.
+inline void ReportMeta(uint64_t seed, int parallel_workers = 0) {
+  if (GlobalReport() != nullptr) GlobalReport()->SetMeta(seed, parallel_workers);
 }
 
 inline void ReportSimStats(const std::string& prefix, const sim::Stats& stats) {

@@ -21,6 +21,7 @@ const char* StatusCodeName(Status::Code code) {
     case Status::Code::kInDoubt: return "InDoubt";
     case Status::Code::kEndOfFile: return "EndOfFile";
     case Status::Code::kFull: return "Full";
+    case Status::Code::kPlanViolation: return "PlanViolation";
   }
   return "Unknown";
 }

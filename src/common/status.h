@@ -37,6 +37,7 @@ class Status {
     kInDoubt = 14,         ///< distributed txn outcome unknown at this node
     kEndOfFile = 15,       ///< cursor or scan exhausted
     kFull = 16,            ///< out of space (file, trail, or volume)
+    kPlanViolation = 17,   ///< queue-lane txn touched data outside its declared set
   };
 
   Status() = default;
@@ -77,6 +78,9 @@ class Status {
   static Status InDoubt(std::string m = "") { return {Code::kInDoubt, std::move(m)}; }
   static Status EndOfFile(std::string m = "") { return {Code::kEndOfFile, std::move(m)}; }
   static Status Full(std::string m = "") { return {Code::kFull, std::move(m)}; }
+  static Status PlanViolation(std::string m = "") {
+    return {Code::kPlanViolation, std::move(m)};
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -95,6 +99,7 @@ class Status {
   bool IsInDoubt() const { return code_ == Code::kInDoubt; }
   bool IsEndOfFile() const { return code_ == Code::kEndOfFile; }
   bool IsFull() const { return code_ == Code::kFull; }
+  bool IsPlanViolation() const { return code_ == Code::kPlanViolation; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,8 +1,11 @@
 #include "discprocess/disc_process.h"
 
+#include <cstdlib>
+
 #include "audit/audit_process.h"
 #include "common/coding.h"
 #include "common/logging.h"
+#include "storage/record.h"
 
 namespace encompass::discprocess {
 
@@ -46,6 +49,12 @@ void DiscProcess::OnPairAttach() {
   m_.lock_waits = stats.RegisterCounter("disc.lock_waits");
   m_.lock_timeouts = stats.RegisterCounter("disc.lock_timeouts");
   m_.lock_releases = stats.RegisterCounter("disc.lock_releases");
+  m_.lock_conflict_aborts = stats.RegisterCounter("lock.conflict_aborts");
+  m_.lock_timeout_aborts = stats.RegisterCounter("lock.timeout_aborts");
+  m_.lock_wait_time = stats.RegisterHistogram("lock.wait_time");
+  m_.planned_batches = stats.RegisterCounter("disc.planned_batches");
+  m_.planned_ops = stats.RegisterCounter("disc.planned_ops");
+  m_.planned_rejects = stats.RegisterCounter("disc.planned_rejects");
   m_.scan_batches = stats.RegisterCounter("disc.scan_batches");
   m_.scan_records = stats.RegisterCounter("disc.scan_records");
   m_.undo_ops = stats.RegisterCounter("disc.undo_ops");
@@ -74,6 +83,31 @@ void DiscProcess::OnRequest(const net::Message& msg) {
     LockOwnersReply rep;
     rep.owners = locks_.Holders();
     Reply(msg, Status::Ok(), rep.Encode());
+    return;
+  }
+
+  if (msg.tag == kDiscPlannedOps) {
+    // Queue-lane lane batch: same duplicate suppression as the lock path
+    // (the planner's Call retries reuse the request id, and after takeover
+    // the mirrored reply cache answers retried batches without re-applying
+    // their mutations).
+    RequestKey rk{msg.src, msg.request_id};
+    if (msg.request_id != 0) {
+      auto cached = reply_cache_.find(rk);
+      if (cached != reply_cache_.end()) {
+        stats().Incr(m_.dedup_replays);
+        SendReply(msg.src, cached->second.tag, msg.request_id,
+                  Status(cached->second.status, cached->second.message),
+                  *cached->second.payload);
+        return;
+      }
+      if (in_flight_.count(rk)) {
+        stats().Incr(m_.dedup_inflight_drops);
+        return;
+      }
+      in_flight_.insert(rk);
+    }
+    HandlePlannedBatch(msg);
     return;
   }
 
@@ -116,6 +150,7 @@ void DiscProcess::HandleOperation(const net::Message& msg, const DiscRequest& re
   // would leak them forever.
   if (transid.valid() && msg.tag != kDiscUndo &&
       (aborting_.count(transid) || IsResolved(transid))) {
+    stats().Incr(m_.lock_conflict_aborts);
     FinishWithReply(msg, Status::Aborted("transaction is aborting or resolved"),
                     {}, 0, nullptr);
     return;
@@ -194,12 +229,14 @@ bool DiscProcess::EnsureLock(const net::Message& msg, const DiscRequest& req,
 
 void DiscProcess::ParkRequest(const net::Message& msg, const Transid& owner,
                               LockKey key, SimDuration timeout) {
-  parked_.push_back(ParkedOp{msg, owner, std::move(key), 0});
+  parked_.push_back(ParkedOp{msg, owner, std::move(key), 0, sim()->Now()});
   auto it = std::prev(parked_.end());
   it->timer = SetTimer(timeout, [this, it]() {
     // Deadlock detection is by timeout: abandon the wait and tell the
     // requester, which typically triggers RESTART-TRANSACTION upstream.
     stats().Incr(m_.lock_timeouts);
+    stats().Incr(m_.lock_timeout_aborts);
+    stats().Record(m_.lock_wait_time, sim()->Now() - it->parked_at);
     locks_.CancelWait(it->owner, it->key);
     net::Message msg = std::move(it->msg);
     std::string file = it->key.file;
@@ -214,6 +251,7 @@ void DiscProcess::ResumeGranted(const std::vector<LockGrant>& grants) {
     for (auto it = parked_.begin(); it != parked_.end(); ++it) {
       if (it->owner == grant.owner && it->key == grant.key) {
         CancelTimer(it->timer);
+        stats().Record(m_.lock_wait_time, sim()->Now() - it->parked_at);
         net::Message msg = std::move(it->msg);
         parked_.erase(it);
         Trace(sim::TraceEventKind::kLockAcquire, grant.owner.Pack(),
@@ -350,6 +388,119 @@ void DiscProcess::Execute(const net::Message& msg, const DiscRequest& req) {
       FinishWithReply(msg, Status::InvalidArgument("unknown disc tag"), {}, 0,
                       &batch);
   }
+}
+
+void DiscProcess::HandlePlannedBatch(const net::Message& msg) {
+  auto batch = PlannedBatch::Decode(Slice(msg.payload));
+  if (!batch.ok()) {
+    if (msg.request_id != 0) in_flight_.erase(RequestKey{msg.src, msg.request_id});
+    Reply(msg, batch.status());
+    return;
+  }
+  stats().Incr(m_.planned_batches);
+  stats().Incr(m_.planned_ops, static_cast<int64_t>(batch->ops.size()));
+
+  PlannedBatchReply rep;
+  rep.results.reserve(batch->ops.size());
+  int total_ios = 0;
+  for (const PlannedOp& op : batch->ops) {
+    rep.results.push_back(ExecutePlannedOp(op, &total_ios));
+  }
+  CheckpointBatch ckpt;
+  FinishWithReply(msg, Status::Ok(), rep.Encode(), total_ios, &ckpt);
+}
+
+PlannedBatchReply::OpResult DiscProcess::ExecutePlannedOp(const PlannedOp& op,
+                                                          int* disc_ios) {
+  PlannedBatchReply::OpResult out;
+  if (!op.transid.valid()) {
+    out.status = Status::Code::kInvalidArgument;
+    return out;
+  }
+  // A transaction already aborting or resolved (the planner lost it, or the
+  // TMP auto-aborted a stalled one) must not touch the volume again: plan
+  // order protects live transactions only.
+  if (aborting_.count(op.transid) || IsResolved(op.transid)) {
+    stats().Incr(m_.planned_rejects);
+    out.status = Status::Code::kAborted;
+    return out;
+  }
+
+  storage::Volume* vol = config_.volume;
+  switch (op.kind) {
+    case PlannedOp::Kind::kRead: {
+      auto r = vol->ReadRecord(op.file, Slice(op.key));
+      *disc_ios += r.disc_ios;
+      out.status = r.status.code();
+      out.value = std::move(r.value);
+      return out;
+    }
+    case PlannedOp::Kind::kInsert: {
+      auto r = vol->Mutate(op.file, storage::MutationOp::kInsert, Slice(op.key),
+                           Slice(op.record));
+      *disc_ios += r.disc_ios;
+      out.status = r.status.code();
+      if (r.status.ok()) {
+        EmitAudit(op.transid, storage::MutationOp::kInsert, Slice(r.key), r,
+                  Slice(op.record), op.file);
+        out.value = r.key;  // entry-sequenced files: the assigned key
+      }
+      return out;
+    }
+    case PlannedOp::Kind::kUpdate: {
+      auto r = vol->Mutate(op.file, storage::MutationOp::kUpdate, Slice(op.key),
+                           Slice(op.record));
+      *disc_ios += r.disc_ios;
+      out.status = r.status.code();
+      if (r.status.ok()) {
+        EmitAudit(op.transid, storage::MutationOp::kUpdate, Slice(op.key), r,
+                  Slice(op.record), op.file);
+      }
+      return out;
+    }
+    case PlannedOp::Kind::kDelete: {
+      auto r = vol->Mutate(op.file, storage::MutationOp::kDelete, Slice(op.key),
+                           Slice());
+      *disc_ios += r.disc_ios;
+      out.status = r.status.code();
+      if (r.status.ok()) {
+        EmitAudit(op.transid, storage::MutationOp::kDelete, Slice(op.key), r,
+                  Slice(), op.file);
+      }
+      return out;
+    }
+    case PlannedOp::Kind::kDelta: {
+      // Read-modify-write resolved here, under plan order: by construction a
+      // record's operations all ride one lane with a single batch in flight,
+      // so this read cannot race another writer of the same record.
+      auto r = vol->ReadRecord(op.file, Slice(op.key));
+      *disc_ios += r.disc_ios;
+      if (!r.status.ok()) {
+        out.status = r.status.code();
+        return out;
+      }
+      auto rec = storage::Record::Decode(Slice(r.value));
+      if (!rec.ok()) {
+        out.status = rec.status().code();
+        return out;
+      }
+      const int64_t current = strtoll(rec->Get(op.field).c_str(), nullptr, 10);
+      rec->Set(op.field, std::to_string(current + op.delta));
+      Bytes image = rec->Encode();
+      auto m = vol->Mutate(op.file, storage::MutationOp::kUpdate, Slice(op.key),
+                           Slice(image));
+      *disc_ios += m.disc_ios;
+      out.status = m.status.code();
+      if (m.status.ok()) {
+        EmitAudit(op.transid, storage::MutationOp::kUpdate, Slice(op.key), m,
+                  Slice(image), op.file);
+        out.value = std::move(image);
+      }
+      return out;
+    }
+  }
+  out.status = Status::Code::kInvalidArgument;
+  return out;
 }
 
 void DiscProcess::EmitAudit(const Transid& transid, storage::MutationOp op,

@@ -87,6 +87,13 @@ class DiscProcess : public os::PairedProcess {
   };
 
   void HandleOperation(const net::Message& msg, const DiscRequest& req);
+  /// Queue-lane path: executes one lane batch in plan order, without lock
+  /// acquisition. Mutations are audited per-op under the op's own transid,
+  /// so abort backout and ROLLFORWARD see queue-lane work exactly like
+  /// lock-lane work.
+  void HandlePlannedBatch(const net::Message& msg);
+  PlannedBatchReply::OpResult ExecutePlannedOp(const PlannedOp& op,
+                                               int* disc_ios);
   /// Runs the operation body once required locks are held.
   void Execute(const net::Message& msg, const DiscRequest& req);
   /// Lock step: returns true when held/granted; false when parked or failed
@@ -135,10 +142,12 @@ class DiscProcess : public os::PairedProcess {
   struct Metrics {
     sim::MetricId ops, dedup_replays, dedup_inflight_drops;
     sim::MetricId lock_waits, lock_timeouts, lock_releases;
+    sim::MetricId lock_conflict_aborts, lock_timeout_aborts;
     sim::MetricId scan_batches, scan_records, undo_ops, flush_writes;
+    sim::MetricId planned_batches, planned_ops, planned_rejects;
     sim::MetricId audit_records, audit_redelivery;
     sim::MetricId ckpt_messages, ckpt_entries;
-    sim::MetricId op_ios, queue_depth, op_latency;  // histograms
+    sim::MetricId op_ios, queue_depth, op_latency, lock_wait_time;  // histograms
   };
 
   DiscProcessConfig config_;
@@ -157,6 +166,7 @@ class DiscProcess : public os::PairedProcess {
     Transid owner;
     LockKey key;
     uint64_t timer = 0;
+    SimTime parked_at = 0;  ///< for the lock.wait_time histogram
   };
   std::list<ParkedOp> parked_;
 

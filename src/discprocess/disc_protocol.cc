@@ -113,6 +113,85 @@ Result<LockOwnersReply> LockOwnersReply::Decode(const Slice& payload) {
   return rep;
 }
 
+Bytes PlannedBatch::Encode() const {
+  Bytes out;
+  PutVarint64(&out, epoch);
+  PutVarint32(&out, lane);
+  PutVarint32(&out, static_cast<uint32_t>(ops.size()));
+  for (const PlannedOp& op : ops) {
+    PutFixed8(&out, static_cast<uint8_t>(op.kind));
+    PutFixed64(&out, op.transid.Pack());
+    PutLengthPrefixed(&out, Slice(op.file));
+    PutLengthPrefixed(&out, Slice(op.key));
+    PutLengthPrefixed(&out, Slice(op.record));
+    PutLengthPrefixed(&out, Slice(op.field));
+    PutFixed64(&out, static_cast<uint64_t>(op.delta));
+  }
+  return out;
+}
+
+Result<PlannedBatch> PlannedBatch::Decode(const Slice& payload) {
+  Slice in = payload;
+  PlannedBatch batch;
+  uint32_t n;
+  if (!GetVarint64(&in, &batch.epoch) || !GetVarint32(&in, &batch.lane) ||
+      !GetVarint32(&in, &n)) {
+    return DecodeError("planned batch");
+  }
+  if (static_cast<uint64_t>(n) * 21 > in.size()) {
+    return DecodeError("planned op count exceeds payload");
+  }
+  batch.ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PlannedOp op;
+    uint8_t kind;
+    uint64_t packed, delta;
+    if (!GetFixed8(&in, &kind) || !GetFixed64(&in, &packed) ||
+        !GetLengthPrefixedString(&in, &op.file) ||
+        !GetLengthPrefixedBytes(&in, &op.key) ||
+        !GetLengthPrefixedBytes(&in, &op.record) ||
+        !GetLengthPrefixedString(&in, &op.field) || !GetFixed64(&in, &delta)) {
+      return DecodeError("planned op");
+    }
+    op.kind = static_cast<PlannedOp::Kind>(kind);
+    op.transid = Transid::Unpack(packed);
+    op.delta = static_cast<int64_t>(delta);
+    batch.ops.push_back(std::move(op));
+  }
+  return batch;
+}
+
+Bytes PlannedBatchReply::Encode() const {
+  Bytes out;
+  PutVarint32(&out, static_cast<uint32_t>(results.size()));
+  for (const OpResult& r : results) {
+    PutFixed8(&out, static_cast<uint8_t>(r.status));
+    PutLengthPrefixed(&out, Slice(r.value));
+  }
+  return out;
+}
+
+Result<PlannedBatchReply> PlannedBatchReply::Decode(const Slice& payload) {
+  Slice in = payload;
+  PlannedBatchReply rep;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return DecodeError("planned batch reply");
+  if (static_cast<uint64_t>(n) * 2 > in.size()) {
+    return DecodeError("planned reply count exceeds payload");
+  }
+  rep.results.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    OpResult r;
+    uint8_t code;
+    if (!GetFixed8(&in, &code) || !GetLengthPrefixedBytes(&in, &r.value)) {
+      return DecodeError("planned op result");
+    }
+    r.status = static_cast<Status::Code>(code);
+    rep.results.push_back(std::move(r));
+  }
+  return rep;
+}
+
 Bytes TxnStateChange::Encode() const {
   Bytes out;
   PutFixed64(&out, transid.Pack());

@@ -35,6 +35,11 @@ enum DiscTag : uint32_t {
   /// by an operation retry that raced a node crash/recovery would otherwise
   /// be held forever (no TMP tracks the transid any more).
   kDiscListLockOwners = net::kTagDisc + 12,
+  /// From the QueuePlanner: one lane batch of pre-ordered operations to
+  /// execute without lock acquisition. Conflicts were already resolved by
+  /// plan order — a record's operations all ride the same lane, in plan
+  /// order, with one batch in flight per lane.
+  kDiscPlannedOps = net::kTagDisc + 13,
 };
 
 /// Transaction states a DISCPROCESS reacts to (subset of the TMF states).
@@ -87,6 +92,49 @@ struct LockOwnersReply {
 
   Bytes Encode() const;
   static Result<LockOwnersReply> Decode(const Slice& payload);
+};
+
+/// One operation inside a kDiscPlannedOps lane batch. Each op carries its
+/// own transaction id: a lane interleaves operations of many transactions,
+/// and every mutation is audited (and undone on abort) under its owner.
+struct PlannedOp {
+  enum class Kind : uint8_t {
+    kRead = 0,    ///< point read, no lock
+    kInsert = 1,
+    kUpdate = 2,  ///< full-image update
+    kDelete = 3,
+    kDelta = 4,   ///< read-modify-write: add `delta` to integer field `field`
+  };
+
+  Kind kind = Kind::kRead;
+  Transid transid;
+  std::string file;
+  Bytes key;
+  Bytes record;       ///< kInsert / kUpdate image
+  std::string field;  ///< kDelta: name of the integer record field
+  int64_t delta = 0;  ///< kDelta: signed amount to add
+};
+
+/// Payload of kDiscPlannedOps: one lane's next batch, in plan order.
+struct PlannedBatch {
+  uint64_t epoch = 0;  ///< planner epoch that sealed these ops (reporting)
+  uint32_t lane = 0;   ///< lane id (reporting; ordering is the message order)
+  std::vector<PlannedOp> ops;
+
+  Bytes Encode() const;
+  static Result<PlannedBatch> Decode(const Slice& payload);
+};
+
+/// Reply payload of kDiscPlannedOps: one entry per op, in batch order.
+struct PlannedBatchReply {
+  struct OpResult {
+    Status::Code status = Status::Code::kOk;
+    Bytes value;  ///< kRead: the record image (when found)
+  };
+  std::vector<OpResult> results;
+
+  Bytes Encode() const;
+  static Result<PlannedBatchReply> Decode(const Slice& payload);
 };
 
 /// Payload of kDiscTxnStateChange.

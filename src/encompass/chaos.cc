@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "storage/record.h"
+#include "tmf/queue_lane.h"
 #include "tmf/tmf_protocol.h"
 
 namespace encompass::app {
@@ -127,6 +128,10 @@ void ChaosClient::ScheduleNext() {
 
 void ChaosClient::StartTxn() {
   if (sim()->Now() >= config_.stop_at) return;  // storm over: go quiet
+  if (config_.queue_lane) {
+    StartQueueTxn();
+    return;
+  }
   int total = config_.nodes * config_.accounts_per_node;
   from_ = static_cast<int>(rng_.Uniform(total));
   to_ = static_cast<int>(rng_.Uniform(total - 1));
@@ -240,6 +245,73 @@ void ChaosClient::EndTxn() {
        opt);
 }
 
+void ChaosClient::StartQueueTxn() {
+  // The queue lane is node-local, so the transfer stays between two accounts
+  // of this client's own node (the marker too). The oracle does not care
+  // which key identifies an intent, only that it is unique: a TMF transid
+  // does not exist yet at submit time, so the client mints a synthetic id
+  // with 0xFF in the cpu byte — no TMP-issued transid can collide with it.
+  int n = static_cast<int>(node()->id());
+  int base = (n - 1) * config_.accounts_per_node;
+  from_ = base + static_cast<int>(
+                     rng_.Uniform(static_cast<uint64_t>(config_.accounts_per_node)));
+  to_ = base + static_cast<int>(rng_.Uniform(
+                  static_cast<uint64_t>(config_.accounts_per_node - 1)));
+  if (to_ >= from_) ++to_;
+  amount_ = 1 + static_cast<int64_t>(
+                    rng_.Uniform(static_cast<uint64_t>(config_.max_amount)));
+  uint64_t oid = (static_cast<uint64_t>(n) << 48) | (0xFFull << 40) |
+                 (static_cast<uint64_t>(id().pid) << 20) |
+                 (++queue_seq_ & 0xFFFFF);
+  ++started_;
+  marker_key_ = "q" + std::to_string(oid);
+  targets_.clear();
+  targets_.push_back({static_cast<net::NodeId>(n), VolName(n), MarkerFile(n)});
+  // Intent on record BEFORE the submit leaves this process: if the client
+  // dies with its node the oracle still audits the transaction (unknown).
+  config_.oracle->RegisterIntent(oid, marker_key_, targets_);
+  config_.oracle->RecordTransfer(oid, from_, to_, amount_);
+
+  tmf::QueueTxn txn;
+  txn.declared = {"acct", MarkerFile(n)};
+  tmf::QueueOp debit;
+  debit.kind = tmf::QueueOp::Kind::kDelta;
+  debit.file = "acct";
+  debit.key = ToBytes(AcctKey(from_));
+  debit.field = "balance";
+  debit.delta = -amount_;
+  tmf::QueueOp credit = debit;
+  credit.key = ToBytes(AcctKey(to_));
+  credit.delta = amount_;
+  tmf::QueueOp marker;
+  marker.kind = tmf::QueueOp::Kind::kInsert;
+  marker.file = MarkerFile(n);
+  marker.key = ToBytes(marker_key_);
+  storage::Record rec;
+  rec.Set("txn", marker_key_);
+  marker.record = rec.Encode();
+  txn.ops = {debit, credit, marker};
+
+  os::CallOptions opt;
+  opt.timeout = Seconds(8);
+  // No transparent retries, same reasoning as EndTxn: a resend could find
+  // the planner's reply cache gone after a takeover and misread the
+  // outcome. A timeout stays "unknown".
+  opt.retries = 0;
+  Call(net::Address(node()->id(), "$QPLAN"), tmf::kTmfQueueSubmit,
+       txn.Encode(),
+       [this, oid](const Status& s, const net::Message&) {
+         AtomicityOracle::Outcome o =
+             s.ok() ? AtomicityOracle::Outcome::kCommitted
+                    : ((s.IsAborted() || s.IsPlanViolation())
+                           ? AtomicityOracle::Outcome::kAborted
+                           : AtomicityOracle::Outcome::kUnknown);
+         config_.oracle->RecordOutcome(oid, o);
+         ScheduleNext();
+       },
+       opt);
+}
+
 void ChaosClient::AbortTxn() {
   os::CallOptions opt;
   opt.timeout = Seconds(8);
@@ -287,6 +359,7 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
     // In-doubt participants of a dead home must resolve themselves, or
     // their locks wedge the drain.
     spec.tmp_config.indoubt_resolve_interval = Seconds(2);
+    spec.exec_lane = config.queue_lane ? ExecLane::kQueue : ExecLane::kLocks;
     spec.volumes = {VolumeSpec{
         VolName(n), {FileSpec{"acct"}, FileSpec{MarkerFile(n)}}, {}}};
     deploy.AddNode(spec);
@@ -348,6 +421,7 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
       ccfg.accounts_per_node = config.accounts_per_node;
       ccfg.think_time = config.client_think;
       ccfg.stop_at = stop_at;
+      ccfg.queue_lane = config.queue_lane;
       // Spread clients over CPUs 1..3, away from CPU 0 where recovery runs.
       deploy.GetNode(n)->node()->Spawn<ChaosClient>(1 + c % 3, ccfg);
     }

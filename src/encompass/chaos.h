@@ -103,6 +103,11 @@ struct ChaosClientConfig {
   int64_t max_amount = 50;
   SimDuration think_time = Millis(25);
   SimTime stop_at = 0;          ///< start no new transaction at/after this
+  /// Drive the queue lane instead of the lock lane: whole transactions
+  /// (predeclared) submitted to the local $QPLAN. The queue lane is
+  /// node-local, so transfers stay between accounts of the client's own
+  /// node; the oracle methodology is otherwise unchanged.
+  bool queue_lane = false;
 };
 
 class ChaosClient : public os::Process {
@@ -126,11 +131,13 @@ class ChaosClient : public os::Process {
   void InsertNextMarker();
   void EndTxn();
   void AbortTxn();
+  void StartQueueTxn();
 
   ChaosClientConfig config_;
   Random rng_;
   std::unique_ptr<tmf::FileSystem> fs_;
   uint64_t started_ = 0;
+  uint64_t queue_seq_ = 0;  ///< per-client sequence for synthetic oracle ids
 
   // In-flight transaction state (the client is strictly sequential).
   uint64_t txn_ = 0;
@@ -157,6 +164,9 @@ struct ChaosCampaignConfig {
   /// 1 = PDES oracle, N >= 2 = worker pool. Same-seed results are
   /// byte-identical at every setting.
   int parallel_workers = 0;
+  /// Deploy every node with ExecLane::kQueue and run the clients through
+  /// the $QPLAN submit path — the same storm and oracle, lock-free lane.
+  bool queue_lane = false;
 };
 
 /// Everything a test or bench asserts about one campaign run.

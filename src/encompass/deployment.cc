@@ -97,6 +97,17 @@ void NodeDeployment::StartServices() {
   os::SpawnPair<tmf::TmpProcess>(node_, "$TMP", a, b, tcfg);
   RegisterRepairablePair<tmf::TmpProcess>("$TMP", tcfg);
 
+  // Queue execution lane: the planner pair rides the same spawn/repair
+  // lifecycle as the other services, so node recovery brings it back.
+  if (spec_.exec_lane == ExecLane::kQueue) {
+    tmf::QueuePlannerConfig qcfg = spec_.queue_config;
+    qcfg.catalog = &deployment_->catalog();
+    qcfg.tmp_process = "$TMP";
+    two_cpus(&a, &b);
+    os::SpawnPair<tmf::QueuePlanner>(node_, "$QPLAN", a, b, qcfg);
+    RegisterRepairablePair<tmf::QueuePlanner>("$QPLAN", qcfg);
+  }
+
   EnsureGuardians();
 }
 

@@ -22,6 +22,7 @@
 #include "storage/partition.h"
 #include "storage/volume.h"
 #include "tmf/backout_process.h"
+#include "tmf/queue_lane.h"
 #include "tmf/rollforward.h"
 #include "tmf/tmp_process.h"
 
@@ -43,6 +44,13 @@ struct VolumeSpec {
   storage::VolumeConfig volume_config;
 };
 
+/// Which execution lane a node's transactions take. The lock lane is the
+/// paper's path (per-record locks at the DISCPROCESS); the queue lane adds
+/// a QueuePlanner pair ($QPLAN) that plans predeclared transactions into
+/// epochs and executes them lock-free in plan order. Both lanes share the
+/// audit trail, MAT, backout, and ROLLFORWARD.
+enum class ExecLane { kLocks, kQueue };
+
 /// One node of the deployment.
 struct NodeSpec {
   net::NodeId id = 1;
@@ -51,6 +59,8 @@ struct NodeSpec {
   tmf::TmpConfig tmp_config;                   // service lists filled in
   discprocess::DiscProcessConfig disc_config;  // volume/audit filled in
   audit::AuditProcessConfig audit_config;      // trail filled in
+  ExecLane exec_lane = ExecLane::kLocks;       ///< kQueue also spawns $QPLAN
+  tmf::QueuePlannerConfig queue_config;        // catalog/tmp filled in
 };
 
 /// An archived copy of one volume, the base ROLLFORWARD rebuilds from.

@@ -133,6 +133,21 @@ TEST(ChaosParallelTest, SameSeedSameStormAtAnyWorkerCount) {
   }
 }
 
+// The same storm with every node on the queue execution lane: clients
+// submit whole predeclared transactions to $QPLAN instead of running the
+// lock-lane verb sequence. A queue-lane commit is a normal TMF commit, so
+// the atomicity oracle, balance conservation, leak checks, and ROLLFORWARD
+// floor all hold unchanged.
+TEST(ChaosQueueLaneTest, QueueLaneStormHoldsOracle) {
+  ChaosCampaignConfig cfg = CampaignConfig(9);
+  cfg.queue_lane = true;
+  ChaosCampaignResult r = RunChaosCampaign(cfg);
+  EXPECT_GE(r.node_crashes, 1u);
+  EXPECT_GT(r.txns_started, 0u);
+  EXPECT_GT(r.txns_committed, 0u);
+  ExpectSurvived(r, 9);
+}
+
 // The generator's structural guarantees hold for many seeds: every fault
 // heals, heavy faults never overlap, and the crash floor is honored.
 TEST(FaultScheduleTest, StructuralGuaranteesAcrossSeeds) {
