@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -27,6 +28,19 @@
 
 namespace encompass::bench {
 namespace {
+
+// Worker-pool size for the "parallel" rows: host threads capped at 8, or the
+// ENCOMPASS_BENCH_WORKERS override (handy for exercising the round machinery
+// and its sim.* metrics on hosts whose core count would collapse the pool
+// to the single-thread oracle).
+int PoolWorkers() {
+  if (const char* env = std::getenv("ENCOMPASS_BENCH_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 8) return v;
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(std::min(hw, 8u));
+}
 
 constexpr int kChainsPerNode = 4;
 constexpr uint64_t kPostEvery = 8;  // every 8th chain step posts to the ring
@@ -57,9 +71,32 @@ struct EngineRun {
   uint64_t checksum = 0;
   double wall_s = 0;
   double events_per_sec = 0;
+  // Coordinator breakdown (parallel engines only; from sim.* metrics).
+  int64_t rounds = 0;
+  int64_t ready_loops = 0;
+  int64_t posts = 0;
+  int64_t horizon_p50 = 0;
+  int64_t horizon_p95 = 0;
 };
 
-EngineRun RunSynthetic(int nodes, int workers, SimDuration span) {
+// Publishes the engine's coordinator metrics into the run's Stats and copies
+// them into `r`; with `prefix` set, also surfaces them in BENCH_e10 JSON.
+void CaptureEngineMetrics(sim::Simulation& sim, EngineRun& r,
+                          const std::string& prefix) {
+  sim.PublishEngineMetrics();
+  sim::Stats& stats = sim.GetStats();
+  r.rounds = stats.Counter("sim.rounds");
+  r.ready_loops = stats.Counter("sim.ready_loops");
+  r.posts = stats.Counter("sim.inbox_posts");
+  if (const sim::Histogram* h = stats.FindHistogram("sim.horizon_width")) {
+    r.horizon_p50 = h->Percentile(50);
+    r.horizon_p95 = h->Percentile(95);
+  }
+  if (!prefix.empty()) ReportSimStats(prefix, stats);
+}
+
+EngineRun RunSynthetic(int nodes, int workers, SimDuration span,
+                       const std::string& stats_prefix = "") {
   sim::Simulation sim(/*seed=*/42, workers);
   // No Network in this bench, so declare the "link latency" ourselves: it is
   // the engine's conservative lookahead, and the floor for every post above.
@@ -86,12 +123,162 @@ EngineRun RunSynthetic(int nodes, int workers, SimDuration span) {
   if (r.wall_s > 0) {
     r.events_per_sec = static_cast<double>(r.executed) / r.wall_s;
   }
+  CaptureEngineMetrics(sim, r, stats_prefix);
   return r;
+}
+
+// --- E10.c: heterogeneous-latency topology ---------------------------------
+//
+// The topology the per-link lookahead exists for: nodes 1 and 2 are a
+// "metro" pair joined by a 100us LAN link, exchanging sparse control
+// heartbeats (~25ms apart); nodes 3..8 are WAN satellites, 50ms from
+// everything, each running dense local chains (~50us apart). Under the old
+// global-min lookahead the 100us LAN link is everyone's lookahead, so every
+// satellite's horizon collapses to ~100us — a coordinator round per handful
+// of events. With per-link lookahead the satellites' horizons are bounded by
+// 50ms links instead, so rounds batch thousands of events. Both
+// configurations — and the legacy/oracle engines — must produce the same
+// executed count and checksum: the lookahead table changes batching, never
+// history.
+
+constexpr int kHeteroNodes = 8;     // 1,2 = metro pair; 3..8 = satellites
+constexpr int kSatChains = 4;       // dense chains per satellite
+constexpr uint64_t kSatPostEvery = 64;
+
+void MetroStep(sim::Simulation* sim, std::vector<uint64_t>* acc,
+               uint16_t node) {
+  Random& rng = sim->RngFor(node);
+  (*acc)[node] += rng.Uniform(1000);
+  // Heartbeat to the other metro node over the 100us LAN link.
+  auto peer = static_cast<uint16_t>(node == 1 ? 2 : 1);
+  sim->PostToNode(peer, Micros(100 + node * 3),
+                  [acc, peer]() { (*acc)[peer] += 1; });
+  sim->AfterOn(node, Millis(20) + Micros(rng.Uniform(10000)),
+               [sim, acc, node]() { MetroStep(sim, acc, node); });
+}
+
+void SatStep(sim::Simulation* sim, std::vector<uint64_t>* acc, uint16_t node,
+             uint64_t step) {
+  Random& rng = sim->RngFor(node);
+  (*acc)[node] += rng.Uniform(1000);
+  if (step % kSatPostEvery == 0) {
+    // Ring around the satellites over the 50ms WAN links.
+    auto dst = static_cast<uint16_t>(node == kHeteroNodes ? 3 : node + 1);
+    sim->PostToNode(dst, Millis(50) + Micros(node * 7),
+                    [acc, dst]() { (*acc)[dst] += 1; });
+  }
+  sim->AfterOn(node, Micros(40 + rng.Uniform(20)),
+               [sim, acc, node, step]() { SatStep(sim, acc, node, step + 1); });
+}
+
+EngineRun RunHetero(int workers, bool per_link, SimDuration span,
+                    const std::string& stats_prefix = "") {
+  sim::Simulation sim(/*seed=*/4242, workers);
+  for (int n = 1; n <= kHeteroNodes; ++n) {
+    sim.EnsureNode(static_cast<uint16_t>(n));
+  }
+  if (per_link) {
+    // Declare the actual topology: the engine derives pairwise lookaheads.
+    sim.NoteLinkLatency(1, 2, Micros(100));
+    for (int s = 3; s <= kHeteroNodes; ++s) {
+      for (int o = 1; o <= kHeteroNodes; ++o) {
+        if (o != s) {
+          sim.NoteLinkLatency(static_cast<uint16_t>(s),
+                              static_cast<uint16_t>(o), Millis(50));
+        }
+      }
+    }
+  } else {
+    // Pre-PR engine emulation: one scalar lookahead, the global minimum
+    // link latency — the metro pair's 100us LAN link throttles everyone.
+    sim.NoteLinkLatency(Micros(100));
+  }
+  std::vector<uint64_t> acc(kHeteroNodes + 1, 0);
+  for (uint16_t n = 1; n <= 2; ++n) {
+    sim.AfterOn(n, Millis(1) + Micros(37 * n),
+                [&sim, &acc, n]() { MetroStep(&sim, &acc, n); });
+  }
+  for (uint16_t n = 3; n <= kHeteroNodes; ++n) {
+    for (int c = 0; c < kSatChains; ++c) {
+      sim.AfterOn(n, Micros(10 + 13 * c),
+                  [&sim, &acc, n]() { SatStep(&sim, &acc, n, 1); });
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.RunUntil(span);
+  const auto t1 = std::chrono::steady_clock::now();
+  EngineRun r;
+  r.executed = sim.ExecutedEvents();
+  for (int n = 1; n <= kHeteroNodes; ++n) r.checksum += acc[static_cast<size_t>(n)];
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (r.wall_s > 0) {
+    r.events_per_sec = static_cast<double>(r.executed) / r.wall_s;
+  }
+  CaptureEngineMetrics(sim, r, stats_prefix);
+  return r;
+}
+
+void TableHetero() {
+  const int pool = PoolWorkers();
+  const SimDuration span = Seconds(1);
+  Header("E10.c heterogeneous topology: per-link vs global-min lookahead "
+         "(metro pair @100us + 6 WAN satellites @50ms, seed 4242, 1 sim-sec)");
+  EngineRun legacy = RunHetero(0, true, span);
+  EngineRun oracle = RunHetero(1, true, span, "hetero.oracle");
+  EngineRun perlink = RunHetero(pool, true, span, "hetero.perlink");
+  EngineRun globalmin = RunHetero(pool, false, span, "hetero.globalmin");
+  EngineRun oracle_gm = RunHetero(1, false, span);
+  const bool identical =
+      legacy.executed == oracle.executed && oracle.executed == perlink.executed &&
+      perlink.executed == globalmin.executed &&
+      globalmin.executed == oracle_gm.executed &&
+      legacy.checksum == oracle.checksum && oracle.checksum == perlink.checksum &&
+      perlink.checksum == globalmin.checksum &&
+      globalmin.checksum == oracle_gm.checksum;
+  if (!identical) {
+    printf("ENGINE DIVERGENCE on hetero topology: legacy %llu/%llu oracle "
+           "%llu/%llu perlink %llu/%llu globalmin %llu/%llu oracle-gm %llu/%llu\n",
+           (unsigned long long)legacy.executed, (unsigned long long)legacy.checksum,
+           (unsigned long long)oracle.executed, (unsigned long long)oracle.checksum,
+           (unsigned long long)perlink.executed, (unsigned long long)perlink.checksum,
+           (unsigned long long)globalmin.executed,
+           (unsigned long long)globalmin.checksum,
+           (unsigned long long)oracle_gm.executed,
+           (unsigned long long)oracle_gm.checksum);
+    ReportValue("divergence", 1);
+    return;
+  }
+  printf("%22s %14s %9s %12s %12s %14s\n", "engine", "events/s", "rounds",
+         "ready/round", "horizon p50", "horizon p95");
+  printf("%22s %14.0f %9s %12s %12s %14s\n", "legacy (workers=0)",
+         legacy.events_per_sec, "-", "-", "-", "-");
+  printf("%22s %14.0f %9s %12s %12s %14s\n", "oracle (workers=1)",
+         oracle.events_per_sec, "-", "-", "-", "-");
+  auto row = [](const char* name, const EngineRun& r) {
+    printf("%22s %14.0f %9lld %12.2f %10lldus %12lldus\n", name,
+           r.events_per_sec, (long long)r.rounds,
+           r.rounds > 0 ? static_cast<double>(r.ready_loops) /
+                              static_cast<double>(r.rounds)
+                        : 0.0,
+           (long long)r.horizon_p50, (long long)r.horizon_p95);
+  };
+  row("global-min lookahead", globalmin);
+  row("per-link lookahead", perlink);
+  const double speedup = globalmin.events_per_sec > 0
+                             ? perlink.events_per_sec / globalmin.events_per_sec
+                             : 0;
+  printf("per-link speedup over global-min engine: %.2fx\n", speedup);
+  ReportValue("hetero.events", static_cast<double>(perlink.executed));
+  ReportValue("hetero.legacy_eps", legacy.events_per_sec);
+  ReportValue("hetero.single_eps", oracle.events_per_sec);
+  ReportValue("hetero.parallel_eps", perlink.events_per_sec);
+  ReportValue("hetero.globalmin_eps", globalmin.events_per_sec);
+  ReportValue("hetero.speedup", speedup);
 }
 
 void TableScaling() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const int pool = static_cast<int>(std::min(hw, 8u));
+  const int pool = PoolWorkers();
   Header("E10.a events/second by node count and engine (seed 42, 1 sim-sec)");
   printf("host threads: %u (worker pool: %d)\n", hw, pool);
   printf("%6s %14s %14s %14s %9s\n", "nodes", "legacy eps", "oracle eps",
@@ -100,7 +287,9 @@ void TableScaling() {
     const SimDuration span = Seconds(1);
     EngineRun legacy = RunSynthetic(nodes, 0, span);
     EngineRun oracle = RunSynthetic(nodes, 1, span);
-    EngineRun par = RunSynthetic(nodes, pool, span);
+    // The 8-node parallel run surfaces its coordinator metrics in the JSON.
+    EngineRun par =
+        RunSynthetic(nodes, pool, span, nodes == 8 ? "nodes8.par" : "");
     // The determinism contract, enforced before any number is reported:
     // same seed, any engine, identical history.
     if (legacy.executed != oracle.executed || oracle.executed != par.executed ||
@@ -173,6 +362,7 @@ int main(int argc, char** argv) {
          "worker pool\n");
   encompass::bench::TableScaling();
   encompass::bench::TableWorkerSweep();
+  encompass::bench::TableHetero();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   encompass::bench::WriteReport();

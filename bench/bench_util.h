@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/banking/banking.h"
@@ -29,8 +30,25 @@ namespace encompass::bench {
 class JsonReport {
  public:
   /// Schema version of the emitted JSON. Bump when the envelope changes;
-  /// version 2 added the mandatory "seed" / "parallel_workers" fields.
-  static constexpr int kSchemaVersion = 2;
+  /// version 2 added the mandatory "seed" / "parallel_workers" fields,
+  /// version 3 the "hardware_threads" / "git_rev" host context (perf numbers
+  /// without the host and the exact source state are unreviewable).
+  static constexpr int kSchemaVersion = 3;
+
+  /// Short revision of the sources this binary was run from, resolved at
+  /// runtime (the build tree lives inside the repo); "unknown" outside git.
+  static std::string GitRev() {
+    std::string rev;
+    if (FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+      char buf[64];
+      if (fgets(buf, sizeof(buf), p) != nullptr) rev.assign(buf);
+      pclose(p);
+    }
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+      rev.pop_back();
+    }
+    return rev.empty() ? "unknown" : rev;
+  }
 
   explicit JsonReport(std::string name)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
@@ -73,10 +91,11 @@ class JsonReport {
     }
     fprintf(f,
             "{\n  \"bench\": \"%s\",\n  \"version\": %d,\n  \"seed\": %llu,\n"
-            "  \"parallel_workers\": %d,\n  \"wall_ms\": %.3f",
+            "  \"parallel_workers\": %d,\n  \"hardware_threads\": %u,\n"
+            "  \"git_rev\": \"%s\",\n  \"wall_ms\": %.3f",
             name_.c_str(), kSchemaVersion,
             static_cast<unsigned long long>(seed_), parallel_workers_,
-            wall_ms);
+            std::thread::hardware_concurrency(), GitRev().c_str(), wall_ms);
     for (const auto& [key, value] : values_) {
       if (std::fabs(value - std::llround(value)) < 1e-9) {
         fprintf(f, ",\n  \"%s\": %lld", key.c_str(),

@@ -34,9 +34,10 @@ void Network::AddLink(NodeId a, NodeId b, SimDuration latency) {
   assert(nodes_.count(a) && nodes_.count(b) && a != b);
   const SimDuration l = latency > 0 ? latency : config_.link_latency;
   links_[Key(a, b)] = Link{l, true};
-  // The conservative engine's lookahead is the minimum link latency: no
-  // cross-node interaction can take effect sooner than one hop.
-  sim_->NoteLinkLatency(l);
+  // Feed the conservative engine's per-pair lookahead table: no cross-node
+  // interaction between two nodes can take effect sooner than the least
+  // declared-link path between them.
+  sim_->NoteLinkLatency(a, b, l);
   ++topology_version_;
 }
 

@@ -4,36 +4,44 @@
 
 namespace encompass::sim {
 
-EventId EventQueue::Schedule(SimTime when, uint16_t exec_node,
-                             std::function<void()> fn) {
-  uint64_t seq = next_seq_++;
-  heap_.push(Event{EventKey{when, origin_, seq}, exec_node, true, std::move(fn)});
-  pending_.insert(seq);
+EventId EventQueue::Schedule(SimTime when, uint16_t exec_node, EventFn fn) {
+  const uint64_t seq = next_seq_++;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    assert(slot < (1u << kSlotBits) && "too many concurrently pending events");
+    slots_.push_back(1);
+  }
+  const uint32_t gen = slots_[slot];
+  heap_.push(
+      Event{EventKey{when, origin_, seq}, slot, gen, exec_node, std::move(fn)});
   ++live_count_;
-  return seq;
+  return (static_cast<EventId>(gen) << kSlotBits) | slot;
 }
 
 void EventQueue::ScheduleKeyed(const EventKey& key, uint16_t exec_node,
-                               std::function<void()> fn) {
-  heap_.push(Event{key, exec_node, false, std::move(fn)});
+                               EventFn fn) {
+  heap_.push(Event{key, kNoSlot, 0, exec_node, std::move(fn)});
   ++live_count_;
 }
 
 void EventQueue::Cancel(EventId id) {
-  // Only a still-pending event can be cancelled; a fired, cancelled, or
-  // unknown id is a no-op (no tombstone, no live_count_ change).
-  if (pending_.erase(id) == 0) return;
-  cancelled_.insert(id);
+  const auto slot = static_cast<uint32_t>(id & ((1u << kSlotBits) - 1));
+  const auto gen = static_cast<uint32_t>(id >> kSlotBits) & kGenMask;
+  // Live iff the id's generation matches its slot's current one. Id 0 (gen 0)
+  // and arbitrary stale ids fail the match: generations are never 0.
+  if (slot >= slots_.size() || slots_[slot] != gen) return;
+  RetireSlot(slot);
   --live_count_;
+  // The heap entry stays behind with the old generation stamped on it;
+  // SkipCancelled drops it when it reaches the top.
 }
 
 void EventQueue::SkipCancelled() const {
-  // Only local events consult the tombstone set: a keyed event's seq lives
-  // in its sender's numbering and may collide with a cancelled local id.
-  while (!heap_.empty() && heap_.top().local) {
-    auto it = cancelled_.find(heap_.top().key.seq);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
+  while (!heap_.empty() && Dead(heap_.top())) {
     heap_.pop();
   }
 }
@@ -48,7 +56,7 @@ SimTime EventQueue::NextTime() const {
   return heap_.empty() ? kNoDeadline : heap_.top().key.time;
 }
 
-std::function<void()> EventQueue::PopNext(EventKey* key, uint16_t* exec_node) {
+EventFn EventQueue::PopNext(EventKey* key, uint16_t* exec_node) {
   SkipCancelled();
   assert(!heap_.empty());
   // priority_queue::top() is const; the callback is moved out via const_cast,
@@ -56,8 +64,8 @@ std::function<void()> EventQueue::PopNext(EventKey* key, uint16_t* exec_node) {
   auto& top = const_cast<Event&>(heap_.top());
   *key = top.key;
   *exec_node = top.exec_node;
-  std::function<void()> fn = std::move(top.fn);
-  if (top.local) pending_.erase(top.key.seq);
+  EventFn fn = std::move(top.fn);
+  if (top.slot != kNoSlot) RetireSlot(top.slot);
   heap_.pop();
   --live_count_;
   return fn;

@@ -11,21 +11,30 @@
 // The key is assigned when the event is scheduled, by the scheduling node —
 // never by the executing thread — so the total order is a property of the
 // simulation's history, identical no matter how execution is interleaved.
+//
+// Hot-path representation: callbacks are EventFn (inline small-buffer
+// storage, no heap allocation for typical captures), and cancellation uses
+// generation-stamped slots instead of hashed id sets. Every locally
+// scheduled event borrows a slot from a free list; its EventId packs
+// (generation << kSlotBits) | slot. Cancel and fire both retire the slot by
+// bumping its generation, so a stale id — already fired, already cancelled,
+// or plain garbage — can never match a live slot: the no-op guarantees cost
+// one array load instead of two hash probes per schedule/cancel/pop.
 
 #ifndef ENCOMPASS_SIM_EVENT_QUEUE_H_
 #define ENCOMPASS_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/sim_time.h"
+#include "sim/event_fn.h"
 
 namespace encompass::sim {
 
-/// Handle for a scheduled event; used to cancel timers.
+/// Handle for a scheduled event; used to cancel timers. Opaque; never 0 for
+/// a live event (generations start at 1), so 0 can serve as "no timer".
 using EventId = uint64_t;
 
 /// Total order on simulation events; see file comment.
@@ -46,6 +55,12 @@ struct EventKey {
 /// keys of locally scheduled events.
 class EventQueue {
  public:
+  /// EventId layout: low kSlotBits = slot index, rest = that slot's
+  /// generation at schedule time. Simulation packs the owning loop's shard
+  /// above these, so local ids must stay within kSlotBits + kGenBits.
+  static constexpr int kSlotBits = 20;
+  static constexpr int kGenBits = 28;
+
   explicit EventQueue(uint16_t origin = 0) : origin_(origin) {}
 
   uint16_t origin() const { return origin_; }
@@ -54,16 +69,15 @@ class EventQueue {
   /// queue's origin and next sequence number. `exec_node` attributes the
   /// work to a node for PRNG/stats/trace purposes (defaults to the origin).
   /// Returns a handle for Cancel.
-  EventId Schedule(SimTime when, std::function<void()> fn) {
+  EventId Schedule(SimTime when, EventFn fn) {
     return Schedule(when, origin_, std::move(fn));
   }
-  EventId Schedule(SimTime when, uint16_t exec_node, std::function<void()> fn);
+  EventId Schedule(SimTime when, uint16_t exec_node, EventFn fn);
 
   /// Inserts an event carrying a foreign key (a cross-node post stamped by
   /// its sender). Keyed events are not cancellable: their seq lives in the
-  /// sender's numbering, which may collide with local ids.
-  void ScheduleKeyed(const EventKey& key, uint16_t exec_node,
-                     std::function<void()> fn);
+  /// sender's numbering and they carry no local slot.
+  void ScheduleKeyed(const EventKey& key, uint16_t exec_node, EventFn fn);
 
   /// Draws the next local sequence number; used to stamp keys of cross-node
   /// posts originating here.
@@ -71,8 +85,8 @@ class EventQueue {
 
   /// Cancels a pending locally-scheduled event. Cancelling an already-fired,
   /// already-cancelled, or unknown event is a true no-op (no tombstone, no
-  /// accounting change). O(1): a pending event is tombstoned and skipped on
-  /// pop.
+  /// accounting change): the id's generation no longer matches its slot.
+  /// O(1); the dead heap entry is dropped when it reaches the top.
   void Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -86,37 +100,49 @@ class EventQueue {
 
   /// Pops and returns the earliest event's callback, setting *key to its
   /// event key and *exec_node to its attribution. Precondition: !empty().
-  std::function<void()> PopNext(EventKey* key, uint16_t* exec_node);
+  EventFn PopNext(EventKey* key, uint16_t* exec_node);
 
   /// Back-compat pop that only reports the firing time.
-  std::function<void()> PopNext(SimTime* when) {
+  EventFn PopNext(SimTime* when) {
     EventKey key;
     uint16_t exec_node;
-    auto fn = PopNext(&key, &exec_node);
+    EventFn fn = PopNext(&key, &exec_node);
     *when = key.time;
     return fn;
   }
 
  private:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+  static constexpr uint32_t kGenMask = (1u << kGenBits) - 1;
+
   struct Event {
     EventKey key;
+    uint32_t slot;  // kNoSlot for keyed (non-cancellable) inserts
+    uint32_t gen;   // the slot's generation when scheduled
     uint16_t exec_node;
-    bool local;  // scheduled here (cancellable) vs keyed insert
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const { return b.key < a.key; }
   };
 
+  bool Dead(const Event& e) const {
+    return e.slot != kNoSlot && slots_[e.slot] != e.gen;
+  }
   void SkipCancelled() const;
+  void RetireSlot(uint32_t slot) {
+    slots_[slot] = (slots_[slot] + 1) & kGenMask;
+    if (slots_[slot] == 0) slots_[slot] = 1;  // gen 0 is reserved for "never"
+    free_slots_.push_back(slot);
+  }
 
   uint16_t origin_;
   mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  // Ids currently scheduled and not yet fired or cancelled. Cancel consults
-  // this set so a cancel racing an already-fired event cannot insert a
-  // permanent tombstone or corrupt live_count_.
-  std::unordered_set<EventId> pending_;
-  mutable std::unordered_set<EventId> cancelled_;
+  // slots_[s] is slot s's current generation; an id (or heap entry) is live
+  // iff its stamped generation equals it. Generations start at 1 and bump on
+  // fire and on cancel, so id 0 and recycled ids never match.
+  std::vector<uint32_t> slots_;
+  std::vector<uint32_t> free_slots_;
   size_t live_count_ = 0;
   uint64_t next_seq_ = 1;
 };

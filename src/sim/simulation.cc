@@ -29,6 +29,8 @@ Simulation::Simulation(uint64_t seed, int parallel_workers)
       rng_(seed) {
   loops_.push_back(std::make_unique<NodeLoop>(0, 0, NodeSeed(seed, 0)));
   loop_index_.emplace(0, 0);
+  tree_.Resize(1);
+  dirty_.resize(1, 0);
 }
 
 Simulation::~Simulation() {
@@ -52,10 +54,68 @@ NodeLoop* Simulation::EnsureLoop(uint16_t node) {
   loops_.push_back(std::make_unique<NodeLoop>(node, shard, NodeSeed(seed_, node)));
   loop_index_.emplace(node, shard);
   loops_.back()->now = now_;
+  tree_.Resize(loops_.size());  // the new leaf starts at +inf: queue is empty
+  dirty_.resize(loops_.size(), 0);
   stats_.EnsureShards(loops_.size());
   trace_.EnsureShards(loops_.size());
   trace_.EnsureNodeSpans(node);
   return loops_.back().get();
+}
+
+void Simulation::GrowDist(size_t n) {
+  if (n <= dist_n_) return;
+  std::vector<SimTime> nd(n * n, kNoDeadline);
+  for (size_t i = 0; i < n; ++i) nd[i * n + i] = 0;
+  for (size_t i = 0; i < dist_n_; ++i) {
+    for (size_t j = 0; j < dist_n_; ++j) {
+      nd[i * n + j] = dist_[i * dist_n_ + j];
+    }
+  }
+  dist_ = std::move(nd);
+  dist_n_ = n;
+}
+
+void Simulation::NoteLinkLatency(uint16_t a, uint16_t b, SimDuration latency) {
+  if (latency <= 0 || a == b) return;
+  const uint32_t sa = EnsureLoop(a)->shard;
+  const uint32_t sb = EnsureLoop(b)->shard;
+  GrowDist(loops_.size());
+  per_link_ = true;
+  // Relax the least-path table with the new edge. Any path improved by the
+  // edge uses it exactly once (latencies are positive), so one pass over all
+  // pairs is complete. The table is a static infimum over declared links:
+  // link-down flaps and longer actual routes only increase real latencies,
+  // never drop below it.
+  for (size_t i = 0; i < dist_n_; ++i) {
+    for (size_t j = 0; j < dist_n_; ++j) {
+      if (i == j) continue;
+      const SimTime via1 =
+          SatAdd(SatAdd(DistAt(i, sa), latency), DistAt(sb, j));
+      const SimTime via2 =
+          SatAdd(SatAdd(DistAt(i, sb), latency), DistAt(sa, j));
+      const SimTime best = via1 < via2 ? via1 : via2;
+      if (best < Dist(i, j)) Dist(i, j) = best;
+    }
+  }
+}
+
+SimDuration Simulation::LookaheadBetween(uint16_t src, uint16_t dst) const {
+  const auto is = loop_index_.find(src);
+  const auto id = loop_index_.find(dst);
+  if (is == loop_index_.end() || id == loop_index_.end()) {
+    return uniform_lookahead_;
+  }
+  return LookaheadShard(is->second, id->second);
+}
+
+SimDuration Simulation::lookahead() const {
+  SimTime m = uniform_lookahead_;
+  for (size_t i = 0; i < dist_n_; ++i) {
+    for (size_t j = 0; j < dist_n_; ++j) {
+      if (i != j && dist_[i * dist_n_ + j] < m) m = dist_[i * dist_n_ + j];
+    }
+  }
+  return m;
 }
 
 uint16_t Simulation::CtxNode() const {
@@ -63,42 +123,40 @@ uint16_t Simulation::CtxNode() const {
   return (ec != nullptr && ec->sim == this) ? ec->node : 0;
 }
 
-EventId Simulation::ScheduleOn(uint16_t node, SimTime when,
-                               std::function<void()> fn) {
+EventId Simulation::ScheduleOn(uint16_t node, SimTime when, EventFn fn) {
   NodeLoop* loop =
       mode_ == Mode::kLegacy ? loops_[0].get() : EnsureLoop(node);
   // During a parallel round only the loop's own worker may touch its queue;
-  // cross-node work must go through PostToNode.
+  // cross-node work must go through PostToNode. The dirty flag is skipped in
+  // that case: the coordinator refreshes every ready loop after the round.
   assert(!in_round_ || (internal::Exec() != nullptr &&
                         internal::Exec()->shard == loop->shard));
   const EventId seq = loop->queue.Schedule(when, node, std::move(fn));
+  if (!in_round_) MarkDirty(loop->shard);
   return (static_cast<EventId>(loop->shard) << kSeqBits) | seq;
 }
 
-EventId Simulation::After(SimDuration delay, std::function<void()> fn) {
+EventId Simulation::After(SimDuration delay, EventFn fn) {
   if (delay < 0) delay = 0;
   return ScheduleOn(CtxNode(), Now() + delay, std::move(fn));
 }
 
-EventId Simulation::At(SimTime when, std::function<void()> fn) {
+EventId Simulation::At(SimTime when, EventFn fn) {
   const SimTime now = Now();
   return ScheduleOn(CtxNode(), when < now ? now : when, std::move(fn));
 }
 
-EventId Simulation::AfterOn(uint16_t node, SimDuration delay,
-                            std::function<void()> fn) {
+EventId Simulation::AfterOn(uint16_t node, SimDuration delay, EventFn fn) {
   if (delay < 0) delay = 0;
   return ScheduleOn(node, Now() + delay, std::move(fn));
 }
 
-EventId Simulation::AtOn(uint16_t node, SimTime when,
-                         std::function<void()> fn) {
+EventId Simulation::AtOn(uint16_t node, SimTime when, EventFn fn) {
   const SimTime now = Now();
   return ScheduleOn(node, when < now ? now : when, std::move(fn));
 }
 
-void Simulation::PostToNode(uint16_t dst, SimDuration delay,
-                            std::function<void()> fn) {
+void Simulation::PostToNode(uint16_t dst, SimDuration delay, EventFn fn) {
   if (delay < 0) delay = 0;
   const SimTime when = Now() + delay;
   if (mode_ == Mode::kLegacy) {
@@ -114,16 +172,20 @@ void Simulation::PostToNode(uint16_t dst, SimDuration delay,
   const EventKey key{when, src->node, src->queue.IssueSeq()};
   if (dl == src || !in_round_) {
     dl->queue.ScheduleKeyed(key, dst, std::move(fn));
+    if (!in_round_) MarkDirty(dl->shard);
     return;
   }
-  // The receiver may be running on another thread: buffer the post. It
-  // cannot be due within the receiver's current horizon — the horizon is at
-  // most (sender's round start + lookahead), the post is at least lookahead
-  // after the sender's current (>= round start) event — so draining inboxes
-  // between rounds loses nothing.
-  assert(delay >= lookahead_);
-  std::lock_guard<std::mutex> lk(dl->inbox_mu);
-  dl->inbox.push_back(NodeLoop::Post{key, dst, std::move(fn)});
+  // The receiver may be running on another thread: buffer the post in the
+  // sender's outbox lane for dst (single writer — this worker). It cannot be
+  // due within the receiver's current horizon — the horizon is at most
+  // (receiver's view of src's round-start time + src→dst lookahead), the
+  // post is at least that lookahead after the sender's current (>= round
+  // start) event — so draining lanes between rounds loses nothing.
+  assert(delay >= LookaheadShard(src->shard, dl->shard));
+  if (src->outbox.size() < loops_.size()) src->outbox.resize(loops_.size());
+  auto& lane = src->outbox[dl->shard];
+  if (lane.empty()) src->outbox_dsts.push_back(dl->shard);
+  lane.push_back(NodeLoop::Post{key, dst, std::move(fn)});
 }
 
 void Simulation::Cancel(EventId id) {
@@ -133,12 +195,15 @@ void Simulation::Cancel(EventId id) {
   assert(!in_round_ || (internal::Exec() != nullptr &&
                         internal::Exec()->shard == loop->shard));
   loop->queue.Cancel(id & ((EventId{1} << kSeqBits) - 1));
+  // A cancelled head can move the loop's next-event time *later*; a stale
+  // too-small leaf would leave the round loop unable to find ready work.
+  if (!in_round_) MarkDirty(shard);
 }
 
 void Simulation::ExecOne(NodeLoop* loop) {
   EventKey key;
   uint16_t exec_node = 0;
-  std::function<void()> fn = loop->queue.PopNext(&key, &exec_node);
+  EventFn fn = loop->queue.PopNext(&key, &exec_node);
   loop->now = key.time;
   internal::ExecContext ctx;
   ctx.sim = this;
@@ -154,29 +219,43 @@ void Simulation::ExecOne(NodeLoop* loop) {
   ++loop->executed;
 }
 
-void Simulation::DrainInboxes() {
+void Simulation::DrainOutboxes() {
+  // Coordinator-only, between rounds; the round barrier (pool_mu_) ordered
+  // every worker's lane writes before this read. Insertion order across
+  // lanes is irrelevant: heaps pop by the total-order key.
   for (auto& l : loops_) {
-    std::lock_guard<std::mutex> lk(l->inbox_mu);
-    for (NodeLoop::Post& p : l->inbox) {
-      l->queue.ScheduleKeyed(p.key, p.exec_node, std::move(p.fn));
+    if (l->outbox_dsts.empty()) continue;
+    for (uint32_t d : l->outbox_dsts) {
+      std::vector<NodeLoop::Post>& lane = l->outbox[d];
+      NodeLoop* dl = loops_[d].get();
+      for (NodeLoop::Post& p : lane) {
+        dl->queue.ScheduleKeyed(p.key, p.exec_node, std::move(p.fn));
+      }
+      metric_posts_ += lane.size();
+      lane.clear();
+      MarkDirty(d);
     }
-    l->inbox.clear();
+    l->outbox_dsts.clear();
   }
 }
 
 bool Simulation::Step() {
-  if (mode_ == Mode::kParallel) DrainInboxes();
-  NodeLoop* best = nullptr;
-  const EventKey* bk = nullptr;
-  for (const auto& l : loops_) {
-    const EventKey* k = l->queue.NextKey();
-    if (k != nullptr && (bk == nullptr || *k < *bk)) {
-      best = l.get();
-      bk = k;
-    }
+  if (mode_ == Mode::kParallel) DrainOutboxes();
+  RefreshDirty();
+  const EventKey* k0 = loops_[0]->queue.NextKey();
+  const uint32_t w = tree_.MinIndex();
+  NodeLoop* best;
+  // Keys are globally unique, so the k0-vs-tree comparison picks the same
+  // event the old full scan did.
+  if (k0 != nullptr && (w == MinTree::kNone || *k0 < tree_.KeyAt(w))) {
+    best = loops_[0].get();
+  } else if (w != MinTree::kNone) {
+    best = loops_[w].get();
+  } else {
+    return false;
   }
-  if (best == nullptr) return false;
   ExecOne(best);
+  MarkDirty(best->shard);
   if (best->now > now_) now_ = best->now;
   return true;
 }
@@ -194,17 +273,21 @@ size_t Simulation::Run(size_t max_events) {
 
 void Simulation::RunUntilSerial(SimTime deadline) {
   for (;;) {
-    NodeLoop* best = nullptr;
-    const EventKey* bk = nullptr;
-    for (const auto& l : loops_) {
-      const EventKey* k = l->queue.NextKey();
-      if (k != nullptr && (bk == nullptr || *k < *bk)) {
-        best = l.get();
-        bk = k;
-      }
+    RefreshDirty();
+    const EventKey* k0 = loops_[0]->queue.NextKey();
+    const uint32_t w = tree_.MinIndex();
+    NodeLoop* best;
+    if (k0 != nullptr && (w == MinTree::kNone || *k0 < tree_.KeyAt(w))) {
+      if (k0->time > deadline) return;
+      best = loops_[0].get();
+    } else if (w != MinTree::kNone) {
+      if (tree_.KeyAt(w).time > deadline) return;
+      best = loops_[w].get();
+    } else {
+      return;
     }
-    if (best == nullptr || bk->time > deadline) break;
     ExecOne(best);
+    MarkDirty(best->shard);
     if (best->now > now_) now_ = best->now;
   }
 }
@@ -223,55 +306,75 @@ void Simulation::RunUntil(SimTime deadline) {
 
 void Simulation::RunUntilParallel(SimTime deadline) {
   StartWorkers();
+  std::vector<uint32_t> active;  // scratch: shards with pending work
   for (;;) {
-    DrainInboxes();
+    DrainOutboxes();
+    RefreshDirty();
 
     // Serial phase: global-loop events sort before any node's events at the
     // same time, so run them while none of the node loops has earlier work.
     for (;;) {
       const EventKey* k0 = loops_[0]->queue.NextKey();
       if (k0 == nullptr || k0->time > deadline) break;
-      SimTime tn = kNoDeadline;
-      for (size_t i = 1; i < loops_.size(); ++i) {
-        tn = std::min(tn, loops_[i]->queue.NextTime());
-      }
-      if (k0->time > tn) break;
+      if (k0->time > tree_.MinTime()) break;
       ExecOne(loops_[0].get());
       if (loops_[0]->now > now_) now_ = loops_[0]->now;
+      RefreshDirty();  // the event may have scheduled onto node loops
     }
 
-    // Round setup: every loop may run strictly below
-    //   min(cap, min over other loops of their next event time + lookahead)
+    // Round setup: loop i may run strictly below
+    //   min(cap, min over other active loops j of E_j + L(j->i))
     // where cap stops at the next global-loop event or the deadline. The
-    // loop holding the globally minimal next event is always ready, so every
-    // iteration makes progress.
+    // loop holding the globally minimal next event is always ready (all
+    // lookaheads are positive and cap exceeds the minimum — the serial
+    // phase ran loop 0 past it), so every iteration makes progress.
     const SimTime t0 = loops_[0]->queue.NextTime();
     const SimTime cap = std::min(SatAdd(deadline, 1), t0);
-    SimTime min1 = kNoDeadline, min2 = kNoDeadline;
-    for (size_t i = 1; i < loops_.size(); ++i) {
-      const SimTime e = loops_[i]->queue.NextTime();
-      if (e < min1) {
-        min2 = min1;
-        min1 = e;
-      } else if (e < min2) {
-        min2 = e;
-      }
-    }
+    const SimTime min1 = tree_.MinTime();
     if (min1 > deadline) break;  // no node work left within the deadline
 
     ready_.clear();
-    for (size_t i = 1; i < loops_.size(); ++i) {
-      NodeLoop* l = loops_[i].get();
-      const SimTime e = l->queue.NextTime();
-      if (e == kNoDeadline) continue;
-      const SimTime others = (e == min1) ? min2 : min1;
-      const SimTime h = std::min(cap, SatAdd(others, lookahead_));
-      if (e < h) {
-        l->horizon = h;
-        ready_.push_back(l);
+    if (!per_link_) {
+      // Uniform lookahead: min over others of E_j + L collapses to
+      // (second-)smallest E + L, straight off the tree.
+      const SimTime min2 = tree_.SecondMinTime();
+      for (size_t i = 1; i < loops_.size(); ++i) {
+        const SimTime e = tree_.KeyAt(i).time;
+        if (e == kNoDeadline) continue;
+        const SimTime others = (e == min1) ? min2 : min1;
+        const SimTime h = std::min(cap, SatAdd(others, uniform_lookahead_));
+        if (e < h) {
+          loops_[i]->horizon = h;
+          ready_.push_back(loops_[i].get());
+          if (h != kNoDeadline) horizon_width_.Add(h - e);
+        }
+      }
+    } else {
+      active.clear();
+      for (size_t i = 1; i < loops_.size(); ++i) {
+        if (tree_.KeyAt(i).time != kNoDeadline) {
+          active.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      for (uint32_t i : active) {
+        const SimTime e = tree_.KeyAt(i).time;
+        SimTime h = cap;
+        for (uint32_t j : active) {
+          if (j == i) continue;
+          const SimTime b =
+              SatAdd(tree_.KeyAt(j).time, LookaheadShard(j, i));
+          if (b < h) h = b;
+        }
+        if (e < h) {
+          loops_[i]->horizon = h;
+          ready_.push_back(loops_[i].get());
+          if (h != kNoDeadline) horizon_width_.Add(h - e);
+        }
       }
     }
     assert(!ready_.empty());
+    ++metric_rounds_;
+    metric_ready_loops_ += ready_.size();
 
     if (ready_.size() == 1 || threads_.empty()) {
       // Nothing to overlap: run on this thread without the round barrier.
@@ -299,6 +402,7 @@ void Simulation::RunUntilParallel(SimTime deadline) {
     }
     for (NodeLoop* l : ready_) {
       if (l->now > now_) now_ = l->now;
+      MarkDirty(l->shard);  // in-round schedules/cancels skipped the flag
     }
   }
 }
@@ -354,11 +458,27 @@ void Simulation::ClaimLoop(uint64_t round) {
   }
 }
 
+void Simulation::PublishEngineMetrics() {
+  stats_.Incr(stats_.RegisterCounter("sim.rounds"),
+              static_cast<int64_t>(metric_rounds_ - published_rounds_));
+  stats_.Incr(stats_.RegisterCounter("sim.ready_loops"),
+              static_cast<int64_t>(metric_ready_loops_ - published_ready_loops_));
+  stats_.Incr(stats_.RegisterCounter("sim.inbox_posts"),
+              static_cast<int64_t>(metric_posts_ - published_posts_));
+  published_rounds_ = metric_rounds_;
+  published_ready_loops_ = metric_ready_loops_;
+  published_posts_ = metric_posts_;
+  if (!horizon_published_ && horizon_width_.count() > 0) {
+    stats_.Merge(stats_.RegisterHistogram("sim.horizon_width"), horizon_width_);
+    horizon_published_ = true;
+  }
+}
+
 bool Simulation::Idle() const {
   for (const auto& l : loops_) {
     if (!l->queue.empty()) return false;
   }
-  return true;  // inboxes are empty whenever no round is executing
+  return true;  // outbox lanes are empty whenever no round is executing
 }
 
 size_t Simulation::PendingEvents() const {

@@ -16,19 +16,33 @@
 //   1  — per-node loops multiplexed on the calling thread in canonical key
 //        order (the PDES oracle);
 //   N  — a pool of N threads executing node loops round-by-round under
-//        conservative synchronization: a loop may run up to
-//        min_{other loops j}(next event time of j) + lookahead, where
-//        lookahead is the minimum cross-node link latency. No rollback is
-//        ever needed because a node can only affect another node at least
-//        one link latency in the future (Network posts cross-node work via
+//        conservative synchronization: loop i may run strictly below
+//        min(cap, min over other loops j of E_j + L(j→i)), where E_j is
+//        loop j's next event time and L(j→i) is the lookahead from j to i.
+//        No rollback is ever needed because node j can only affect node i
+//        at least L(j→i) in the future (Network posts cross-node work via
 //        PostToNode, never with a shorter delay).
+//
+// Lookahead is per ordered pair of nodes: Network::AddLink(a, b, l) feeds an
+// incremental all-pairs table of least path latencies, so a 50ms WAN link in
+// one corner of the cluster no longer throttles two nodes joined by a 1ms
+// LAN link, and unlinked pairs contribute no bound at all. The table is a
+// static lower bound — it only ever admits latencies that some declared-link
+// path could achieve, so it stays valid when links flap down or routing
+// takes longer paths. The scalar NoteLinkLatency(l) overload remains as a
+// uniform all-pairs floor for topology-free tests and benches.
+//
+// Coordinator bookkeeping is incremental: a tournament tree (MinTree) over
+// the per-loop next-event keys replaces the every-round full rescan, and
+// cross-loop posts travel through per-sender outbox lanes — written only by
+// the sending loop's worker, drained only by the coordinator between rounds
+// — so concurrent posters never contend on a lock.
 
 #ifndef ENCOMPASS_SIM_SIMULATION_H_
 #define ENCOMPASS_SIM_SIMULATION_H_
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -39,16 +53,19 @@
 #include "common/sim_time.h"
 #include "sim/event_queue.h"
 #include "sim/exec_context.h"
+#include "sim/min_tree.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
 namespace encompass::sim {
 
 /// One per-node event loop: its own clock, event queue, and PRNG stream.
-/// In parallel mode a locked inbox buffers cross-node posts made while the
-/// owner may be running on another thread; the coordinator drains inboxes
-/// between rounds (safe because a cross-node post is always at least one
-/// lookahead in the future, past every horizon granted in the round).
+/// In parallel mode cross-node posts made during a round are buffered in the
+/// *sender's* outbox lanes (one per destination shard) rather than a locked
+/// inbox on the receiver: each lane has exactly one writer (the sending
+/// loop's worker), and the coordinator drains lanes between rounds (safe
+/// because a cross-node post is always at least one link lookahead in the
+/// future, past every horizon granted in the round).
 struct NodeLoop {
   NodeLoop(uint16_t node_id, uint32_t shard_index, uint64_t rng_seed)
       : node(node_id), shard(shard_index), queue(node_id), rng(rng_seed) {}
@@ -64,10 +81,12 @@ struct NodeLoop {
   struct Post {
     EventKey key;
     uint16_t exec_node;
-    std::function<void()> fn;
+    EventFn fn;
   };
-  std::mutex inbox_mu;
-  std::vector<Post> inbox;
+  // outbox[d] buffers this loop's in-round posts to destination shard d;
+  // outbox_dsts lists the non-empty lanes so draining skips the rest.
+  std::vector<std::vector<Post>> outbox;
+  std::vector<uint32_t> outbox_dsts;
 };
 
 /// One deterministic simulated world. All simulated components hold a
@@ -120,24 +139,24 @@ class Simulation {
 
   /// Schedules `fn` to run `delay` microseconds from now (>= 0), on the
   /// loop of the node whose event is executing (loop 0 outside events).
-  EventId After(SimDuration delay, std::function<void()> fn);
+  EventId After(SimDuration delay, EventFn fn);
 
   /// Schedules `fn` at an absolute time (clamped to now); same loop
   /// attribution as After.
-  EventId At(SimTime when, std::function<void()> fn);
+  EventId At(SimTime when, EventFn fn);
 
   /// Schedules `fn` on `node`'s loop explicitly. Used where the OS layer
   /// schedules work for a node from outside that node's own event (process
   /// adoption, CPU regroup, message delivery hand-off).
-  EventId AfterOn(uint16_t node, SimDuration delay, std::function<void()> fn);
-  EventId AtOn(uint16_t node, SimTime when, std::function<void()> fn);
+  EventId AfterOn(uint16_t node, SimDuration delay, EventFn fn);
+  EventId AtOn(uint16_t node, SimTime when, EventFn fn);
 
   /// Cross-node channel edge: schedules `fn` on `dst`'s loop, keyed with the
   /// *sender's* (origin, seq) stamp so deliveries fire in send order at any
   /// worker count. The only legal way for one node's event to schedule onto
-  /// another running loop; `delay` must be at least the lookahead (true for
-  /// every network latency by construction). Not cancellable.
-  void PostToNode(uint16_t dst, SimDuration delay, std::function<void()> fn);
+  /// another running loop; `delay` must be at least the sender→dst lookahead
+  /// (true for every network latency by construction). Not cancellable.
+  void PostToNode(uint16_t dst, SimDuration delay, EventFn fn);
 
   void Cancel(EventId id);
 
@@ -165,25 +184,50 @@ class Simulation {
   /// simulated node has its loop before traffic starts.
   void EnsureNode(uint16_t node) { EnsureLoop(node); }
 
-  /// Shrinks the conservative lookahead to `latency` if smaller. Called by
-  /// Network::AddLink; the lookahead is the minimum cross-node link latency.
+  /// Declares a link of `latency` between nodes `a` and `b` for lookahead
+  /// purposes. Called by Network::AddLink; relaxes the all-pairs least-path
+  /// latency table, which lower-bounds how soon any event on one node can
+  /// affect another.
+  void NoteLinkLatency(uint16_t a, uint16_t b, SimDuration latency);
+
+  /// Uniform fallback: shrinks the all-pairs lookahead floor to `latency`
+  /// if smaller. For call sites with no topology to declare.
   void NoteLinkLatency(SimDuration latency) {
-    if (latency > 0 && latency < lookahead_) lookahead_ = latency;
+    if (latency > 0 && latency < uniform_lookahead_) {
+      uniform_lookahead_ = latency;
+    }
   }
-  SimDuration lookahead() const { return lookahead_; }
+
+  /// Conservative bound on how soon an event on `src` can affect `dst`:
+  /// min(uniform floor, least declared-link path latency src→dst).
+  /// kNoDeadline if neither bound applies (the pair cannot interact).
+  SimDuration LookaheadBetween(uint16_t src, uint16_t dst) const;
+
+  /// Smallest pairwise lookahead (the old scalar view; tests/benches only).
+  SimDuration lookahead() const;
+
+  /// Publishes the engine's coordinator metrics (sim.rounds,
+  /// sim.ready_loops, sim.inbox_posts counters and the sim.horizon_width
+  /// histogram, horizon widths in µs) into GetStats(). The engine keeps
+  /// these outside Stats during the run because they measure the *engine
+  /// configuration*, not the simulated workload: folding them in eagerly
+  /// would break byte-identity of Stats dumps across worker counts.
+  /// Call between runs/rounds only. Idempotent-ish: counters publish deltas,
+  /// the histogram is merged once per accumulation.
+  void PublishEngineMetrics();
 
  private:
   enum class Mode { kLegacy, kSingleLoop, kParallel };
 
-  // EventIds pack (loop shard << kSeqBits) | local seq; legacy mode keeps
-  // shard 0 so ids equal the pre-PDES global sequence numbers.
-  static constexpr int kSeqBits = 40;
+  // EventIds pack (loop shard << kSeqBits) | local id, where the local id is
+  // the queue's (generation << slot-bits) | slot stamp.
+  static constexpr int kSeqBits = EventQueue::kSlotBits + EventQueue::kGenBits;
 
   NodeLoop* EnsureLoop(uint16_t node);
   uint16_t CtxNode() const;
-  EventId ScheduleOn(uint16_t node, SimTime when, std::function<void()> fn);
+  EventId ScheduleOn(uint16_t node, SimTime when, EventFn fn);
   void ExecOne(NodeLoop* loop);
-  void DrainInboxes();
+  void DrainOutboxes();
   void RunUntilSerial(SimTime deadline);
   void RunUntilParallel(SimTime deadline);
   void RunLoopTo(NodeLoop* loop, SimTime horizon);
@@ -191,18 +235,65 @@ class Simulation {
   void WorkerMain();
   void ClaimLoop(uint64_t round);
 
+  // --- incremental next-event tracking (coordinator/serial thread only) ----
+  // Loops whose queue head may have changed are flagged dirty; RefreshDirty
+  // re-reads just those heads into the tournament tree. Leaf 0 stays at +∞
+  // permanently: the global loop is consulted directly where it matters, so
+  // the tree's min ranges over node loops only.
+  void MarkDirty(uint32_t shard) {
+    if (shard == 0 || dirty_[shard]) return;
+    dirty_[shard] = 1;
+    dirty_list_.push_back(shard);
+  }
+  void RefreshDirty() {
+    for (uint32_t s : dirty_list_) {
+      dirty_[s] = 0;
+      tree_.Set(s, loops_[s]->queue.NextKey());
+    }
+    dirty_list_.clear();
+  }
+
+  // --- per-pair lookahead --------------------------------------------------
+  SimTime& Dist(size_t i, size_t j) { return dist_[i * dist_n_ + j]; }
+  SimTime DistAt(size_t i, size_t j) const {
+    return (i < dist_n_ && j < dist_n_) ? dist_[i * dist_n_ + j] : kNoDeadline;
+  }
+  void GrowDist(size_t n);
+  SimDuration LookaheadShard(uint32_t src_shard, uint32_t dst_shard) const {
+    const SimTime d = DistAt(src_shard, dst_shard);
+    return d < uniform_lookahead_ ? d : uniform_lookahead_;
+  }
+
   Mode mode_;
   SimTime now_ = 0;
   uint64_t seed_;
   int parallel_workers_;
   encompass::Random rng_;
-  SimDuration lookahead_ = kNoDeadline;
+
+  SimDuration uniform_lookahead_ = kNoDeadline;  // scalar all-pairs floor
+  bool per_link_ = false;       // any per-pair latency declared?
+  std::vector<SimTime> dist_;   // least path latency, dist_n_ x dist_n_ shards
+  size_t dist_n_ = 0;
 
   std::vector<std::unique_ptr<NodeLoop>> loops_;  // [0] is the global loop
   std::unordered_map<uint16_t, uint32_t> loop_index_;  // node id -> shard
 
+  MinTree tree_;                     // next-event keys of node loops (1..n)
+  std::vector<uint8_t> dirty_;       // per-shard "head may have moved" flag
+  std::vector<uint32_t> dirty_list_; // shards with dirty_ set
+
   Stats stats_;
   TraceLog trace_;
+
+  // --- engine metrics (coordinator-only; published on demand) --------------
+  uint64_t metric_rounds_ = 0;       // parallel rounds run
+  uint64_t metric_ready_loops_ = 0;  // sum of ready-set sizes over rounds
+  uint64_t metric_posts_ = 0;        // cross-loop posts buffered via outboxes
+  Histogram horizon_width_;          // granted horizon minus next-event time
+  uint64_t published_rounds_ = 0;    // deltas already pushed into stats_
+  uint64_t published_ready_loops_ = 0;
+  uint64_t published_posts_ = 0;
+  bool horizon_published_ = false;
 
   // --- worker pool (kParallel only; threads start lazily) -----------------
   std::vector<std::thread> threads_;

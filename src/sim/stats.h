@@ -117,6 +117,11 @@ class Stats {
   void Record(MetricId id, int64_t value) {
     if (id.valid()) WriteShard().histograms[id.index_].Add(value);
   }
+  /// Merges a whole externally-accumulated histogram into `id` (used by the
+  /// engine to publish metrics it keeps outside Stats during a run).
+  void Merge(MetricId id, const Histogram& h) {
+    if (id.valid() && h.count() > 0) WriteShard().histograms[id.index_].Merge(h);
+  }
   /// Total across all shards.
   int64_t Counter(MetricId id) const;
   /// Merged view across all shards, rebuilt on each call; the reference is

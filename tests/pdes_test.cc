@@ -122,6 +122,64 @@ TEST(EventQueueTest, NextKeyReportsEarliest) {
   EXPECT_EQ(q.NextTime(), 200);
 }
 
+// --- EventFn ---------------------------------------------------------------
+
+TEST(EventFnTest, InvokesInlineAndHeapCallables) {
+  int hits = 0;
+  EventFn small([&hits]() { ++hits; });  // fits inline storage
+  EXPECT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    uint64_t payload[12];  // larger than EventFn::kInlineCapacity
+    int* counter;
+    void operator()() { *counter += static_cast<int>(payload[11]); }
+  };
+  Big big{};
+  big.payload[11] = 5;
+  big.counter = &hits;
+  EventFn large(big);  // heap fallback
+  large();
+  EXPECT_EQ(hits, 6);
+}
+
+TEST(EventFnTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  EventFn a([&hits]() { ++hits; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  EventFn c;
+  EXPECT_FALSE(static_cast<bool>(c));
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFnTest, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* ctor;
+    int* dtor;
+    Probe(int* c, int* d) : ctor(c), dtor(d) { ++*ctor; }
+    Probe(const Probe& o) : ctor(o.ctor), dtor(o.dtor) { ++*ctor; }
+    Probe(Probe&& o) noexcept : ctor(o.ctor), dtor(o.dtor) { ++*ctor; }
+    ~Probe() { ++*dtor; }
+  };
+  int ctor = 0, dtor = 0;
+  {
+    Probe p(&ctor, &dtor);
+    EventFn f([p]() {});
+    EventFn g(std::move(f));  // relocation must destroy the source residue
+    g();                      // invoking must not destroy the capture
+    EXPECT_TRUE(static_cast<bool>(g));
+  }
+  EXPECT_EQ(ctor, dtor);  // every constructed capture was destroyed once
+  EXPECT_GT(ctor, 0);
+}
+
 // --- per-node PRNG streams -------------------------------------------------
 
 TEST(NodeRngTest, StreamsAreDistinctAndSeedStable) {
@@ -265,6 +323,66 @@ TEST(EngineTest, ExecutedEventsCountsAcrossLoops) {
     EXPECT_EQ(sim.ExecutedEvents(), 6u) << "workers=" << workers;
     EXPECT_TRUE(sim.Idle());
     EXPECT_EQ(sim.PendingEvents(), 0u);
+  }
+}
+
+// A two-tier topology exercising per-link horizons: nodes 1-2 joined by a
+// fast link trade frequent traffic, nodes 3-4 hang off 20ms WAN links and
+// run their own dense chains. Per-pair lookahead lets 3 and 4 batch far
+// ahead of the 1-2 pair; the logs must still match every engine exactly.
+std::vector<std::string> RunHeteroWorkload(int workers) {
+  Simulation sim(/*seed=*/123, workers);
+  for (uint16_t n = 1; n <= 4; ++n) sim.EnsureNode(n);
+  sim.NoteLinkLatency(1, 2, Micros(250));
+  sim.NoteLinkLatency(2, 3, Millis(20));
+  sim.NoteLinkLatency(3, 4, Millis(20));
+
+  std::vector<std::vector<std::string>> logs(5);
+  struct Chain {
+    static void Step(Simulation* sim, std::vector<std::vector<std::string>>* logs,
+                     uint16_t node, int steps_left) {
+      uint64_t draw = sim->RngFor(node).Uniform(100);
+      (*logs)[node].push_back("t=" + std::to_string(sim->Now()) + " d=" +
+                              std::to_string(draw));
+      if (node <= 2) {  // fast pair: chatter across the 250us link
+        auto peer = static_cast<uint16_t>(node == 1 ? 2 : 1);
+        sim->PostToNode(peer, Micros(250 + draw), [sim, logs, peer]() {
+          (*logs)[peer].push_back("t=" + std::to_string(sim->Now()) + " recv");
+        });
+      } else if (draw % 4 == 0) {  // WAN nodes: occasional 20ms+ posts
+        auto peer = static_cast<uint16_t>(node == 3 ? 4 : 3);
+        sim->PostToNode(peer, Millis(20) + Micros(draw), [sim, logs, peer]() {
+          (*logs)[peer].push_back("t=" + std::to_string(sim->Now()) + " recv");
+        });
+      }
+      if (steps_left > 1) {
+        const SimDuration gap =
+            node <= 2 ? Millis(1) + Micros(draw) : Micros(80 + draw);
+        sim->AfterOn(node, gap, [sim, logs, node, steps_left]() {
+          Step(sim, logs, node, steps_left - 1);
+        });
+      }
+    }
+  };
+  for (uint16_t n = 1; n <= 4; ++n) {
+    sim.AfterOn(n, Micros(10 + n * 3), [&sim, &logs, n]() {
+      Chain::Step(&sim, &logs, n, n <= 2 ? 10 : 60);
+    });
+  }
+  sim.RunUntil(Millis(25));
+  std::vector<std::string> flat;
+  for (int n = 1; n <= 4; ++n) {
+    flat.push_back("--- node " + std::to_string(n));
+    for (const auto& line : logs[n]) flat.push_back(line);
+  }
+  return flat;
+}
+
+TEST(EngineTest, PerLinkLookaheadPreservesIdentityOnHeteroTopology) {
+  const std::vector<std::string> legacy = RunHeteroWorkload(0);
+  ASSERT_GT(legacy.size(), 8u);
+  for (int workers : {1, 2, 4, 8}) {
+    EXPECT_EQ(RunHeteroWorkload(workers), legacy) << "workers=" << workers;
   }
 }
 
