@@ -358,7 +358,17 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
     spec.tmp_config.auto_abort_timeout = Seconds(10);
     // In-doubt participants of a dead home must resolve themselves, or
     // their locks wedge the drain.
-    spec.tmp_config.indoubt_resolve_interval = Seconds(2);
+    spec.tmp_config.indoubt_resolve_interval = config.indoubt_resolve_interval;
+    spec.tmp_config.commit_protocol = config.commit_protocol;
+    spec.tmp_config.track_indoubt_hold = true;
+    spec.tmp_config.track_commit_latency = true;
+    if (config.commit_protocol == tmf::CommitProtocol::kPaxos) {
+      const int replication = std::min(config.commit_replication, config.nodes);
+      spec.tmp_config.commit_replication = replication;
+      for (int a = 1; a <= replication; ++a) {
+        spec.tmp_config.acceptor_nodes.push_back(static_cast<net::NodeId>(a));
+      }
+    }
     spec.exec_lane = config.queue_lane ? ExecLane::kQueue : ExecLane::kLocks;
     spec.volumes = {VolumeSpec{
         VolName(n), {FileSpec{"acct"}, FileSpec{MarkerFile(n)}}, {}}};
@@ -564,7 +574,18 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
         injector.InjectAt(
             f.at + f.heal_after, "recover node " + std::to_string(f.node),
             [&deploy, &campaign_mu, &crashed, &recovering, &injector, &res,
-             &spawn_clients, &sim, stop_at, f]() {
+             &spawn_clients, &sim, stop_at, f, &config]() {
+              // In-doubt census at the instant the dead home returns: every
+              // participant still blocked on it waited out the whole outage.
+              for (int n = 1; n <= config.nodes; ++n) {
+                if (n == f.node) continue;
+                NodeDeployment* nd =
+                    deploy.GetNode(static_cast<net::NodeId>(n));
+                if (tmf::TmpProcess* tmp = nd->tmp()) {
+                  res.indoubt_at_recovery +=
+                      tmp->IndoubtParticipantsOf(f.node);
+                }
+              }
               ++recovering;
               deploy.RecoverNode(
                   f.node,
@@ -660,6 +681,30 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
   res.txns_aborted = oracle.count(AtomicityOracle::Outcome::kAborted);
   res.txns_unknown = oracle.count(AtomicityOracle::Outcome::kUnknown);
   res.illegal_transitions = sim.GetStats().Counter("tmf.illegal_transitions");
+  {
+    sim::Stats& stats = sim.GetStats();
+    res.indoubt_resolved_via_home =
+        stats.Counter("tmf.indoubt_resolved_commits") +
+        stats.Counter("tmf.indoubt_resolved_aborts");
+    res.indoubt_blocked_on_home = stats.Counter("tmf.indoubt_blocked_on_home");
+    res.indoubt_resolved_via_acceptors =
+        stats.Counter("tmf.paxos_resolved_commits") +
+        stats.Counter("tmf.paxos_resolved_aborts") +
+        stats.Counter("recovery.paxos_resolves");
+    res.recovery_max_retry_attempts =
+        stats.Counter("recovery.max_retry_attempts");
+    if (const sim::Histogram* h = stats.FindHistogram("tmf.indoubt_hold_us")) {
+      res.indoubt_hold_count = static_cast<int64_t>(h->count());
+      res.indoubt_hold_p50_ms = static_cast<double>(h->Percentile(50)) / 1e3;
+      res.indoubt_hold_p99_ms = static_cast<double>(h->Percentile(99)) / 1e3;
+      res.indoubt_hold_max_ms = static_cast<double>(h->Max()) / 1e3;
+    }
+    if (const sim::Histogram* h = stats.FindHistogram("tmf.commit_latency_us")) {
+      res.commit_latency_count = static_cast<int64_t>(h->count());
+      res.commit_latency_p50_ms = static_cast<double>(h->Percentile(50)) / 1e3;
+      res.commit_latency_p99_ms = static_cast<double>(h->Percentile(99)) / 1e3;
+    }
+  }
   for (int n = 1; n <= config.nodes; ++n) {
     NodeDeployment* nd = deploy.GetNode(static_cast<net::NodeId>(n));
     if (tmf::TmpProcess* tmp = nd->tmp()) {

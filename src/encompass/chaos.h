@@ -167,6 +167,18 @@ struct ChaosCampaignConfig {
   /// Deploy every node with ExecLane::kQueue and run the clients through
   /// the $QPLAN submit path — the same storm and oracle, lock-free lane.
   bool queue_lane = false;
+  /// Commit protocol of every node's TMP: the paper's 2PC (default), or
+  /// Paxos Commit with `commit_replication` CommitAcceptor pairs placed on
+  /// nodes 1..min(commit_replication, nodes).
+  tmf::CommitProtocol commit_protocol = tmf::CommitProtocol::kTwoPhase;
+  int commit_replication = 3;
+  /// How often an in-doubt participant re-asks for its disposition. The
+  /// default (2s) outlasts most storm outages, so pre-PR campaign traces are
+  /// unchanged; protocol-comparison runs shrink it below the storm's heal
+  /// window (0.3-1.5s) so a dead-home window is actually probed — 2PC then
+  /// accrues one blocked tick per interval while Paxos Commit escalates to
+  /// the acceptors at the first one.
+  SimDuration indoubt_resolve_interval = Seconds(2);
 };
 
 /// Everything a test or bench asserts about one campaign run.
@@ -177,6 +189,12 @@ struct ChaosCampaignResult {
   size_t faults_fired = 0;
   size_t node_crashes = 0;
   size_t recoveries_completed = 0;
+  /// In-doubt transactions at recovery: participants cluster-wide still
+  /// blocked (kEnding) on a crashed home at the instant it returned, summed
+  /// over every node recovery in the storm. The headline Paxos-vs-2PC
+  /// number — 2PC participants wait out the whole outage, Paxos Commit
+  /// participants resolve against the acceptor majority mid-outage.
+  size_t indoubt_at_recovery = 0;
   bool quiesced = false;            ///< everything drained within max_drain
   std::vector<AtomicityOracle::Violation> violations;
   long long balance_sum = 0;
@@ -191,6 +209,32 @@ struct ChaosCampaignResult {
   int64_t illegal_transitions = 0;
   size_t rollforward_negotiated = 0;  ///< dispositions settled via peers
   size_t rollforward_redo_applied = 0;
+  /// In-doubt dispositions that had to come from the home TMP
+  /// (tmf.indoubt_resolved_*): 2PC's blocked-window casualties.
+  int64_t indoubt_resolved_via_home = 0;
+  /// Resolve ticks a participant spent blocked on an unreachable home while
+  /// still in-doubt (tmf.indoubt_blocked_on_home). 2PC accrues one per tick
+  /// for the whole dead-home window; Paxos Commit escalates to the acceptors
+  /// after the first blocked tick, so the count stays near the number of
+  /// in-doubt transactions rather than scaling with outage length.
+  int64_t indoubt_blocked_on_home = 0;
+  /// In-doubt dispositions learned from an acceptor majority while the
+  /// home was unreachable (participants + recovering nodes; paxos only).
+  int64_t indoubt_resolved_via_acceptors = 0;
+  /// Blocked-lock time: how long non-home participants held locks in-doubt
+  /// (tmf.indoubt_hold_us), milliseconds.
+  int64_t indoubt_hold_count = 0;
+  double indoubt_hold_p50_ms = 0;
+  double indoubt_hold_p99_ms = 0;
+  double indoubt_hold_max_ms = 0;
+  /// END-TRANSACTION to commit point at the home TMP
+  /// (tmf.commit_latency_us), milliseconds. Prices the protocols against
+  /// each other: paxos adds an acceptor round trip before the commit point.
+  int64_t commit_latency_count = 0;
+  double commit_latency_p50_ms = 0;
+  double commit_latency_p99_ms = 0;
+  /// High-water of recovery negotiation attempts for any single transid.
+  int64_t recovery_max_retry_attempts = 0;
 };
 
 /// Generates the fault schedule for `config.seed` and runs the campaign.

@@ -1,8 +1,10 @@
 #include "encompass/deployment.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
+#include "tmf/commit_acceptor.h"
 #include "tmf/recovery.h"
 
 namespace encompass::app {
@@ -96,6 +98,20 @@ void NodeDeployment::StartServices() {
   two_cpus(&a, &b);
   os::SpawnPair<tmf::TmpProcess>(node_, "$TMP", a, b, tcfg);
   RegisterRepairablePair<tmf::TmpProcess>("$TMP", tcfg);
+
+  // Paxos Commit acceptor, on the nodes the deployment designates. Plain
+  // 2PC (the default) spawns nothing here, keeping its process layout and
+  // traces byte-identical to pre-paxos builds.
+  if (tcfg.commit_protocol == tmf::CommitProtocol::kPaxos &&
+      std::find(tcfg.acceptor_nodes.begin(), tcfg.acceptor_nodes.end(),
+                node_->id()) != tcfg.acceptor_nodes.end()) {
+    tmf::CommitAcceptorConfig ccfg;
+    ccfg.log = &storage_.acceptor_log;
+    ccfg.force_latency = tcfg.mat_force_latency;
+    two_cpus(&a, &b);
+    os::SpawnPair<tmf::CommitAcceptor>(node_, tcfg.acceptor_process, a, b, ccfg);
+    RegisterRepairablePair<tmf::CommitAcceptor>(tcfg.acceptor_process, ccfg);
+  }
 
   // Queue execution lane: the planner pair rides the same spawn/repair
   // lifecycle as the other services, so node recovery brings it back.
@@ -309,6 +325,14 @@ void Deployment::RecoverNode(
     rcfg.tasks.push_back(task);
   }
   rcfg.monitor_trail = &nd->storage().monitor_trail;
+  // Deterministic, seed-derived retry jitter: bit-identical replays per
+  // campaign seed, de-synchronised across recovering nodes.
+  rcfg.jitter_seed = sim_->seed() ^ (static_cast<uint64_t>(id) << 32) ^ 1;
+  const tmf::TmpConfig& tcfg = nd->spec().tmp_config;
+  if (tcfg.commit_protocol == tmf::CommitProtocol::kPaxos) {
+    rcfg.acceptor_nodes = tcfg.acceptor_nodes;
+    rcfg.acceptor_process = tcfg.acceptor_process;
+  }
   os::Node* node = nd->node();
   rcfg.on_done = [nd, node, done = std::move(done)](
                      const std::vector<tmf::RollforwardReport>& reports) {

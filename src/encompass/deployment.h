@@ -75,6 +75,11 @@ struct NodeStorage {
   std::map<std::string, std::unique_ptr<audit::AuditTrail>> trails;
   std::map<std::string, VolumeArchive> archives;  ///< by volume name
   audit::MonitorAuditTrail monitor_trail;
+  /// Paxos Commit acceptor log (forced; every granting mutation is charged
+  /// a force latency before the acceptor replies). Durable like the MAT:
+  /// DropVolatile must NOT clear it — the whole point of replicating the
+  /// commit decision is surviving node crashes.
+  tmf::CommitAcceptorLog acceptor_log;
   /// Durable count of TMP (re)starts on this node — the paper's crash-count
   /// analogue. Folded into TmpConfig::seq_base so no transid of an earlier
   /// incarnation is ever reissued after a total node failure.

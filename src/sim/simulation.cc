@@ -97,6 +97,17 @@ void Simulation::NoteLinkLatency(uint16_t a, uint16_t b, SimDuration latency) {
       if (best < Dist(i, j)) Dist(i, j) = best;
     }
   }
+  // Rebuild the per-shard echo floor: the least round trip from i out to any
+  // peer and back. A loop's round horizon must not exceed its next event by
+  // more than this — see the self-echo bound in RunUntilParallel.
+  echo_.assign(dist_n_, kNoDeadline);
+  for (size_t i = 0; i < dist_n_; ++i) {
+    for (size_t j = 0; j < dist_n_; ++j) {
+      if (i == j) continue;
+      const SimTime rt = SatAdd(DistAt(i, j), DistAt(j, i));
+      if (rt < echo_[i]) echo_[i] = rt;
+    }
+  }
 }
 
 SimDuration Simulation::LookaheadBetween(uint16_t src, uint16_t dst) const {
@@ -323,11 +334,23 @@ void Simulation::RunUntilParallel(SimTime deadline) {
     }
 
     // Round setup: loop i may run strictly below
-    //   min(cap, min over other active loops j of E_j + L(j->i))
+    //   min(cap, min over other active loops j of E_j + L(j->i),
+    //       E_i + echo(i))
     // where cap stops at the next global-loop event or the deadline. The
     // loop holding the globally minimal next event is always ready (all
     // lookaheads are positive and cap exceeds the minimum — the serial
     // phase ran loop 0 past it), so every iteration makes progress.
+    //
+    // The E_j + L(j->i) terms bound what peers do SPONTANEOUSLY (their own
+    // pending events). They do not bound REACTIVE sends: a peer whose next
+    // own event is a far-off timer still answers a request that i itself
+    // sends mid-round, and that reply lands only one round trip after the
+    // send — potentially far below a horizon derived from the peer's idle
+    // queue. The E_i + echo(i) term closes that hole: every message chain
+    // leaving i returns no sooner than the least round trip out of i
+    // (lookaheads form a metric, so multi-hop chains can't beat it), and
+    // chains started by another active loop k are already covered by k's
+    // E_k + L(k->i) term.
     const SimTime t0 = loops_[0]->queue.NextTime();
     const SimTime cap = std::min(SatAdd(deadline, 1), t0);
     const SimTime min1 = tree_.MinTime();
@@ -338,11 +361,14 @@ void Simulation::RunUntilParallel(SimTime deadline) {
       // Uniform lookahead: min over others of E_j + L collapses to
       // (second-)smallest E + L, straight off the tree.
       const SimTime min2 = tree_.SecondMinTime();
+      // Uniform echo floor: out to any peer and back is two lookaheads.
+      const SimTime uecho = SatAdd(uniform_lookahead_, uniform_lookahead_);
       for (size_t i = 1; i < loops_.size(); ++i) {
         const SimTime e = tree_.KeyAt(i).time;
         if (e == kNoDeadline) continue;
         const SimTime others = (e == min1) ? min2 : min1;
-        const SimTime h = std::min(cap, SatAdd(others, uniform_lookahead_));
+        const SimTime h = std::min(
+            {cap, SatAdd(others, uniform_lookahead_), SatAdd(e, uecho)});
         if (e < h) {
           loops_[i]->horizon = h;
           ready_.push_back(loops_[i].get());
@@ -365,6 +391,8 @@ void Simulation::RunUntilParallel(SimTime deadline) {
               SatAdd(tree_.KeyAt(j).time, LookaheadShard(j, i));
           if (b < h) h = b;
         }
+        const SimTime se = SatAdd(e, i < echo_.size() ? echo_[i] : kNoDeadline);
+        if (se < h) h = se;
         if (e < h) {
           loops_[i]->horizon = h;
           ready_.push_back(loops_[i].get());

@@ -117,6 +117,11 @@ class Simulation {
   /// order — never on how events from different nodes interleave globally.
   encompass::Random& RngFor(uint16_t node) { return EnsureLoop(node)->rng; }
 
+  /// The seed this simulation was constructed with. Components deriving
+  /// their own deterministic schedules (e.g. recovery retry jitter) fold it
+  /// in so every derived stream replays bit-identically per seed.
+  uint64_t seed() const { return seed_; }
+
   Stats& GetStats() { return stats_; }
   TraceLog& GetTrace() { return trace_; }
 
@@ -273,6 +278,7 @@ class Simulation {
   SimDuration uniform_lookahead_ = kNoDeadline;  // scalar all-pairs floor
   bool per_link_ = false;       // any per-pair latency declared?
   std::vector<SimTime> dist_;   // least path latency, dist_n_ x dist_n_ shards
+  std::vector<SimTime> echo_;   // per shard: least round trip to any peer
   size_t dist_n_ = 0;
 
   std::vector<std::unique_ptr<NodeLoop>> loops_;  // [0] is the global loop

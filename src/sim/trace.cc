@@ -122,6 +122,25 @@ std::vector<TraceEvent> TraceLog::Events(uint64_t transid) const {
   return out;
 }
 
+std::vector<TraceEvent> TraceLog::AllEvents() const {
+  std::vector<const Rec*> recs;
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    const size_t n = s.ring.size();
+    const size_t start = (n == capacity_) ? s.head : 0;
+    for (size_t i = 0; i < n; ++i) recs.push_back(&s.ring[(start + i) % n]);
+  }
+  std::sort(recs.begin(), recs.end(), [](const Rec* a, const Rec* b) {
+    if (a->key < b->key) return true;
+    if (b->key < a->key) return false;
+    return a->ordinal < b->ordinal;
+  });
+  std::vector<TraceEvent> out;
+  out.reserve(recs.size());
+  for (const Rec* r : recs) out.push_back(r->e);
+  return out;
+}
+
 std::string TraceLog::Dump(uint64_t transid) const {
   std::ostringstream out;
   out << "trace transid=" << transid;

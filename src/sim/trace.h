@@ -109,6 +109,10 @@ class TraceLog {
   /// canonical (event key, record order) order.
   std::vector<TraceEvent> Events(uint64_t transid) const;
 
+  /// Every retained event across all transactions, in the same canonical
+  /// order. Debugging aid for whole-run engine comparisons.
+  std::vector<TraceEvent> AllEvents() const;
+
   /// Deterministic multi-line rendering of Events(transid).
   std::string Dump(uint64_t transid) const;
 

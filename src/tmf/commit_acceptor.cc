@@ -1,0 +1,195 @@
+#include "tmf/commit_acceptor.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace encompass::tmf {
+
+void CommitAcceptor::OnPairAttach() {
+  m_prepares_ = stats().RegisterCounter("acceptor.prepares");
+  m_accepts_ = stats().RegisterCounter("acceptor.accepts");
+  m_rejections_ = stats().RegisterCounter("acceptor.rejections");
+}
+
+void CommitAcceptor::OnRequest(const net::Message& msg) {
+  if (!IsPrimary()) {
+    Reply(msg, Status::Unavailable("backup acceptor"));
+    return;
+  }
+  switch (msg.tag) {
+    case kTmfPaxosPrepare:
+      HandlePrepare(msg);
+      break;
+    case kTmfPaxosAccept:
+      HandleAccept(msg);
+      break;
+    default:
+      Reply(msg, Status::InvalidArgument("unknown acceptor tag"));
+  }
+}
+
+void CommitAcceptor::HandlePrepare(const net::Message& msg) {
+  Transid t;
+  uint32_t ballot;
+  if (!DecodePaxosPrepare(Slice(msg.payload), &t, &ballot)) {
+    Reply(msg, Status::InvalidArgument("malformed prepare"));
+    return;
+  }
+  stats().Incr(m_prepares_);
+  CommitAcceptorEntry& e = config_.log->At(t);
+  PaxosPrepareReply r;
+  r.granted = ballot > e.promised;
+  if (r.granted) e.promised = ballot;
+  r.promised = e.promised;
+  r.accepted_ballot = e.accepted_ballot;
+  r.has_value = e.has_value;
+  r.value = e.value;
+  if (!r.granted) {
+    stats().Incr(m_rejections_);
+    Reply(msg, Status::Ok(), EncodePaxosPrepareReply(r));
+    return;
+  }
+  ReplyForced(msg, EncodePaxosPrepareReply(r));
+}
+
+void CommitAcceptor::HandleAccept(const net::Message& msg) {
+  Transid t;
+  uint32_t ballot;
+  Disposition value;
+  if (!DecodePaxosAccept(Slice(msg.payload), &t, &ballot, &value)) {
+    Reply(msg, Status::InvalidArgument("malformed accept"));
+    return;
+  }
+  stats().Incr(m_accepts_);
+  CommitAcceptorEntry& e = config_.log->At(t);
+  PaxosAcceptReply r;
+  // >= admits the idempotent re-accept a home takeover replays at its own
+  // ballot; a strictly higher promise (a usurping recovery proposer) wins.
+  r.accepted = ballot >= e.promised;
+  if (r.accepted) {
+    e.promised = ballot;
+    e.accepted_ballot = ballot;
+    e.has_value = true;
+    e.value = value;
+  } else {
+    stats().Incr(m_rejections_);
+  }
+  r.promised = e.promised;
+  if (!r.accepted) {
+    Reply(msg, Status::Ok(), EncodePaxosAcceptReply(r));
+    return;
+  }
+  ReplyForced(msg, EncodePaxosAcceptReply(r));
+}
+
+void CommitAcceptor::ReplyForced(const net::Message& msg, Bytes payload) {
+  // The log mutation above is already applied — the log object IS the
+  // durable medium — so a takeover mid-force loses only the reply; the
+  // caller times out and retries against state that never regresses.
+  if (config_.force_latency <= 0) {
+    Reply(msg, Status::Ok(), std::move(payload));
+    return;
+  }
+  net::Message request = msg;
+  SetTimer(config_.force_latency,
+           [this, request, payload = std::move(payload)]() mutable {
+             Reply(request, Status::Ok(), std::move(payload));
+           });
+}
+
+namespace {
+
+/// Tally of one phase of a round over n acceptors.
+struct PhaseTally {
+  int yes = 0;
+  int responses = 0;
+  uint32_t best_accepted_ballot = 0;
+  Disposition adopted = Disposition::kUnknown;
+  bool have_adopted = false;
+  bool fired = false;
+};
+
+}  // namespace
+
+void RunPaxosRound(os::Process* proc, const PaxosRoundConfig& cfg,
+                   const Transid& t, uint32_t attempt, Disposition proposed,
+                   bool skip_prepare, std::function<void(Disposition)> done) {
+  const int n = static_cast<int>(cfg.acceptor_nodes.size());
+  const int majority = n / 2 + 1;
+  if (n == 0) {
+    done(Disposition::kUnknown);
+    return;
+  }
+  const uint32_t ballot = MakePaxosBallot(attempt, proc->node()->id());
+  os::CallOptions opt;
+  opt.timeout = cfg.call_timeout;
+
+  auto start_accept = [proc, cfg, t, ballot, n, majority, opt,
+                       done](Disposition value) {
+    auto tally = std::make_shared<PhaseTally>();
+    for (net::NodeId a : cfg.acceptor_nodes) {
+      proc->Call(net::Address(a, cfg.acceptor_process), kTmfPaxosAccept,
+                 EncodePaxosAccept(t, ballot, value),
+                 [tally, n, majority, value, done](const Status& s,
+                                                   const net::Message& reply) {
+                   if (tally->fired) return;
+                   ++tally->responses;
+                   PaxosAcceptReply r;
+                   if (s.ok() && DecodePaxosAcceptReply(Slice(reply.payload),
+                                                        &r) &&
+                       r.accepted) {
+                     ++tally->yes;
+                   }
+                   if (tally->yes >= majority) {
+                     // The value is chosen: a majority holds it durably.
+                     tally->fired = true;
+                     done(value);
+                   } else if (tally->responses == n) {
+                     tally->fired = true;
+                     done(Disposition::kUnknown);
+                   }
+                 },
+                 opt);
+    }
+  };
+
+  if (skip_prepare) {
+    start_accept(proposed);
+    return;
+  }
+
+  auto tally = std::make_shared<PhaseTally>();
+  for (net::NodeId a : cfg.acceptor_nodes) {
+    proc->Call(
+        net::Address(a, cfg.acceptor_process), kTmfPaxosPrepare,
+        EncodePaxosPrepare(t, ballot),
+        [tally, n, majority, proposed, start_accept, done](
+            const Status& s, const net::Message& reply) {
+          if (tally->fired) return;
+          ++tally->responses;
+          PaxosPrepareReply r;
+          if (s.ok() && DecodePaxosPrepareReply(Slice(reply.payload), &r) &&
+              r.granted) {
+            ++tally->yes;
+            if (r.has_value && r.accepted_ballot >= tally->best_accepted_ballot) {
+              tally->best_accepted_ballot = r.accepted_ballot;
+              tally->adopted = r.value;
+              tally->have_adopted = true;
+            }
+          }
+          if (tally->yes >= majority) {
+            // A promise quorum stands; propose the value of the highest
+            // accepted ballot it revealed, else our own.
+            tally->fired = true;
+            start_accept(tally->have_adopted ? tally->adopted : proposed);
+          } else if (tally->responses == n) {
+            tally->fired = true;
+            done(Disposition::kUnknown);
+          }
+        },
+        opt);
+  }
+}
+
+}  // namespace encompass::tmf

@@ -1,0 +1,94 @@
+// CommitAcceptor: the acceptor half of Paxos Commit (Gray & Lamport,
+// "Consensus on Transaction Commit"), specialised to this codebase's
+// decision-replication form. Each distributed transaction is one consensus
+// instance whose value is the home TMP's commit/abort decision. The home
+// proposes at ballot (0, home) — its prepare phase rode the kTmfPhase1
+// fan-out for free — and the commit point becomes "a majority of acceptors
+// durably accepted kCommitted" instead of the home's MAT force. Recovery
+// proposers (in-doubt participants, ROLLFORWARD, a respawned home) run full
+// prepare+accept rounds at ballots (attempt >= 1, proposer), adopting the
+// value of the highest accepted ballot a majority reveals and defaulting to
+// abort when none was accepted, so any live majority can settle an in-doubt
+// transaction without waiting for the home to return.
+
+#ifndef ENCOMPASS_TMF_COMMIT_ACCEPTOR_H_
+#define ENCOMPASS_TMF_COMMIT_ACCEPTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/process_pair.h"
+#include "tmf/tmf_protocol.h"
+
+namespace encompass::tmf {
+
+/// Durable acceptor state of one consensus instance (one transaction).
+struct CommitAcceptorEntry {
+  uint32_t promised = 0;         ///< highest ballot promised
+  uint32_t accepted_ballot = 0;  ///< ballot of the accepted value (0 = none)
+  bool has_value = false;
+  Disposition value = Disposition::kUnknown;
+};
+
+/// The acceptor's forced log. It lives in NodeStorage next to the MAT, so it
+/// survives process takeover and total node crashes; every granting mutation
+/// is charged a force latency before the reply leaves the acceptor.
+struct CommitAcceptorLog {
+  std::map<uint64_t, CommitAcceptorEntry> entries;
+
+  CommitAcceptorEntry& At(const Transid& t) { return entries[t.Pack()]; }
+};
+
+struct CommitAcceptorConfig {
+  CommitAcceptorLog* log = nullptr;
+  /// Latency of the forced log write preceding every granting reply (the
+  /// durability the commit point leans on). Rejections touch no state and
+  /// reply immediately.
+  SimDuration force_latency = Millis(8);
+};
+
+/// The $ACCEPT process pair, registered on the 2F+1 acceptor nodes of a
+/// paxos deployment.
+class CommitAcceptor : public os::PairedProcess {
+ public:
+  explicit CommitAcceptor(CommitAcceptorConfig config) : config_(config) {}
+
+  std::string DebugName() const override { return pair_name() + "/acceptor"; }
+
+ protected:
+  void OnPairAttach() override;
+  void OnRequest(const net::Message& msg) override;
+
+ private:
+  void HandlePrepare(const net::Message& msg);
+  void HandleAccept(const net::Message& msg);
+  void ReplyForced(const net::Message& msg, Bytes payload);
+
+  CommitAcceptorConfig config_;
+  sim::MetricId m_prepares_, m_accepts_, m_rejections_;
+};
+
+/// Where a proposer finds the acceptor set.
+struct PaxosRoundConfig {
+  std::vector<net::NodeId> acceptor_nodes;
+  std::string acceptor_process = "$ACCEPT";
+  SimDuration call_timeout = Seconds(2);
+};
+
+/// Runs one Paxos round for transaction `t` at ballot
+/// MakePaxosBallot(attempt, proc->node()->id()): an optional prepare phase
+/// (skipped only for the home's attempt-0 proposal, whose promise rode
+/// phase 1), then the accept phase over every acceptor. `done` fires exactly
+/// once: kCommitted / kAborted when that value reached a majority of
+/// acceptors at this ballot (the chosen value — possibly adopted from an
+/// earlier proposer), kUnknown when the round failed (majority unreachable
+/// or outpaced by a higher ballot) and the caller should escalate `attempt`.
+void RunPaxosRound(os::Process* proc, const PaxosRoundConfig& cfg,
+                   const Transid& t, uint32_t attempt, Disposition proposed,
+                   bool skip_prepare, std::function<void(Disposition)> done);
+
+}  // namespace encompass::tmf
+
+#endif  // ENCOMPASS_TMF_COMMIT_ACCEPTOR_H_

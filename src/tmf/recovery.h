@@ -15,9 +15,14 @@
 //     record IS the commit point) — presumed abort, recorded durably so
 //     later queries from in-doubt children answer instantly;
 //   * a transaction homed elsewhere is asked at its home TMP, retried with
-//     pacing until the home is reachable; with the recovering flag the home
-//     always answers definitely (its MAT, or it aborts the transaction —
-//     our volatile phase-1 promise died with the node).
+//     capped exponential backoff until the home is reachable; with the
+//     recovering flag the home always answers definitely (its MAT, or it
+//     aborts the transaction — our volatile phase-1 promise died with the
+//     node);
+//   * under Paxos Commit (acceptor_nodes configured) an unreachable home no
+//     longer blocks: any live acceptor majority reveals the decision, and
+//     own-home unresolved transactions are sealed there (abort proposed at
+//     a usurping ballot; any majority-accepted commit is adopted instead).
 
 #ifndef ENCOMPASS_TMF_RECOVERY_H_
 #define ENCOMPASS_TMF_RECOVERY_H_
@@ -48,7 +53,19 @@ struct NodeRecoveryConfig {
   std::vector<VolumeRecoveryTask> tasks;
   audit::MonitorAuditTrail* monitor_trail = nullptr;  ///< local durable MAT
   SimDuration resolve_timeout = Seconds(2);   ///< per negotiation attempt
-  SimDuration retry_interval = Millis(500);   ///< pacing between attempts
+  SimDuration retry_interval = Millis(500);   ///< base pacing between attempts
+  /// Cap of the per-transid exponential backoff between attempts.
+  SimDuration retry_backoff_cap = Seconds(8);
+  /// Seed of the deterministic per-(transid, attempt) retry jitter.
+  /// Deployments derive it from the simulation seed and node id, so the
+  /// schedule de-synchronises across recovering nodes yet replays
+  /// bit-identically for a given campaign seed.
+  uint64_t jitter_seed = 1;
+  /// Paxos Commit: when a home TMP is unreachable, learn the disposition
+  /// from any live majority of these acceptors instead of waiting for the
+  /// home to return. Empty (default) = negotiate with homes only (2PC).
+  std::vector<net::NodeId> acceptor_nodes;
+  std::string acceptor_process = "$ACCEPT";
   /// Fired once with the per-volume reports when every volume is rebuilt.
   /// May tear down this process.
   std::function<void(const std::vector<RollforwardReport>&)> on_done;
@@ -64,6 +81,11 @@ class NodeRecoveryProcess : public os::Process {
 
   bool done() const { return done_; }
 
+  /// Exposes the backoff schedule for tests (determinism, growth, cap).
+  SimDuration BackoffDelayForTest(const Transid& t, uint32_t attempts) const {
+    return BackoffDelay(t, attempts);
+  }
+
  protected:
   void OnAttach() override;
   void OnStart() override;
@@ -74,16 +96,35 @@ class NodeRecoveryProcess : public os::Process {
     RollforwardPlan plan;
   };
 
-  void ResolveNext();
+  /// Per-transid negotiation state. Every pending transid negotiates
+  /// concurrently — one unreachable home must not head-of-line block the
+  /// transids that other (live) homes can answer immediately.
+  struct Negotiation {
+    uint32_t attempts = 0;       ///< completed unsuccessful attempts
+    uint32_t paxos_attempt = 1;  ///< next recovery ballot attempt
+    bool in_flight = false;
+    /// Homed at this (recovering) node: under Paxos Commit its outcome must
+    /// be sealed at the acceptors (presumed abort alone could contradict a
+    /// majority-accepted commit the crash interrupted).
+    bool own_home = false;
+  };
+
+  void NegotiateAll();
+  void Negotiate(const Transid& t);
+  void ResolvePaxos(const Transid& t);
+  void Settle(const Transid& t, Disposition d);
+  void RetryLater(const Transid& t);
+  SimDuration BackoffDelay(const Transid& t, uint32_t attempts) const;
   void Finish();
 
   NodeRecoveryConfig config_;
   std::vector<PlannedVolume> planned_;
-  std::set<Transid> pending_;                 ///< awaiting a remote answer
+  std::map<Transid, Negotiation> pending_;    ///< awaiting a definite answer
   std::map<Transid, Disposition> negotiated_; ///< definite remote answers
   bool done_ = false;
+  uint32_t reported_max_attempts_ = 0;
   sim::MetricId m_runs_, m_negotiations_, m_negotiation_retries_;
-  sim::MetricId m_presumed_aborts_;
+  sim::MetricId m_presumed_aborts_, m_max_retry_attempts_, m_paxos_resolves_;
 };
 
 }  // namespace encompass::tmf

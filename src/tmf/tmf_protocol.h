@@ -47,6 +47,14 @@ enum TmfTag : uint32_t {
   // Without the flag it is a live in-doubt refresh and the home only reports
   // what its MAT already proves.
   kTmfResolveTxn = net::kTagTmf + 13,
+
+  // Paxos Commit (Gray & Lamport, "Consensus on Transaction Commit"): sent
+  // to the CommitAcceptor pairs that replicate the commit/abort decision of
+  // a distributed transaction. The commit point under
+  // `TmpConfig::commit_protocol = kPaxos` is "a majority of acceptors
+  // durably accepted kCommitted", not the home MAT force.
+  kTmfPaxosPrepare = net::kTagTmf + 14,  ///< phase 1a: promise a ballot
+  kTmfPaxosAccept = net::kTagTmf + 15,   ///< phase 2a: accept a value
 };
 
 /// One row of a kTmfListTxns reply.
@@ -183,6 +191,133 @@ inline bool DecodeForceDisposition(const Slice& payload, Transid* t,
   if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &disp)) return false;
   *t = Transid::Unpack(packed);
   *d = static_cast<Disposition>(disp);
+  return true;
+}
+
+// --- Paxos Commit wire formats -------------------------------------------
+
+/// Ballot numbers order proposers: `(attempt << 16) | proposer_node_id`.
+/// The home's initial proposal is attempt 0 (its promise rides the phase-1
+/// fan-out, Gray & Lamport's "free" prepare phase); every recovery proposer
+/// starts at attempt >= 1, so a usurping ballot always outranks the home's
+/// initial one, and the node id in the low bits keeps concurrent proposers'
+/// ballots distinct.
+inline uint32_t MakePaxosBallot(uint32_t attempt, net::NodeId proposer) {
+  return (attempt << 16) | static_cast<uint32_t>(proposer);
+}
+
+/// Phase-1 payload under paxos: the plain transid payload plus the home's
+/// initial ballot. Plain 2PC keeps the 8-byte transid payload, and
+/// DecodeTransidPayload ignores trailing bytes, so participants of either
+/// protocol decode both forms.
+inline Bytes EncodePhase1Paxos(const Transid& t, uint32_t ballot) {
+  Bytes out = EncodeTransidPayload(t);
+  PutFixed32(&out, ballot);
+  return out;
+}
+
+/// Extracts the piggybacked ballot from a phase-1 payload; false when the
+/// payload is the plain 2PC form.
+inline bool DecodePhase1Ballot(const Slice& payload, uint32_t* ballot) {
+  Slice in = payload;
+  uint64_t packed;
+  return GetFixed64(&in, &packed) && GetFixed32(&in, ballot);
+}
+
+inline Bytes EncodePaxosPrepare(const Transid& t, uint32_t ballot) {
+  Bytes out;
+  PutFixed64(&out, t.Pack());
+  PutFixed32(&out, ballot);
+  return out;
+}
+
+inline bool DecodePaxosPrepare(const Slice& payload, Transid* t,
+                               uint32_t* ballot) {
+  Slice in = payload;
+  uint64_t packed;
+  if (!GetFixed64(&in, &packed) || !GetFixed32(&in, ballot)) return false;
+  *t = Transid::Unpack(packed);
+  return true;
+}
+
+/// Phase 1b: the acceptor's promise state after processing a prepare.
+struct PaxosPrepareReply {
+  bool granted = false;          ///< ballot > previous promise
+  uint32_t promised = 0;         ///< the acceptor's promise, post-request
+  uint32_t accepted_ballot = 0;  ///< ballot of the accepted value (0 = none)
+  bool has_value = false;
+  Disposition value = Disposition::kUnknown;
+};
+
+inline Bytes EncodePaxosPrepareReply(const PaxosPrepareReply& r) {
+  Bytes out;
+  PutFixed8(&out, r.granted ? 1 : 0);
+  PutFixed32(&out, r.promised);
+  PutFixed32(&out, r.accepted_ballot);
+  PutFixed8(&out, r.has_value ? 1 : 0);
+  PutFixed8(&out, static_cast<uint8_t>(r.value));
+  return out;
+}
+
+inline bool DecodePaxosPrepareReply(const Slice& payload,
+                                    PaxosPrepareReply* r) {
+  Slice in = payload;
+  uint8_t granted, has_value, value;
+  if (!GetFixed8(&in, &granted) || !GetFixed32(&in, &r->promised) ||
+      !GetFixed32(&in, &r->accepted_ballot) || !GetFixed8(&in, &has_value) ||
+      !GetFixed8(&in, &value) || value > 2) {
+    return false;
+  }
+  r->granted = granted != 0;
+  r->has_value = has_value != 0;
+  r->value = static_cast<Disposition>(value);
+  // An accepted value is always a decision; kUnknown never travels as one.
+  return !r->has_value || r->value != Disposition::kUnknown;
+}
+
+inline Bytes EncodePaxosAccept(const Transid& t, uint32_t ballot,
+                               Disposition value) {
+  Bytes out;
+  PutFixed64(&out, t.Pack());
+  PutFixed32(&out, ballot);
+  PutFixed8(&out, static_cast<uint8_t>(value));
+  return out;
+}
+
+inline bool DecodePaxosAccept(const Slice& payload, Transid* t,
+                              uint32_t* ballot, Disposition* value) {
+  Slice in = payload;
+  uint64_t packed;
+  uint8_t v;
+  if (!GetFixed64(&in, &packed) || !GetFixed32(&in, ballot) ||
+      !GetFixed8(&in, &v) || v > 1) {
+    return false;
+  }
+  *t = Transid::Unpack(packed);
+  *value = static_cast<Disposition>(v);
+  return true;
+}
+
+/// Phase 2b: accepted iff ballot >= the acceptor's promise.
+struct PaxosAcceptReply {
+  bool accepted = false;
+  uint32_t promised = 0;
+};
+
+inline Bytes EncodePaxosAcceptReply(const PaxosAcceptReply& r) {
+  Bytes out;
+  PutFixed8(&out, r.accepted ? 1 : 0);
+  PutFixed32(&out, r.promised);
+  return out;
+}
+
+inline bool DecodePaxosAcceptReply(const Slice& payload, PaxosAcceptReply* r) {
+  Slice in = payload;
+  uint8_t accepted;
+  if (!GetFixed8(&in, &accepted) || !GetFixed32(&in, &r->promised)) {
+    return false;
+  }
+  r->accepted = accepted != 0;
   return true;
 }
 

@@ -52,8 +52,18 @@ void TmpProcess::OnPairAttach() {
   m_.resolves_sent = stats.RegisterCounter("tmf.resolves_sent");
   m_.indoubt_resolved_commits = stats.RegisterCounter("tmf.indoubt_resolved_commits");
   m_.indoubt_resolved_aborts = stats.RegisterCounter("tmf.indoubt_resolved_aborts");
+  m_.indoubt_blocked_on_home = stats.RegisterCounter("tmf.indoubt_blocked_on_home");
+  m_.resolve_malformed_replies = stats.RegisterCounter("tmf.resolve_malformed_replies");
   m_.orphan_lock_commits = stats.RegisterCounter("tmf.orphan_lock_commits");
   m_.orphan_lock_aborts = stats.RegisterCounter("tmf.orphan_lock_aborts");
+  m_.paxos_rounds = stats.RegisterCounter("tmf.paxos_rounds");
+  m_.paxos_commit_points = stats.RegisterCounter("tmf.paxos_commit_points");
+  m_.paxos_adopted_aborts = stats.RegisterCounter("tmf.paxos_adopted_aborts");
+  m_.paxos_resolved_commits = stats.RegisterCounter("tmf.paxos_resolved_commits");
+  m_.paxos_resolved_aborts = stats.RegisterCounter("tmf.paxos_resolved_aborts");
+  m_.paxos_seals = stats.RegisterCounter("tmf.paxos_seals");
+  m_.indoubt_hold_us = stats.RegisterHistogram("tmf.indoubt_hold_us");
+  m_.commit_latency_us = stats.RegisterHistogram("tmf.commit_latency_us");
   for (int from = 0; from < kNumTxnStates; ++from) {
     for (int to = 0; to < kNumTxnStates; ++to) {
       m_.transition[from][to] = stats.RegisterCounter(
@@ -183,7 +193,38 @@ void TmpProcess::SetState(TxnEntry* txn, TxnState to) {
   stats().Incr(m_.transition[static_cast<int>(txn->state)][static_cast<int>(to)]);
   Trace(sim::TraceEventKind::kTxnState, txn->transid.Pack(),
         static_cast<uint32_t>(txn->state), static_cast<uint32_t>(to));
+  const TxnState from = txn->state;
   txn->state = to;
+  // Blocked-lock accounting: how long a non-home participant held its locks
+  // in-doubt (ending). The bench compares this between 2PC and Paxos Commit.
+  // The timestamp is kept unconditionally — ResolveIndoubts uses it to
+  // grace-gate acceptor escalation — but the histogram stays knob-gated so
+  // default deployments keep byte-identical stats snapshots.
+  if (!txn->is_home) {
+    if (to == TxnState::kEnding && txn->indoubt_since == 0) {
+      txn->indoubt_since = sim()->Now();
+    } else if (from == TxnState::kEnding && txn->indoubt_since != 0) {
+      if (config_.track_indoubt_hold) {
+        stats().Record(m_.indoubt_hold_us,
+                       static_cast<int64_t>(sim()->Now() - txn->indoubt_since));
+      }
+      txn->indoubt_since = 0;
+    }
+  }
+  // Commit latency at the home TMP: END received (kEnding) to commit point
+  // (kEnded). Paxos pays its acceptor round trip here; 2PC its MAT force.
+  // A kEnding exit to any other state (abort) clears without recording.
+  if (config_.track_commit_latency && txn->is_home) {
+    if (to == TxnState::kEnding && txn->indoubt_since == 0) {
+      txn->indoubt_since = sim()->Now();
+    } else if (from == TxnState::kEnding && txn->indoubt_since != 0) {
+      if (to == TxnState::kEnded) {
+        stats().Record(m_.commit_latency_us,
+                       static_cast<int64_t>(sim()->Now() - txn->indoubt_since));
+      }
+      txn->indoubt_since = 0;
+    }
+  }
   // State changes are broadcast to every processor within the node,
   // regardless of participation (cheap and reliable over the IPC bus).
   stats().Incr(m_.state_broadcasts, node()->AliveCpuCount());
@@ -385,6 +426,9 @@ void TmpProcess::HandlePhase1(const net::Message& msg) {
   }
   SetState(txn, TxnState::kEnding);
   stats().Incr(m_.phase1_received);
+  // Remember the home's piggybacked ballot (paxos deployments): a recovery
+  // proposal for this instance must start at a higher attempt.
+  DecodePhase1Ballot(Slice(msg.payload), &txn->home_ballot);
   net::Message request = msg;
   Transid transid = *t;
   RunPhase1(txn, [this, request, transid](bool ok) {
@@ -443,9 +487,16 @@ void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
   }
   os::CallOptions p1_opt;
   p1_opt.timeout = config_.phase1_timeout;
+  // Under Paxos Commit the home's attempt-0 ballot rides the existing
+  // phase-1 fan-out (Gray & Lamport's "free" prepare phase); plain 2PC
+  // keeps the 8-byte payload so its wire traces stay byte-identical.
+  Bytes p1_payload =
+      PaxosEnabledFor(*txn)
+          ? EncodePhase1Paxos(txn->transid, MakePaxosBallot(0, node()->id()))
+          : EncodeTransidPayload(txn->transid);
   for (net::NodeId child : txn->children) {
     stats().Incr(m_.phase1_sent);
-    Call(Tmp(child), kTmfPhase1, EncodeTransidPayload(txn->transid),
+    Call(Tmp(child), kTmfPhase1, p1_payload,
          [failed, finish](const Status& s, const net::Message&) {
            if (!s.ok()) *failed = true;
            finish();
@@ -457,6 +508,12 @@ void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
 void TmpProcess::CompleteCommit(const Transid& transid) {
   TxnEntry* txn = FindTxn(transid);
   if (txn == nullptr || txn->state != TxnState::kEnding) return;
+  if (PaxosEnabledFor(*txn)) {
+    // Paxos Commit: the commit point is a majority of acceptors durably
+    // accepting the decision, not the home MAT force below.
+    StartPaxosCommit(transid);
+    return;
+  }
   // The commit record force on the Monitor Audit Trail is the commit point.
   // Group commit: every transaction whose phase 1 finished before a physical
   // MAT write starts shares that write; a commit deciding while a write is
@@ -513,6 +570,133 @@ void TmpProcess::CommitPointReached(const Transid& transid) {
   }
   ReplyToClient(txn, Status::Ok());
   DropTxn(transid);
+}
+
+// ---------------------------------------------------------------------------
+// Paxos Commit
+// ---------------------------------------------------------------------------
+
+bool TmpProcess::PaxosEnabledFor(const TxnEntry& txn) const {
+  // Only distributed transactions have an in-doubt window to shrink;
+  // single-node commits keep the home MAT force as their commit point.
+  return config_.commit_protocol == CommitProtocol::kPaxos &&
+         !config_.acceptor_nodes.empty() && txn.is_home &&
+         !txn.children.empty();
+}
+
+PaxosRoundConfig TmpProcess::PaxosConfig() const {
+  PaxosRoundConfig cfg;
+  cfg.acceptor_nodes = config_.acceptor_nodes;
+  cfg.acceptor_process = config_.acceptor_process;
+  cfg.call_timeout = config_.paxos_round_timeout;
+  return cfg;
+}
+
+void TmpProcess::StartPaxosCommit(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding) return;
+  if (txn->paxos_round_in_flight) return;
+  txn->paxos_round_in_flight = true;
+  stats().Incr(m_.paxos_rounds);
+  const uint32_t attempt = txn->paxos_attempt;
+  // Attempt 0 skips the prepare phase: the promise rode the phase-1 fan-out
+  // and a fresh acceptor entry (promised 0) grants it implicitly. Every
+  // later attempt (a retry after being outpaced) prepares properly and
+  // adopts whatever value a majority already accepted.
+  RunPaxosRound(
+      this, PaxosConfig(), transid, attempt, Disposition::kCommitted,
+      /*skip_prepare=*/attempt == 0, [this, transid](Disposition chosen) {
+        TxnEntry* txn = FindTxn(transid);
+        if (txn == nullptr) return;
+        txn->paxos_round_in_flight = false;
+        if (chosen == Disposition::kCommitted) {
+          stats().Incr(m_.paxos_commit_points);
+          CommitPointReached(transid);
+        } else if (chosen == Disposition::kAborted) {
+          // A recovery proposer usurped the instance and fixed abort (it
+          // proved the commit point was never reached). Converge.
+          stats().Incr(m_.paxos_adopted_aborts);
+          StartAbort(transid, "paxos: abort chosen by recovery proposer");
+        } else {
+          // Majority unreachable or outpaced: escalate the ballot and retry.
+          // Until a value is chosen the transaction simply stays ending.
+          ++txn->paxos_attempt;
+          SetTimer(config_.paxos_retry_interval,
+                   [this, transid]() { StartPaxosCommit(transid); });
+        }
+      });
+}
+
+void TmpProcess::MaybePaxosEscalate(const Transid& transid, TxnEntry* txn) {
+  if (config_.commit_protocol != CommitProtocol::kPaxos) return;
+  // Grace gate: a transaction that entered its in-doubt window less than one
+  // resolve interval ago is most likely a healthy commit mid-flight (the
+  // home's acceptor round plus phase 2 land within tens of milliseconds).
+  // Usurping its ballot with an abort-proposing round would cancel commits
+  // that were about to succeed; only transactions that have already waited
+  // out a full interval are genuinely stuck.
+  if (txn->indoubt_since == 0 ||
+      sim()->Now() - txn->indoubt_since < config_.indoubt_resolve_interval) {
+    return;
+  }
+  StartPaxosResolve(transid);
+}
+
+void TmpProcess::StartPaxosResolve(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding || txn->is_home) return;
+  if (txn->paxos_round_in_flight) return;
+  if (config_.acceptor_nodes.empty()) return;
+  txn->paxos_round_in_flight = true;
+  // Never re-use the home's initial attempt: a usurping ballot must outrank
+  // it so the quorum intersection exposes any accepted value.
+  uint32_t floor = (txn->home_ballot >> 16) + 1;
+  if (txn->paxos_attempt < floor) txn->paxos_attempt = floor;
+  stats().Incr(m_.paxos_rounds);
+  RunPaxosRound(
+      this, PaxosConfig(), transid, txn->paxos_attempt, Disposition::kAborted,
+      /*skip_prepare=*/false, [this, transid](Disposition chosen) {
+        TxnEntry* txn = FindTxn(transid);
+        if (txn == nullptr) return;
+        txn->paxos_round_in_flight = false;
+        if (txn->state != TxnState::kEnding) return;
+        if (chosen == Disposition::kCommitted) {
+          stats().Incr(m_.paxos_resolved_commits);
+          ApplyRemoteCommit(transid, txn);
+        } else if (chosen == Disposition::kAborted) {
+          stats().Incr(m_.paxos_resolved_aborts);
+          StartAbort(transid, "in-doubt resolved by acceptor majority");
+        } else {
+          ++txn->paxos_attempt;  // retried on the next resolve tick
+        }
+      });
+}
+
+void TmpProcess::SealDecision(const Transid& t) {
+  if (config_.commit_protocol != CommitProtocol::kPaxos ||
+      config_.acceptor_nodes.empty()) {
+    return;
+  }
+  if (!paxos_sealing_.insert(t).second) return;  // round already in flight
+  uint32_t& attempt = paxos_seal_attempt_[t];
+  if (attempt == 0) attempt = 1;
+  stats().Incr(m_.paxos_rounds);
+  RunPaxosRound(
+      this, PaxosConfig(), t, attempt++, Disposition::kAborted,
+      /*skip_prepare=*/false, [this, t](Disposition chosen) {
+        paxos_sealing_.erase(t);
+        if (chosen == Disposition::kUnknown) return;  // resealed on next query
+        paxos_seal_attempt_.erase(t);
+        if (FindTxn(t) != nullptr) return;  // tracked meanwhile: live pipeline
+        if (LookupDisposition(t) != Disposition::kUnknown) return;  // recorded
+        stats().Incr(m_.paxos_seals);
+        if (config_.monitor_trail != nullptr) {
+          config_.monitor_trail->AppendForced(audit::CompletionRecord{
+              t, chosen == Disposition::kCommitted
+                     ? audit::Completion::kCommitted
+                     : audit::Completion::kAborted});
+        }
+      });
 }
 
 void TmpProcess::HandlePhase2(const net::Message& msg) {
@@ -689,6 +873,18 @@ void TmpProcess::HandleResolveTxn(const net::Message& msg) {
   }
   TxnEntry* txn = FindTxn(t);
   if (txn == nullptr) {
+    if (config_.commit_protocol == CommitProtocol::kPaxos &&
+        !config_.acceptor_nodes.empty()) {
+      // Under Paxos Commit the absent MAT record proves nothing: the commit
+      // point lives at the acceptors, and this TMP may have been respawned
+      // after a majority accepted commit but before the home learned it.
+      // Seal the instance at the acceptors first (an abort-proposing round
+      // that adopts any chosen value); until the MAT holds the sealed
+      // outcome the honest answer is unknown.
+      SealDecision(t);
+      Reply(msg, Status::Ok(), EncodeDisposition(Disposition::kUnknown));
+      return;
+    }
     // We are the home, there is no durable completion record, and the
     // transaction is not tracked (this TMP may have been respawned fresh
     // after losing both pair members). Commit requires the home's forced
@@ -700,6 +896,13 @@ void TmpProcess::HandleResolveTxn(const net::Message& msg) {
   if (!recovering) {
     // Live in-doubt refresh while the transaction is still in flight here:
     // the querier keeps waiting for the normal phase-2/abort delivery.
+    Reply(msg, Status::Ok(), EncodeDisposition(Disposition::kUnknown));
+    return;
+  }
+  if (txn->state == TxnState::kEnding && PaxosEnabledFor(*txn)) {
+    // The commit point is external now: an accept round may already hold a
+    // majority, so the home must not abort unilaterally. Let the in-flight
+    // round (or the recoverer's own acceptor query) settle the outcome.
     Reply(msg, Status::Ok(), EncodeDisposition(Disposition::kUnknown));
     return;
   }
@@ -728,21 +931,51 @@ void TmpProcess::ArmIndoubtResolve() {
 void TmpProcess::ResolveIndoubts() {
   std::vector<Transid> indoubt;
   for (const auto& [transid, txn] : txns_) {
-    if (!txn.is_home && txn.state == TxnState::kEnding) {
+    // One probe per transaction at a time: stacking a fresh call on every
+    // tick while earlier ones are still timing out both multiplies traffic
+    // at a dead home and double-counts blocked ticks.
+    if (!txn.is_home && txn.state == TxnState::kEnding &&
+        !txn.resolve_in_flight) {
       indoubt.push_back(transid);
     }
   }
   for (const Transid& t : indoubt) {
     if (t.home_node == node()->id()) continue;  // home resolves locally
+    if (TxnEntry* probing = FindTxn(t)) probing->resolve_in_flight = true;
     stats().Incr(m_.resolves_sent);
     os::CallOptions opt;
+    // Diagnose a dead home within one resolve tick, not after the full
+    // safe-call timeout: the Paxos Commit fallback below is useless if it
+    // only engages after the home has already healed, and a blocked 2PC
+    // participant should re-ask on every tick rather than stack timeouts.
     opt.timeout = config_.safe_call_timeout;
+    if (config_.indoubt_resolve_interval > 0 &&
+        config_.indoubt_resolve_interval < opt.timeout) {
+      opt.timeout = config_.indoubt_resolve_interval;
+    }
     Call(Tmp(t.home_node), kTmfResolveTxn,
          EncodeResolveTxn(t, /*recovering=*/false),
          [this, t](const Status& s, const net::Message& reply) {
+           if (TxnEntry* probed = FindTxn(t)) probed->resolve_in_flight = false;
+           if (!s.ok()) {
+             TxnEntry* blocked = FindTxn(t);
+             if (blocked == nullptr || blocked->state != TxnState::kEnding) {
+               return;  // resolved by other means while the call was in flight
+             }
+             // Home unreachable while this participant still holds locks
+             // in-doubt: one blocked resolution tick. 2PC can only retry
+             // next tick, so each tick of a dead-home window adds one;
+             // under Paxos Commit any live acceptor majority answers in the
+             // home's stead, ending the window after the first blocked tick.
+             stats().Incr(m_.indoubt_blocked_on_home);
+             MaybePaxosEscalate(t, blocked);
+             return;
+           }
            Disposition d;
-           if (!s.ok() || !DecodeDisposition(Slice(reply.payload), &d)) {
-             return;  // unreachable or malformed: retry next tick
+           if (!DecodeDisposition(Slice(reply.payload), &d)) {
+             // Malformed reply: counted, not silently swallowed.
+             stats().Incr(m_.resolve_malformed_replies);
+             return;  // retry next tick
            }
            TxnEntry* txn = FindTxn(t);
            if (txn == nullptr || txn->state != TxnState::kEnding) return;
@@ -752,6 +985,12 @@ void TmpProcess::ResolveIndoubts() {
            } else if (d == Disposition::kAborted) {
              stats().Incr(m_.indoubt_resolved_aborts);
              StartAbort(t, "in-doubt resolved by home");
+           } else {
+             // The home answered but does not know — a respawned home whose
+             // seal round is still running, or one that lost its volatile
+             // phase state. The acceptor log, not the home, owns the commit
+             // record: go ask it rather than wait out another tick.
+             MaybePaxosEscalate(t, txn);
            }
          },
          opt);

@@ -24,10 +24,19 @@
 
 #include "audit/audit_trail.h"
 #include "os/process_pair.h"
+#include "tmf/commit_acceptor.h"
 #include "tmf/tmf_protocol.h"
 #include "tmf/transaction_state.h"
 
 namespace encompass::tmf {
+
+/// Which protocol fixes the commit point of a DISTRIBUTED transaction.
+/// Single-node transactions always commit through the home MAT force —
+/// they have no in-doubt window to shrink.
+enum class CommitProtocol : uint8_t {
+  kTwoPhase = 0,  ///< the paper's 2PC: commit point = home MAT force
+  kPaxos = 1,     ///< Paxos Commit: commit point = majority acceptor accept
+};
 
 /// Static configuration of one node's TMP.
 struct TmpConfig {
@@ -75,6 +84,30 @@ struct TmpConfig {
   /// single-incarnation sequence (seq is 40 bits; incarnation << 32 leaves
   /// 4G transactions per incarnation).
   uint64_t seq_base = 0;
+  /// Commit protocol for distributed transactions. Under kPaxos the home
+  /// replicates its decision to the `acceptor_nodes` CommitAcceptor pairs
+  /// before answering the client; in-doubt participants and recovering
+  /// nodes may then learn the outcome from any live acceptor majority
+  /// instead of waiting for the home to return.
+  CommitProtocol commit_protocol = CommitProtocol::kTwoPhase;
+  /// 2F+1: how many acceptors a paxos deployment registers (majority =
+  /// F+1). Deployments place them on nodes 1..commit_replication.
+  int commit_replication = 3;
+  std::vector<net::NodeId> acceptor_nodes;  ///< where $ACCEPT pairs run
+  std::string acceptor_process = "$ACCEPT";
+  SimDuration paxos_round_timeout = Seconds(2);    ///< per acceptor call
+  SimDuration paxos_retry_interval = Millis(200);  ///< pacing between rounds
+  /// Record how long non-home participants keep locks in-doubt (the
+  /// `tmf.indoubt_hold_us` histogram). Off by default so deployments that
+  /// don't ask for it keep byte-identical stats snapshots; the chaos
+  /// campaign turns it on for both protocols to compare blocked-lock time.
+  bool track_indoubt_hold = false;
+  /// Record END-TRANSACTION-to-commit-point latency at the home TMP (the
+  /// `tmf.commit_latency_us` histogram). Off by default for the same
+  /// byte-identical-snapshot reason as `track_indoubt_hold`; the chaos
+  /// campaign and BENCH_e12 turn it on to price Paxos Commit's extra
+  /// acceptor round trip against 2PC's MAT force.
+  bool track_commit_latency = false;
 };
 
 /// The TMP pair.
@@ -86,6 +119,21 @@ class TmpProcess : public os::PairedProcess {
 
   /// Number of transactions currently tracked (tests/benches).
   size_t ActiveTransactionCount() const { return txns_.size(); }
+
+  /// Participants on this node still in-doubt (kEnding) behind `home`.
+  /// The chaos campaign sums this cluster-wide at the instant a crashed
+  /// home returns: 2PC strands these for the whole outage, Paxos Commit
+  /// resolves them against the acceptor majority while the home is down.
+  size_t IndoubtParticipantsOf(net::NodeId home) const {
+    size_t n = 0;
+    for (const auto& [t, txn] : txns_) {
+      if (!txn.is_home && txn.state == TxnState::kEnding &&
+          t.home_node == home) {
+        ++n;
+      }
+    }
+    return n;
+  }
   /// State of a tracked transaction; false if unknown.
   bool GetTxnState(const Transid& t, TxnState* state) const;
   /// Pending safe-delivery messages (held for unreachable nodes).
@@ -118,6 +166,16 @@ class TmpProcess : public os::PairedProcess {
     // restarts the phase).
     int pending_acks = 0;
     bool phase_failed = false;
+    // Paxos Commit coordination (volatile, like pending_acks).
+    uint32_t paxos_attempt = 0;        ///< next ballot attempt to run
+    bool paxos_round_in_flight = false;
+    bool resolve_in_flight = false;    ///< outstanding in-doubt probe to home
+    uint32_t home_ballot = 0;  ///< ballot piggybacked on phase 1 (non-home)
+    // When this entry entered kEnding. Non-home: feeds tmf.indoubt_hold_us
+    // when the in-doubt window closes. Home: feeds tmf.commit_latency_us at
+    // the commit point. Volatile: a takeover restarts the clock,
+    // undercounting rather than inventing time.
+    SimTime indoubt_since = 0;
   };
 
   // -- Verb handlers ----------------------------------------------------------
@@ -173,6 +231,28 @@ class TmpProcess : public os::PairedProcess {
   /// Queries the home TMP of every in-doubt (ending, non-home) transaction.
   void ResolveIndoubts();
 
+  // -- Paxos Commit -----------------------------------------------------------------
+  /// True when `txn`'s commit point is replicated: paxos deployments
+  /// replicate distributed home transactions only.
+  bool PaxosEnabledFor(const TxnEntry& txn) const;
+  PaxosRoundConfig PaxosConfig() const;
+  /// Home side: replicate the commit decision; on the majority accept
+  /// (the commit point) fall into CommitPointReached.
+  void StartPaxosCommit(const Transid& transid);
+  /// Participant side: the home is unreachable — learn (or fix, by
+  /// proposing abort at a usurping ballot) the outcome from the acceptors.
+  /// Escalates a stuck in-doubt participant to the acceptor group, but only
+  /// after it has been in-doubt for a full resolve interval — younger
+  /// entries are healthy commits mid-flight that a usurping ballot would
+  /// needlessly abort. No-op under 2PC.
+  void MaybePaxosEscalate(const Transid& transid, TxnEntry* txn);
+  void StartPaxosResolve(const Transid& transid);
+  /// Respawned-home side: this TMP no longer tracks `t` and its MAT has no
+  /// record, but under paxos the decision may live at the acceptors. Runs
+  /// an abort-proposing round and seals whatever is chosen into the MAT, so
+  /// presumed abort never contradicts a majority-accepted commit.
+  void SealDecision(const Transid& t);
+
   // -- Orphaned-lock sweep ------------------------------------------------------------
   // A DISCPROCESS can end up holding locks under a transid no TMP tracks:
   // an operation retried transparently across a participant node's crash
@@ -215,7 +295,13 @@ class TmpProcess : public os::PairedProcess {
     sim::MetricId takeover_resumed_commits, takeover_resumed_aborts;
     sim::MetricId resolves_served, resolves_sent;
     sim::MetricId indoubt_resolved_commits, indoubt_resolved_aborts;
+    sim::MetricId indoubt_blocked_on_home;
+    sim::MetricId resolve_malformed_replies;
     sim::MetricId orphan_lock_commits, orphan_lock_aborts;
+    sim::MetricId paxos_rounds, paxos_commit_points, paxos_adopted_aborts;
+    sim::MetricId paxos_resolved_commits, paxos_resolved_aborts, paxos_seals;
+    sim::MetricId indoubt_hold_us;    // histogram
+    sim::MetricId commit_latency_us;  // histogram
     sim::MetricId transition[kNumTxnStates][kNumTxnStates];
   };
 
@@ -236,6 +322,12 @@ class TmpProcess : public os::PairedProcess {
   /// Lock-holding transids unknown to this TMP at the last sweep tick
   /// (first strike); acted on if still unknown when seen again.
   std::set<Transid> orphan_suspects_;
+
+  /// Untracked transids with a seal round in flight, and the next ballot
+  /// attempt each should use (a re-seal at an unchanged ballot would be
+  /// rejected by its own earlier promise).
+  std::set<Transid> paxos_sealing_;
+  std::map<Transid, uint32_t> paxos_seal_attempt_;
 
   /// One committer waiting for its commit record to reach the MAT.
   struct MatWaiter {

@@ -1,0 +1,562 @@
+// Paxos Commit and in-doubt negotiation tests.
+//
+// The tentpole: with `commit_protocol = kPaxos` the home TMP replicates its
+// commit/abort decision to 2F+1 CommitAcceptor pairs, the commit point
+// becomes "a majority durably accepted" instead of the home MAT force, and
+// any in-doubt party (participant, ROLLFORWARD, respawned home) can settle
+// against a live acceptor majority while the home is down — the classic
+// 2PC blocked window. These tests drive the protocol through the same storm
+// schedules, worker sweeps, and hand-built crash windows the 2PC campaign
+// uses, plus regression tests for the negotiation bugfixes that ride along:
+// concurrent (non-head-of-line) recovery negotiation, capped backoff with a
+// high-water attempts gauge, and counted (not swallowed) malformed
+// resolve-transaction replies.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "encompass/chaos.h"
+#include "tmf/commit_acceptor.h"
+#include "tmf/recovery.h"
+#include "tmf/tmf_protocol.h"
+#include "test_util.h"
+
+namespace encompass::app {
+namespace {
+
+using testutil::TestClient;
+
+ChaosCampaignConfig PaxosCampaignConfig(uint64_t seed) {
+  // Same storm floor as the 2PC ChaosCampaignTest (PR-4 schedule): >= 8
+  // faults, at least one total node crash, three nodes — with every TMP on
+  // Paxos Commit and a 2F+1 = 3 acceptor group on nodes 1..3.
+  ChaosCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.nodes = 3;
+  cfg.accounts_per_node = 20;
+  cfg.clients_per_node = 2;
+  cfg.schedule.faults = 8;
+  cfg.schedule.min_node_crashes = 1;
+  cfg.commit_protocol = tmf::CommitProtocol::kPaxos;
+  cfg.commit_replication = 3;
+  return cfg;
+}
+
+void ExpectSurvived(const ChaosCampaignResult& r, uint64_t seed) {
+  bool clean = r.quiesced && r.violations.empty() &&
+               r.balance_sum == r.expected_sum && r.leaked_locks == 0 &&
+               r.leaked_txns == 0 && r.pending_safe == 0 &&
+               r.illegal_transitions == 0 &&
+               r.recoveries_completed == r.node_crashes;
+  if (!clean) {
+    std::ofstream out("paxos_failing_seed_" + std::to_string(seed) +
+                      ".schedule");
+    out << r.schedule_dump;
+    out.close();
+    for (const auto& line : r.journal) {
+      ADD_FAILURE() << "journal: " << line;
+    }
+  }
+  EXPECT_TRUE(r.quiesced) << "seed " << seed << " did not quiesce";
+  for (const auto& v : r.violations) {
+    ADD_FAILURE() << "seed " << seed << " txn " << v.transid << ": "
+                  << v.detail;
+  }
+  EXPECT_EQ(r.balance_sum, r.expected_sum) << "seed " << seed;
+  EXPECT_EQ(r.leaked_locks, 0u) << "seed " << seed;
+  EXPECT_EQ(r.leaked_txns, 0u) << "seed " << seed;
+  EXPECT_EQ(r.pending_safe, 0u) << "seed " << seed;
+  EXPECT_EQ(r.illegal_transitions, 0) << "seed " << seed;
+  EXPECT_EQ(r.recoveries_completed, r.node_crashes) << "seed " << seed;
+}
+
+// Two-phase commit stays the default, byte for byte: a deployment that
+// never mentions Paxos must spawn no acceptors, replicate nothing, and
+// record nothing new (the pdes_oracle golden pins the full trace+stats
+// snapshot of that path against the pre-Paxos tree).
+TEST(PaxosDefaultsTest, TwoPhaseRemainsTheDefault) {
+  tmf::TmpConfig cfg;
+  EXPECT_EQ(cfg.commit_protocol, tmf::CommitProtocol::kTwoPhase);
+  EXPECT_EQ(cfg.commit_replication, 3);
+  EXPECT_TRUE(cfg.acceptor_nodes.empty());
+  EXPECT_EQ(cfg.acceptor_process, "$ACCEPT");
+  EXPECT_FALSE(cfg.track_indoubt_hold);
+
+  tmf::NodeRecoveryConfig rcfg;
+  EXPECT_TRUE(rcfg.acceptor_nodes.empty());
+  EXPECT_EQ(rcfg.retry_backoff_cap, Seconds(8));
+
+  ChaosCampaignConfig ccfg;
+  EXPECT_EQ(ccfg.commit_protocol, tmf::CommitProtocol::kTwoPhase);
+
+  // A default (2PC) campaign must never touch the acceptor path.
+  ccfg.seed = 5;
+  ccfg.nodes = 3;
+  ccfg.schedule.faults = 8;
+  ccfg.schedule.min_node_crashes = 1;
+  ChaosCampaignResult r = RunChaosCampaign(ccfg);
+  EXPECT_EQ(r.indoubt_resolved_via_acceptors, 0);
+}
+
+// The ballot encoding keeps proposers totally ordered and the home's free
+// attempt-0 ballot below every recovery ballot.
+TEST(PaxosDefaultsTest, BallotEncoding) {
+  EXPECT_EQ(tmf::MakePaxosBallot(0, 1), 1u);
+  EXPECT_EQ(tmf::MakePaxosBallot(1, 1), (1u << 16) | 1u);
+  EXPECT_LT(tmf::MakePaxosBallot(0, 0xFFFF), tmf::MakePaxosBallot(1, 1));
+  // Phase-1 payloads: the paxos form carries the ballot, the 2PC form stays
+  // the bare 8-byte transid, and the decoder accepts both.
+  Transid t = Transid{3, 1, 42};
+  uint32_t ballot = 0;
+  EXPECT_FALSE(
+      tmf::DecodePhase1Ballot(Slice(tmf::EncodeTransidPayload(t)), &ballot));
+  Bytes paxos = tmf::EncodePhase1Paxos(t, tmf::MakePaxosBallot(2, 7));
+  EXPECT_TRUE(tmf::DecodePhase1Ballot(Slice(paxos), &ballot));
+  EXPECT_EQ(ballot, tmf::MakePaxosBallot(2, 7));
+  EXPECT_EQ(tmf::DecodeTransidPayload(Slice(paxos))->Pack(), t.Pack());
+}
+
+// The full PR-4 storm schedule under Paxos Commit: every seed must survive
+// the same invariants the 2PC campaign pins — zero oracle violations,
+// conserved balances, no leaks, every crashed node recovered.
+class ChaosPaxosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosPaxosTest, SurvivesSeed) {
+  const uint64_t seed = GetParam();
+  ChaosCampaignResult r = RunChaosCampaign(PaxosCampaignConfig(seed));
+  EXPECT_GE(r.schedule.faults.size(), 5u) << "seed " << seed;
+  EXPECT_GE(r.node_crashes, 1u) << "seed " << seed;
+  EXPECT_GT(r.txns_started, 0u) << "seed " << seed;
+  EXPECT_GT(r.txns_committed, 0u) << "seed " << seed;
+  ExpectSurvived(r, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosPaxosTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// The same paxos storm is byte-identical at every engine setting: legacy
+// single queue (0), the PDES oracle (1), and worker pools of 2, 4, and 8.
+TEST(ChaosPaxosParallelTest, SameSeedSameStormAtAnyWorkerCount) {
+  ChaosCampaignConfig cfg = PaxosCampaignConfig(7);
+  cfg.parallel_workers = 0;
+  ChaosCampaignResult base = RunChaosCampaign(cfg);
+  ExpectSurvived(base, 7);
+  for (int workers : {1, 2, 4, 8}) {
+    cfg.parallel_workers = workers;
+    ChaosCampaignResult r = RunChaosCampaign(cfg);
+    EXPECT_EQ(r.journal, base.journal) << "workers=" << workers;
+    EXPECT_EQ(r.txns_started, base.txns_started) << "workers=" << workers;
+    EXPECT_EQ(r.txns_committed, base.txns_committed) << "workers=" << workers;
+    EXPECT_EQ(r.txns_aborted, base.txns_aborted) << "workers=" << workers;
+    EXPECT_EQ(r.txns_unknown, base.txns_unknown) << "workers=" << workers;
+    EXPECT_EQ(r.balance_sum, base.balance_sum) << "workers=" << workers;
+    EXPECT_EQ(r.recoveries_completed, base.recoveries_completed)
+        << "workers=" << workers;
+    EXPECT_EQ(r.indoubt_resolved_via_acceptors,
+              base.indoubt_resolved_via_acceptors)
+        << "workers=" << workers;
+  }
+}
+
+// The point of the protocol, measured: over the shared storm seeds, Paxos
+// Commit settles in-doubt transactions at the acceptors while the home is
+// away, so strictly fewer are still stranded when the home returns.
+TEST(ChaosPaxosTest, FewerIndoubtBlockedOnHomeThanTwoPhase) {
+  // "In-doubt transactions at recovery": participants cluster-wide still
+  // blocked on a crashed home at the instant it returns. A 2PC participant
+  // waits out the whole outage — however long — so every strand is still
+  // there at recovery; a Paxos Commit participant resolves against the
+  // acceptor majority ~600ms in (one escalation-grace tick plus one resolve
+  // round). The storm must keep dead homes down well past that (2-4s heals)
+  // and the resolve tick must undercut the outage, or both protocols read
+  // near zero and the comparison is noise.
+  auto comparison_storm = [](ChaosCampaignConfig* cfg) {
+    cfg->schedule.faults = 10;
+    cfg->schedule.min_node_crashes = 2;
+    cfg->schedule.w_crash = 1.5;
+    cfg->schedule.min_heal = 2'000'000;
+    cfg->schedule.max_heal = 4'000'000;
+    cfg->schedule.crash_recovery_pad = 4'000'000;
+    cfg->indoubt_resolve_interval = Millis(250);
+  };
+  size_t indoubt_2pc = 0, indoubt_paxos = 0;
+  int64_t via_acceptors = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ChaosCampaignConfig two = PaxosCampaignConfig(seed);
+    comparison_storm(&two);
+    two.commit_protocol = tmf::CommitProtocol::kTwoPhase;
+    indoubt_2pc += RunChaosCampaign(two).indoubt_at_recovery;
+
+    ChaosCampaignConfig pax = PaxosCampaignConfig(seed);
+    comparison_storm(&pax);
+    ChaosCampaignResult p = RunChaosCampaign(pax);
+    indoubt_paxos += p.indoubt_at_recovery;
+    via_acceptors += p.indoubt_resolved_via_acceptors;
+  }
+  EXPECT_GT(indoubt_2pc, 0u) << "storm seeds no longer produce an in-doubt "
+                                "window; the comparison is vacuous";
+  EXPECT_LT(indoubt_paxos, indoubt_2pc);
+  EXPECT_GT(via_acceptors, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built crash windows
+// ---------------------------------------------------------------------------
+
+struct Rig {
+  sim::Simulation sim;
+  Deployment deploy;
+  TestClient* client = nullptr;
+  std::unique_ptr<tmf::FileSystem> fs;
+
+  Rig(uint64_t seed, int nodes, bool paxos, SimDuration resolve_interval = 0)
+      : sim(seed), deploy(&sim), bounded_(resolve_interval > 0) {
+    for (int n = 1; n <= nodes; ++n) {
+      NodeSpec spec;
+      spec.id = static_cast<net::NodeId>(n);
+      std::string vol = "$DATA" + std::to_string(n);
+      spec.volumes = {
+          VolumeSpec{vol, {FileSpec{"mark" + std::to_string(n)}}, {}}};
+      spec.tmp_config.indoubt_resolve_interval = resolve_interval;
+      if (paxos) {
+        spec.tmp_config.commit_protocol = tmf::CommitProtocol::kPaxos;
+        for (int a = 1; a <= 3 && a <= nodes; ++a) {
+          spec.tmp_config.acceptor_nodes.push_back(
+              static_cast<net::NodeId>(a));
+        }
+      }
+      deploy.AddNode(spec);
+    }
+    deploy.LinkAll();
+    for (int n = 1; n <= nodes; ++n) {
+      std::string mark = "mark" + std::to_string(n);
+      std::string vol = "$DATA" + std::to_string(n);
+      EXPECT_TRUE(
+          deploy.DefineFile(mark, static_cast<net::NodeId>(n), vol).ok());
+      deploy.GetNode(static_cast<net::NodeId>(n))->ArchiveVolumes();
+    }
+  }
+
+  /// Runs until the sim settles — bounded when a periodic resolve timer
+  /// keeps the event queue alive forever.
+  void Settle() {
+    if (bounded_) {
+      sim.RunFor(Millis(250));
+    } else {
+      sim.Run();
+    }
+  }
+
+  /// Spawns the client on `node` and runs the sim until it settles.
+  void SpawnClient(net::NodeId node) {
+    client = deploy.GetNode(node)->node()->Spawn<TestClient>(2);
+    fs = std::make_unique<tmf::FileSystem>(client, &deploy.catalog());
+    Settle();
+  }
+
+  /// BEGINs a transaction at `home` and returns its packed transid.
+  uint64_t Begin(net::NodeId home) {
+    auto* b = client->CallRaw(net::Address(home, "$TMP"), tmf::kTmfBegin, {});
+    Settle();
+    EXPECT_TRUE(b->done && b->status.ok());
+    return tmf::DecodeTransidPayload(Slice(b->payload))->Pack();
+  }
+
+  /// Inserts `key` into `file` under transaction `t`.
+  void Insert(uint64_t t, const std::string& file, const std::string& key) {
+    bool done = false;
+    Status st;
+    client->set_current_transid(t);
+    fs->Insert(file, Slice(key), Slice(std::string("x")),
+               [&](const Status& s, const Bytes&) {
+                 st = s;
+                 done = true;
+               });
+    client->set_current_transid(0);
+    Settle();
+    EXPECT_TRUE(done && st.ok()) << st.ToString();
+  }
+
+  int64_t MatLookup(net::NodeId node, uint64_t t) {
+    return deploy.GetNode(node)->storage().monitor_trail.Lookup(
+        Transid::Unpack(t));
+  }
+
+ private:
+  bool bounded_ = false;
+};
+
+// The window Paxos Commit exists for: the coordinator reaches its commit
+// point (a majority of acceptors durably accepted kCommitted) and dies
+// before any phase-2 message leaves — the exact "crashed between phase 1
+// and phase 2" schedule. Under 2PC the participant blocks until the home is
+// repaired; here it learns the outcome from the surviving acceptor majority
+// while the home is still down, and the home's own recovery later adopts
+// the same decision from the acceptors (its MAT never saw the commit).
+TEST(PaxosOracleTest, CoordinatorCrashBetweenPhasesResolvesViaAcceptors) {
+  Rig rig(11, 3, /*paxos=*/true, /*resolve_interval=*/Millis(500));
+  rig.SpawnClient(1);
+  uint64_t t = rig.Begin(1);
+
+  AtomicityOracle oracle;
+  oracle.RegisterIntent(t, "m1",
+                        {{1, "$DATA1", "mark1"}, {2, "$DATA2", "mark2"}});
+  rig.Insert(t, "mark1", "m1");
+  rig.Insert(t, "mark2", "m1");
+
+  // END; crash the home the moment a majority of acceptors hold the
+  // decision (their logs mutate before the force-delayed grant replies, so
+  // the home has not even learned of its own commit point yet, let alone
+  // sent phase 2).
+  rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                      tmf::EncodeTransidPayload(Transid::Unpack(t)), t);
+  auto accepted = [&](net::NodeId n) {
+    auto& entries =
+        rig.deploy.GetNode(n)->storage().acceptor_log.entries;
+    auto it = entries.find(t);
+    return it != entries.end() && it->second.has_value &&
+           it->second.value == tmf::Disposition::kCommitted;
+  };
+  for (int i = 0; i < 4000 && !(accepted(2) && accepted(3)); ++i) {
+    rig.sim.RunFor(Micros(200));
+  }
+  ASSERT_TRUE(accepted(2) && accepted(3));
+  ASSERT_EQ(rig.MatLookup(1, t), -1) << "home reached its MAT before crash; "
+                                       "the window closed too late";
+  rig.deploy.CrashNode(1);
+
+  // With the coordinator dead, the participant's in-doubt resolve tick
+  // fails over to the acceptors and applies the committed outcome.
+  rig.sim.RunFor(Seconds(5));
+  EXPECT_EQ(rig.MatLookup(2, t), 1);
+  EXPECT_EQ(rig.deploy.GetNode(2)->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.paxos_resolved_commits"), 1);
+
+  // Home recovery: its MAT has no record, but presumed abort would be
+  // unsound now — ROLLFORWARD seals the instance at the acceptors and
+  // redoes the home's own forced writes under the adopted commit.
+  bool recovered = false;
+  rig.deploy.RecoverNode(1, [&](const std::vector<tmf::RollforwardReport>&) {
+    recovered = true;
+  });
+  rig.sim.RunFor(Seconds(10));
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(rig.MatLookup(1, t), 1);
+  EXPECT_GE(rig.sim.GetStats().Counter("recovery.paxos_resolves"), 1);
+
+  // Unknown to the client (it died with the home): the oracle demands
+  // all-or-nothing, and "all" is what the acceptors chose.
+  auto violations = oracle.Check(&rig.deploy);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << "txn " << v.transid << ": " << v.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Negotiation bugfixes
+// ---------------------------------------------------------------------------
+
+// Regression: ROLLFORWARD used to negotiate its unresolved transactions one
+// at a time in transid order, so a single dead home at the front of the set
+// head-of-line blocked every answer a live home could give immediately.
+// Two crashed homes, brought back one at a time, expose it: the recovering
+// participant must settle home 2's transaction (and durably record it)
+// while home 1 — whose transaction sorts first — is still down.
+TEST(RecoveryNegotiationTest, TwoCrashedHomesNegotiateConcurrently) {
+  Rig rig(13, 4, /*paxos=*/false);
+  rig.SpawnClient(1);
+  uint64_t ta = rig.Begin(1);
+  rig.Insert(ta, "mark1", "ma");
+  rig.Insert(ta, "mark4", "ma");
+
+  auto* client2 = rig.deploy.GetNode(2)->node()->Spawn<TestClient>(2);
+  tmf::FileSystem fs2(client2, &rig.deploy.catalog());
+  rig.sim.Run();
+  auto* b = client2->CallRaw(net::Address(2, "$TMP"), tmf::kTmfBegin, {});
+  rig.sim.Run();
+  ASSERT_TRUE(b->done && b->status.ok());
+  uint64_t tb = tmf::DecodeTransidPayload(Slice(b->payload))->Pack();
+  auto insert2 = [&](const std::string& file, const std::string& key) {
+    bool done = false;
+    Status st;
+    client2->set_current_transid(tb);
+    fs2.Insert(file, Slice(key), Slice(std::string("x")),
+               [&](const Status& s, const Bytes&) {
+                 st = s;
+                 done = true;
+               });
+    client2->set_current_transid(0);
+    rig.sim.Run();
+    ASSERT_TRUE(done && st.ok()) << st.ToString();
+  };
+  insert2("mark2", "mb");
+  insert2("mark4", "mb");
+
+  // END both transactions back to back, so both homes pass their commit
+  // points within one phase-2 flight time of each other; the instant both
+  // home MATs hold the commit records, isolate node 4 completely (the mesh
+  // would happily route a phase 2 around any single cut link).
+  rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                      tmf::EncodeTransidPayload(Transid::Unpack(ta)), ta);
+  client2->CallRaw(net::Address(2, "$TMP"), tmf::kTmfEnd,
+                   tmf::EncodeTransidPayload(Transid::Unpack(tb)), tb);
+  for (int i = 0;
+       i < 2000 && !(rig.MatLookup(1, ta) == 1 && rig.MatLookup(2, tb) == 1);
+       ++i) {
+    rig.sim.RunFor(Micros(500));
+  }
+  ASSERT_EQ(rig.MatLookup(1, ta), 1);
+  ASSERT_EQ(rig.MatLookup(2, tb), 1);
+  for (net::NodeId n : {1, 2, 3}) rig.deploy.cluster().CutLink(n, 4);
+  rig.sim.RunFor(Seconds(1));
+  ASSERT_EQ(rig.MatLookup(4, ta), -1) << "phase 2 reached node 4 before the "
+                                         "partition; no in-doubt window";
+  ASSERT_EQ(rig.MatLookup(4, tb), -1);
+  ASSERT_GT(rig.deploy.GetNode(4)->disc("$DATA4")->locks().held_count(), 0u);
+
+  // Node 4 holds both transactions in doubt. Lose it — and both homes.
+  rig.deploy.CrashNode(4);
+  rig.deploy.CrashNode(1);
+  rig.deploy.CrashNode(2);
+  rig.sim.RunFor(Seconds(1));
+  for (net::NodeId n : {1, 2, 3}) rig.deploy.cluster().RestoreLink(n, 4);
+
+  // Recover the participant first: both negotiations start (and back off)
+  // against dead homes.
+  bool recovered4 = false;
+  rig.deploy.RecoverNode(4, [&](const std::vector<tmf::RollforwardReport>&) {
+    recovered4 = true;
+  });
+  rig.sim.RunFor(Seconds(10));
+  EXPECT_FALSE(recovered4);
+  EXPECT_GT(rig.sim.GetStats().Counter("recovery.negotiation_retries"), 0);
+  // The high-water gauge climbs while both homes stay dead.
+  EXPECT_GT(rig.sim.GetStats().Counter("recovery.max_retry_attempts"), 0);
+
+  // Home 2 returns. Its transaction must settle on node 4 even though home
+  // 1's transaction — first in transid order — is still unanswerable.
+  bool recovered2 = false;
+  rig.deploy.RecoverNode(2, [&](const std::vector<tmf::RollforwardReport>&) {
+    recovered2 = true;
+  });
+  rig.sim.RunFor(Seconds(20));
+  ASSERT_TRUE(recovered2);
+  EXPECT_EQ(rig.MatLookup(4, tb), 1)
+      << "home 2's answer was head-of-line blocked behind dead home 1";
+  EXPECT_EQ(rig.MatLookup(4, ta), -1);
+  EXPECT_FALSE(recovered4);
+
+  // Home 1 returns; everything settles and the participant finishes.
+  bool recovered1 = false;
+  rig.deploy.RecoverNode(1, [&](const std::vector<tmf::RollforwardReport>&) {
+    recovered1 = true;
+  });
+  rig.sim.RunFor(Seconds(30));
+  ASSERT_TRUE(recovered1);
+  ASSERT_TRUE(recovered4);
+  EXPECT_EQ(rig.MatLookup(4, ta), 1);
+
+  AtomicityOracle oracle;
+  oracle.RegisterIntent(ta, "ma",
+                        {{1, "$DATA1", "mark1"}, {4, "$DATA4", "mark4"}});
+  oracle.RegisterIntent(tb, "mb",
+                        {{2, "$DATA2", "mark2"}, {4, "$DATA4", "mark4"}});
+  oracle.RecordOutcome(ta, AtomicityOracle::Outcome::kCommitted);
+  oracle.RecordOutcome(tb, AtomicityOracle::Outcome::kCommitted);
+  auto violations = oracle.Check(&rig.deploy);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << "txn " << v.transid << ": " << v.detail;
+  }
+}
+
+// The deterministic backoff: same (seed, transid, attempt) -> same delay,
+// exponential growth, hard cap.
+TEST(RecoveryNegotiationTest, BackoffIsDeterministicCappedAndJittered) {
+  tmf::NodeRecoveryConfig cfg;
+  cfg.jitter_seed = 99;
+  tmf::NodeRecoveryProcess a(cfg), b(cfg);
+  Transid t1{1, 0, 7}, t2{2, 0, 7};
+  for (uint32_t attempt = 1; attempt <= 12; ++attempt) {
+    SimDuration d = a.BackoffDelayForTest(t1, attempt);
+    EXPECT_EQ(d, b.BackoffDelayForTest(t1, attempt)) << attempt;
+    EXPECT_GE(d, cfg.retry_interval);
+    EXPECT_LE(d, cfg.retry_backoff_cap + cfg.retry_interval) << attempt;
+  }
+  // Different transids de-synchronise: not every attempt waits identically.
+  bool differs = false;
+  for (uint32_t attempt = 1; attempt <= 12; ++attempt) {
+    differs |= a.BackoffDelayForTest(t1, attempt) !=
+               a.BackoffDelayForTest(t2, attempt);
+  }
+  EXPECT_TRUE(differs);
+}
+
+/// Impersonates a home $TMP and answers every resolve query with bytes that
+/// decode as no disposition at all.
+class EvilResolver : public os::Process {
+ public:
+  std::string DebugName() const override { return "evil-resolver"; }
+
+ protected:
+  void OnMessage(const net::Message& msg) override {
+    if (msg.tag == tmf::kTmfResolveTxn) {
+      Reply(msg, Status::Ok(), Bytes{0x7F, 0xEE, 0xEE});
+    }
+  }
+};
+
+// Regression: a malformed kTmfResolveTxn reply used to be silently dropped
+// — the participant stayed in doubt with no trace of why. It still (safely)
+// stays in doubt, but the drop is now counted, and the next tick resolves
+// once the home answers properly again.
+TEST(RecoveryNegotiationTest, MalformedResolveReplyIsCounted) {
+  Rig rig(17, 2, /*paxos=*/false, /*resolve_interval=*/Millis(500));
+  rig.SpawnClient(1);
+  uint64_t t = rig.Begin(1);
+  rig.Insert(t, "mark1", "m1");
+  rig.Insert(t, "mark2", "m1");
+  rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                      tmf::EncodeTransidPayload(Transid::Unpack(t)), t);
+  for (int i = 0; i < 2000 && rig.MatLookup(1, t) != 1; ++i) {
+    rig.sim.RunFor(Micros(500));
+  }
+  ASSERT_EQ(rig.MatLookup(1, t), 1);
+  rig.deploy.cluster().CutLink(1, 2);
+  rig.sim.RunFor(Seconds(1));
+
+  // Kill the home's volatile phase-2 delivery and bring the node back while
+  // it is still unreachable; once the respawned TMP pair has started (its
+  // OnStart re-registers the $TMP name), point the name at a corrupter, and
+  // only then heal the link — every resolve tick from node 2 now lands on
+  // the corrupter.
+  rig.deploy.CrashNode(1);
+  rig.sim.RunFor(Seconds(1));
+  rig.deploy.RestartNode(1);
+  // The reload reconnected every link of node 1; cut 1-2 again until the
+  // corrupter is in place.
+  rig.deploy.cluster().CutLink(1, 2);
+  rig.sim.RunFor(Millis(100));
+  os::Node* n1 = rig.deploy.GetNode(1)->node();
+  net::Pid real_tmp = n1->LookupName("$TMP");
+  ASSERT_NE(real_tmp, 0u);
+  auto* evil = n1->Spawn<EvilResolver>(2);
+  n1->RegisterName("$TMP", evil->id().pid);
+  rig.deploy.cluster().RestoreLink(1, 2);
+
+  rig.sim.RunFor(Seconds(3));
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.resolve_malformed_replies"), 1);
+  EXPECT_EQ(rig.MatLookup(2, t), -1) << "resolved against garbage";
+  EXPECT_GT(rig.deploy.GetNode(2)->disc("$DATA2")->locks().held_count(), 0u);
+
+  // Restore the real TMP; its durable MAT record answers the next tick.
+  n1->RegisterName("$TMP", real_tmp);
+  rig.sim.RunFor(Seconds(3));
+  EXPECT_EQ(rig.MatLookup(2, t), 1);
+  EXPECT_EQ(rig.deploy.GetNode(2)->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.indoubt_resolved_commits"), 1);
+}
+
+}  // namespace
+}  // namespace encompass::app
