@@ -19,7 +19,9 @@
 #include "apps/banking/banking.h"
 #include "encompass/deployment.h"
 #include "encompass/tcp.h"
+#include "net/network.h"
 #include "sim/stats.h"
+#include "tmf/tmf_protocol.h"
 
 namespace encompass::bench {
 
@@ -32,8 +34,10 @@ class JsonReport {
   /// Schema version of the emitted JSON. Bump when the envelope changes;
   /// version 2 added the mandatory "seed" / "parallel_workers" fields,
   /// version 3 the "hardware_threads" / "git_rev" host context (perf numbers
-  /// without the host and the exact source state are unreviewable).
-  static constexpr int kSchemaVersion = 3;
+  /// without the host and the exact source state are unreviewable),
+  /// version 4 the "commit_protocol" / "paxos_fast_path" knobs (protocol
+  /// sweeps must be self-describing).
+  static constexpr int kSchemaVersion = 4;
 
   /// Short revision of the sources this binary was run from, resolved at
   /// runtime (the build tree lives inside the repo); "unknown" outside git.
@@ -61,6 +65,14 @@ class JsonReport {
   void SetMeta(uint64_t seed, int parallel_workers) {
     seed_ = seed;
     parallel_workers_ = parallel_workers;
+  }
+
+  /// Names the commit protocol this bench's headline numbers ran under.
+  /// Every envelope carries both fields — benches that never touch the TMF
+  /// keep the defaults, protocol sweeps overwrite them per run.
+  void SetCommitConfig(std::string protocol, bool fast_path) {
+    commit_protocol_ = std::move(protocol);
+    paxos_fast_path_ = fast_path;
   }
 
   /// Snapshots a simulation's Stats registry: every nonzero counter, and
@@ -92,10 +104,12 @@ class JsonReport {
     fprintf(f,
             "{\n  \"bench\": \"%s\",\n  \"version\": %d,\n  \"seed\": %llu,\n"
             "  \"parallel_workers\": %d,\n  \"hardware_threads\": %u,\n"
-            "  \"git_rev\": \"%s\",\n  \"wall_ms\": %.3f",
+            "  \"git_rev\": \"%s\",\n  \"commit_protocol\": \"%s\",\n"
+            "  \"paxos_fast_path\": %d,\n  \"wall_ms\": %.3f",
             name_.c_str(), kSchemaVersion,
             static_cast<unsigned long long>(seed_), parallel_workers_,
-            std::thread::hardware_concurrency(), GitRev().c_str(), wall_ms);
+            std::thread::hardware_concurrency(), GitRev().c_str(),
+            commit_protocol_.c_str(), paxos_fast_path_ ? 1 : 0, wall_ms);
     for (const auto& [key, value] : values_) {
       if (std::fabs(value - std::llround(value)) < 1e-9) {
         fprintf(f, ",\n  \"%s\": %lld", key.c_str(),
@@ -114,6 +128,8 @@ class JsonReport {
   std::chrono::steady_clock::time_point start_;
   uint64_t seed_ = 0;
   int parallel_workers_ = 0;
+  std::string commit_protocol_ = "2pc";
+  bool paxos_fast_path_ = false;
   std::map<std::string, double> values_;
 };
 
@@ -142,6 +158,62 @@ inline void ReportMeta(uint64_t seed, int parallel_workers = 0) {
 
 inline void ReportSimStats(const std::string& prefix, const sim::Stats& stats) {
   if (GlobalReport() != nullptr) GlobalReport()->AddSimStats(prefix, stats);
+}
+
+/// Stamps the commit-protocol envelope fields ("2pc", "paxos", or
+/// "paxos-fast"). Benches that sweep protocols call this per headline run.
+inline void ReportCommitConfig(tmf::CommitProtocol protocol, bool fast_path) {
+  if (GlobalReport() == nullptr) return;
+  const char* name = protocol == tmf::CommitProtocol::kPaxos
+                         ? (fast_path ? "paxos-fast" : "paxos")
+                         : "2pc";
+  GlobalReport()->SetCommitConfig(name, fast_path);
+}
+
+/// Human name of a network message tag for the per-verb breakdown; falls
+/// back to the raw tag number for verbs this table doesn't know.
+inline std::string NetTagName(uint32_t tag) {
+  switch (tag) {
+    case tmf::kTmfBegin: return "tmf.begin";
+    case tmf::kTmfEnd: return "tmf.end";
+    case tmf::kTmfAbort: return "tmf.abort";
+    case tmf::kTmfEnsureRemote: return "tmf.ensure_remote";
+    case tmf::kTmfRemoteBegin: return "tmf.remote_begin";
+    case tmf::kTmfPhase1: return "tmf.phase1";
+    case tmf::kTmfPhase2: return "tmf.phase2";
+    case tmf::kTmfAbortTxn: return "tmf.abort_txn";
+    case tmf::kTmfStatus: return "tmf.status";
+    case tmf::kTmfResolveTxn: return "tmf.resolve_txn";
+    case tmf::kTmfPaxosPrepare: return "tmf.paxos_prepare";
+    case tmf::kTmfPaxosAccept: return "tmf.paxos_accept";
+    case tmf::kTmfPaxosVote: return "tmf.paxos_vote";
+    case tmf::kTmfPaxosVoteAck: return "tmf.paxos_vote_ack";
+    case tmf::kTmfPaxosReclaim: return "tmf.paxos_reclaim";
+    default: return "tag" + std::to_string(tag);
+  }
+}
+
+/// Per-transaction / per-verb message accounting of a tracked network
+/// (NetworkConfig::track_messages): emits `<prefix>.net.msgs_per_txn` (the
+/// fast-path headline) plus a per-verb breakdown of every cross-node send.
+inline void ReportNetMessages(const std::string& prefix,
+                              const net::Network& network,
+                              uint64_t committed_txns) {
+  uint64_t tracked = 0;
+  for (const auto& [transid, count] : network.PerTxnMessages()) {
+    (void)transid;
+    tracked += count;
+  }
+  ReportValue(prefix + ".net.msgs_tracked", static_cast<double>(tracked));
+  if (committed_txns > 0) {
+    ReportValue(prefix + ".net.msgs_per_txn",
+                static_cast<double>(tracked) /
+                    static_cast<double>(committed_txns));
+  }
+  for (const auto& [tag, count] : network.PerTagMessages()) {
+    ReportValue(prefix + ".net.msgs." + NetTagName(tag),
+                static_cast<double>(count));
+  }
 }
 
 /// Writes the report. Call last in main().

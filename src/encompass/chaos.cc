@@ -349,7 +349,9 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
   res.node_crashes = schedule.CountOf(sim::FaultClass::kNodeCrash);
 
   sim::Simulation sim(config.seed, config.parallel_workers);
-  Deployment deploy(&sim);
+  net::NetworkConfig net_config;
+  net_config.track_messages = config.track_messages;
+  Deployment deploy(&sim, net_config);
   for (int n = 1; n <= config.nodes; ++n) {
     NodeSpec spec;
     spec.id = static_cast<net::NodeId>(n);
@@ -363,10 +365,25 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
     spec.tmp_config.track_indoubt_hold = true;
     spec.tmp_config.track_commit_latency = true;
     if (config.commit_protocol == tmf::CommitProtocol::kPaxos) {
-      const int replication = std::min(config.commit_replication, config.nodes);
-      spec.tmp_config.commit_replication = replication;
-      for (int a = 1; a <= replication; ++a) {
-        spec.tmp_config.acceptor_nodes.push_back(static_cast<net::NodeId>(a));
+      if (config.paxos_fast_path) {
+        // Explicit endpoint placement: `$ACCEPT.<k>` pairs round-robined
+        // over the nodes, so a 3-node cluster still fields 2F+1 = 5
+        // acceptors when asked. The endpoint order defines the vote-ack
+        // tally bit of each acceptor.
+        spec.tmp_config.commit_replication = config.commit_replication;
+        spec.tmp_config.paxos_fast_path = true;
+        for (int k = 0; k < config.commit_replication; ++k) {
+          spec.tmp_config.acceptor_endpoints.emplace_back(
+              static_cast<net::NodeId>(k % config.nodes + 1),
+              "$ACCEPT." + std::to_string(k));
+        }
+      } else {
+        const int replication =
+            std::min(config.commit_replication, config.nodes);
+        spec.tmp_config.commit_replication = replication;
+        for (int a = 1; a <= replication; ++a) {
+          spec.tmp_config.acceptor_nodes.push_back(static_cast<net::NodeId>(a));
+        }
       }
     }
     spec.exec_lane = config.queue_lane ? ExecLane::kQueue : ExecLane::kLocks;
@@ -693,6 +710,8 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
         stats.Counter("recovery.paxos_resolves");
     res.recovery_max_retry_attempts =
         stats.Counter("recovery.max_retry_attempts");
+    res.acceptor_duplicate_votes =
+        stats.Counter("tmf.acceptor_duplicate_votes");
     if (const sim::Histogram* h = stats.FindHistogram("tmf.indoubt_hold_us")) {
       res.indoubt_hold_count = static_cast<int64_t>(h->count());
       res.indoubt_hold_p50_ms = static_cast<double>(h->Percentile(50)) / 1e3;
@@ -714,12 +733,36 @@ ChaosCampaignResult ReplayChaosCampaign(const ChaosCampaignConfig& config,
     if (auto* disc = nd->disc(VolName(n))) {
       res.leaked_locks += disc->locks().held_count();
     }
+    const NodeStorage& st = nd->storage();
+    res.acceptor_log_peak =
+        std::max(res.acceptor_log_peak, st.acceptor_log.peak_instances);
+    res.acceptor_log_final += st.acceptor_log.entries.size();
+    for (const auto& [name, log] : st.acceptor_logs) {
+      (void)name;
+      res.acceptor_log_peak =
+          std::max(res.acceptor_log_peak, log.peak_instances);
+      res.acceptor_log_final += log.entries.size();
+    }
     auto* vol = nd->storage().volumes.at(VolName(n)).get();
     for (int i = (n - 1) * config.accounts_per_node;
          i < n * config.accounts_per_node; ++i) {
       auto r = vol->ReadRecord("acct", Slice(AcctKey(i)));
       if (r.status.ok()) res.balance_sum += ParseBalance(r.value);
     }
+  }
+  if (config.track_messages) {
+    uint64_t tracked = 0;
+    for (const auto& [transid, count] :
+         deploy.cluster().network().PerTxnMessages()) {
+      (void)transid;
+      tracked += count;
+    }
+    res.tracked_messages = tracked;
+    if (res.txns_committed > 0) {
+      res.msgs_per_committed_txn =
+          static_cast<double>(tracked) / static_cast<double>(res.txns_committed);
+    }
+    res.msgs_per_tag = deploy.cluster().network().PerTagMessages();
   }
 
   if (res.balance_sum != res.expected_sum) {

@@ -172,6 +172,16 @@ struct ChaosCampaignConfig {
   /// nodes 1..min(commit_replication, nodes).
   tmf::CommitProtocol commit_protocol = tmf::CommitProtocol::kTwoPhase;
   int commit_replication = 3;
+  /// Paxos Commit fast path: CommitAcceptor pairs are placed as explicit
+  /// `$ACCEPT.<k>` endpoints round-robined over the nodes (so
+  /// commit_replication may exceed the node count), every participant votes
+  /// its prepared state straight to the F+1 nearest acceptors, and the home
+  /// reclaims acceptor instances once phase 2 is acknowledged. Off by
+  /// default: pre-PR campaign traces are byte-identical.
+  bool paxos_fast_path = false;
+  /// Per-transaction / per-verb network message accounting
+  /// (ChaosCampaignResult::msgs_per_committed_txn). Off by default.
+  bool track_messages = false;
   /// How often an in-doubt participant re-asks for its disposition. The
   /// default (2s) outlasts most storm outages, so pre-PR campaign traces are
   /// unchanged; protocol-comparison runs shrink it below the storm's heal
@@ -235,6 +245,21 @@ struct ChaosCampaignResult {
   double commit_latency_p99_ms = 0;
   /// High-water of recovery negotiation attempts for any single transid.
   int64_t recovery_max_retry_attempts = 0;
+  /// Cross-node messages per committed transaction (config.track_messages
+  /// only): total transid-attributed network sends / txns_committed. The
+  /// fast-path headline — fewer messages per commit than decision-replication
+  /// Paxos because co-located votes never cross the network.
+  double msgs_per_committed_txn = 0;
+  uint64_t tracked_messages = 0;  ///< transid-attributed cross-node sends
+  /// Per-verb breakdown of every cross-node send (track_messages only).
+  std::map<uint32_t, uint64_t> msgs_per_tag;
+  /// Acceptor-log occupancy (paxos only): the largest instance count any
+  /// single acceptor log ever held, and the instances still resident after
+  /// the drain. GC keeps both bounded; final should be ~0 on a quiesced run.
+  size_t acceptor_log_peak = 0;
+  size_t acceptor_log_final = 0;
+  /// Replayed phase-2a votes absorbed idempotently (no second force).
+  int64_t acceptor_duplicate_votes = 0;
 };
 
 /// Generates the fault schedule for `config.seed` and runs the campaign.

@@ -95,6 +95,20 @@ void NodeDeployment::StartServices() {
   // sequence floor past everything any earlier incarnation could have
   // issued (seq is 40 bits; 32 bits of headroom per incarnation).
   tcfg.seq_base = storage_.tmp_incarnation++ << 32;
+  // Fast path: hand the TMP direct pointers to the $ACCEPT.<k> logs living
+  // on this node (created here, spawned with the acceptor pairs below —
+  // std::map node pointers are stable). The logs are durable NodeStorage,
+  // so they survive pair takeover and node recovery alike; each respawn
+  // re-derives the same pointers.
+  if (tcfg.commit_protocol == tmf::CommitProtocol::kPaxos &&
+      tcfg.paxos_fast_path) {
+    for (size_t k = 0; k < tcfg.acceptor_endpoints.size(); ++k) {
+      const auto& [accept_node, accept_name] = tcfg.acceptor_endpoints[k];
+      if (accept_node != node_->id()) continue;
+      tcfg.colocated_acceptors.push_back(
+          {k, &storage_.acceptor_logs[accept_name]});
+    }
+  }
   two_cpus(&a, &b);
   os::SpawnPair<tmf::TmpProcess>(node_, "$TMP", a, b, tcfg);
   RegisterRepairablePair<tmf::TmpProcess>("$TMP", tcfg);
@@ -103,8 +117,25 @@ void NodeDeployment::StartServices() {
   // 2PC (the default) spawns nothing here, keeping its process layout and
   // traces byte-identical to pre-paxos builds.
   if (tcfg.commit_protocol == tmf::CommitProtocol::kPaxos &&
-      std::find(tcfg.acceptor_nodes.begin(), tcfg.acceptor_nodes.end(),
-                node_->id()) != tcfg.acceptor_nodes.end()) {
+      tcfg.paxos_fast_path && !tcfg.acceptor_endpoints.empty()) {
+    // Fast path: $ACCEPT.<k> pairs placed by explicit endpoint list — a
+    // node may host several, so commit_replication can exceed the node
+    // count. Each pair keeps its own durable log and knows its tally index.
+    for (size_t k = 0; k < tcfg.acceptor_endpoints.size(); ++k) {
+      const auto& [accept_node, accept_name] = tcfg.acceptor_endpoints[k];
+      if (accept_node != node_->id()) continue;
+      tmf::CommitAcceptorConfig ccfg;
+      ccfg.log = &storage_.acceptor_logs[accept_name];
+      ccfg.force_latency = tcfg.mat_force_latency;
+      ccfg.index = static_cast<uint8_t>(k);
+      ccfg.sweep_interval = tcfg.acceptor_sweep_interval;
+      two_cpus(&a, &b);
+      os::SpawnPair<tmf::CommitAcceptor>(node_, accept_name, a, b, ccfg);
+      RegisterRepairablePair<tmf::CommitAcceptor>(accept_name, ccfg);
+    }
+  } else if (tcfg.commit_protocol == tmf::CommitProtocol::kPaxos &&
+             std::find(tcfg.acceptor_nodes.begin(), tcfg.acceptor_nodes.end(),
+                       node_->id()) != tcfg.acceptor_nodes.end()) {
     tmf::CommitAcceptorConfig ccfg;
     ccfg.log = &storage_.acceptor_log;
     ccfg.force_latency = tcfg.mat_force_latency;
@@ -332,6 +363,8 @@ void Deployment::RecoverNode(
   if (tcfg.commit_protocol == tmf::CommitProtocol::kPaxos) {
     rcfg.acceptor_nodes = tcfg.acceptor_nodes;
     rcfg.acceptor_process = tcfg.acceptor_process;
+    rcfg.paxos_fast_path = tcfg.paxos_fast_path;
+    rcfg.acceptor_endpoints = tcfg.acceptor_endpoints;
   }
   os::Node* node = nd->node();
   rcfg.on_done = [nd, node, done = std::move(done)](

@@ -80,6 +80,10 @@ struct NodeStorage {
   /// DropVolatile must NOT clear it — the whole point of replicating the
   /// commit decision is surviving node crashes.
   tmf::CommitAcceptorLog acceptor_log;
+  /// Fast-path acceptor logs, one per co-located $ACCEPT.<k> pair (a node
+  /// may host several when commit_replication exceeds the node count).
+  /// Durable for the same reason as acceptor_log.
+  std::map<std::string, tmf::CommitAcceptorLog> acceptor_logs;
   /// Durable count of TMP (re)starts on this node — the paper's crash-count
   /// analogue. Folded into TmpConfig::seq_base so no transid of an earlier
   /// incarnation is ever reissued after a total node failure.

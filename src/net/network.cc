@@ -142,7 +142,26 @@ std::vector<NodeId> Network::Route(NodeId from, NodeId to) const {
 
 void Network::Send(Message msg) {
   sim_->GetStats().Incr(metrics_.sent);
+  if (config_.track_messages) {
+    // Counted at first send, not per retransmit: this prices the protocol's
+    // message complexity, not the loss schedule. Attribution prefers the
+    // explicit transid stamp and falls back to the causal trace context.
+    const uint64_t transid = msg.transid != 0 ? msg.transid : msg.trace.transid;
+    std::lock_guard<std::mutex> lock(track_mutex_);
+    ++per_tag_msgs_[msg.tag];
+    if (transid != 0) ++per_txn_msgs_[transid];
+  }
   Transmit(std::move(msg), 0);
+}
+
+std::map<uint64_t, uint64_t> Network::PerTxnMessages() const {
+  std::lock_guard<std::mutex> lock(track_mutex_);
+  return per_txn_msgs_;
+}
+
+std::map<uint32_t, uint64_t> Network::PerTagMessages() const {
+  std::lock_guard<std::mutex> lock(track_mutex_);
+  return per_tag_msgs_;
 }
 
 void Network::Transmit(Message msg, int attempt) {

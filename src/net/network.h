@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -27,6 +28,12 @@ struct NetworkConfig {
   SimDuration retry_interval = Millis(50); ///< end-to-end retransmit pacing
   int max_retries = 6;                     ///< retransmits before giving up
   double loss_probability = 0.0;           ///< per-transmission random loss
+  /// Per-transaction / per-verb message accounting (PerTxnMessages /
+  /// PerTagMessages). Off by default: benches turn it on to price a commit
+  /// protocol's message complexity. Only cross-node messages are counted —
+  /// same-node traffic never reaches the Network, which is exactly what
+  /// makes a co-located acceptor vote free.
+  bool track_messages = false;
 };
 
 /// Simulated wide-area network connecting Tandem nodes.
@@ -80,6 +87,12 @@ class Network {
 
   const NetworkConfig& config() const { return config_; }
 
+  /// Snapshot of the track_messages accounting: cross-node messages per
+  /// packed transid (messages with no transid stamp are only in the tag
+  /// totals) and per message tag. Empty when tracking is off.
+  std::map<uint64_t, uint64_t> PerTxnMessages() const;
+  std::map<uint32_t, uint64_t> PerTagMessages() const;
+
  private:
   struct LinkKey {
     NodeId a, b;  // a < b
@@ -126,6 +139,13 @@ class Network {
   ReachabilityFn reachability_fn_;
   uint64_t topology_version_ = 1;
   mutable std::map<NodeId, RouteTable> route_tables_;
+
+  /// track_messages accounting. Sends may run concurrently on node loops
+  /// under the parallel engine; increments commute, so the mutex is enough
+  /// to keep the totals deterministic for a given message history.
+  mutable std::mutex track_mutex_;
+  std::map<uint64_t, uint64_t> per_txn_msgs_;
+  std::map<uint32_t, uint64_t> per_tag_msgs_;
 };
 
 }  // namespace encompass::net

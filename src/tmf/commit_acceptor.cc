@@ -10,9 +10,25 @@ void CommitAcceptor::OnPairAttach() {
   m_prepares_ = stats().RegisterCounter("acceptor.prepares");
   m_accepts_ = stats().RegisterCounter("acceptor.accepts");
   m_rejections_ = stats().RegisterCounter("acceptor.rejections");
+  m_votes_ = stats().RegisterCounter("acceptor.votes");
+  m_duplicate_votes_ = stats().RegisterCounter("tmf.acceptor_duplicate_votes");
+  m_reclaims_ = stats().RegisterCounter("acceptor.reclaims");
+  m_sealed_answers_ = stats().RegisterCounter("acceptor.sealed_answers");
+  m_log_instances_ = stats().RegisterHistogram("tmf.acceptor_log_instances");
+  if (config_.sweep_interval > 0 && IsPrimary()) ArmSweep();
 }
 
 void CommitAcceptor::OnRequest(const net::Message& msg) {
+  // One-way fast-path traffic first: it carries no reply path, so a backup
+  // member just drops it (the primary's log is the durable one).
+  if (msg.tag == kTmfPaxosVote) {
+    if (IsPrimary()) HandleVote(msg);
+    return;
+  }
+  if (msg.tag == kTmfPaxosReclaim) {
+    if (IsPrimary()) HandleReclaim(msg);
+    return;
+  }
   if (!IsPrimary()) {
     Reply(msg, Status::Unavailable("backup acceptor"));
     return;
@@ -32,12 +48,25 @@ void CommitAcceptor::OnRequest(const net::Message& msg) {
 void CommitAcceptor::HandlePrepare(const net::Message& msg) {
   Transid t;
   uint32_t ballot;
-  if (!DecodePaxosPrepare(Slice(msg.payload), &t, &ballot)) {
+  uint16_t voter;
+  if (!DecodePaxosPrepare(Slice(msg.payload), &t, &ballot, &voter)) {
     Reply(msg, Status::InvalidArgument("malformed prepare"));
     return;
   }
   stats().Incr(m_prepares_);
-  CommitAcceptorEntry& e = config_.log->At(t);
+  if (const Disposition* s = config_.log->SealedValue(t.Pack())) {
+    // The instance was reclaimed: the transaction's final disposition is
+    // already everywhere. Answer with the seal instead of resurrecting an
+    // empty instance the proposer could steer to a contradictory choice.
+    stats().Incr(m_sealed_answers_);
+    PaxosPrepareReply r;
+    r.sealed = true;
+    r.sealed_value = *s;
+    Reply(msg, Status::Ok(), EncodePaxosPrepareReply(r));
+    return;
+  }
+  CommitAcceptorEntry& e = config_.log->At(t, voter);
+  if (e.born == 0) e.born = sim()->Now();
   PaxosPrepareReply r;
   r.granted = ballot > e.promised;
   if (r.granted) e.promised = ballot;
@@ -45,6 +74,7 @@ void CommitAcceptor::HandlePrepare(const net::Message& msg) {
   r.accepted_ballot = e.accepted_ballot;
   r.has_value = e.has_value;
   r.value = e.value;
+  r.participants = e.participants;
   if (!r.granted) {
     stats().Incr(m_rejections_);
     Reply(msg, Status::Ok(), EncodePaxosPrepareReply(r));
@@ -57,21 +87,45 @@ void CommitAcceptor::HandleAccept(const net::Message& msg) {
   Transid t;
   uint32_t ballot;
   Disposition value;
-  if (!DecodePaxosAccept(Slice(msg.payload), &t, &ballot, &value)) {
+  uint16_t voter;
+  std::vector<net::NodeId> participants;
+  if (!DecodePaxosAccept(Slice(msg.payload), &t, &ballot, &value, &voter,
+                         &participants)) {
     Reply(msg, Status::InvalidArgument("malformed accept"));
     return;
   }
   stats().Incr(m_accepts_);
-  CommitAcceptorEntry& e = config_.log->At(t);
+  if (const Disposition* s = config_.log->SealedValue(t.Pack())) {
+    stats().Incr(m_sealed_answers_);
+    PaxosAcceptReply r;
+    r.sealed = true;
+    r.sealed_value = *s;
+    Reply(msg, Status::Ok(), EncodePaxosAcceptReply(r));
+    return;
+  }
+  CommitAcceptorEntry& e = config_.log->At(t, voter);
+  if (e.born == 0) e.born = sim()->Now();
   PaxosAcceptReply r;
-  // >= admits the idempotent re-accept a home takeover replays at its own
-  // ballot; a strictly higher promise (a usurping recovery proposer) wins.
+  // A replayed accept at the ballot already holding this exact value (a
+  // respawned participant re-casting its vote, a home takeover re-running
+  // its round) is answered idempotently: accepted, but without a second
+  // force — the first one already made it durable.
+  if (e.has_value && e.accepted_ballot == ballot && e.value == value) {
+    stats().Incr(m_duplicate_votes_);
+    r.accepted = true;
+    r.promised = e.promised;
+    Reply(msg, Status::Ok(), EncodePaxosAcceptReply(r));
+    return;
+  }
+  // >= admits a re-accept at the promised ballot; a strictly higher promise
+  // (a usurping recovery proposer) wins.
   r.accepted = ballot >= e.promised;
   if (r.accepted) {
     e.promised = ballot;
     e.accepted_ballot = ballot;
     e.has_value = true;
     e.value = value;
+    if (!participants.empty()) e.participants = participants;
   } else {
     stats().Incr(m_rejections_);
   }
@@ -81,6 +135,128 @@ void CommitAcceptor::HandleAccept(const net::Message& msg) {
     return;
   }
   ReplyForced(msg, EncodePaxosAcceptReply(r));
+}
+
+void CommitAcceptor::HandleVote(const net::Message& msg) {
+  Transid t;
+  uint32_t ballot;
+  Disposition value;
+  uint16_t voter;
+  std::vector<net::NodeId> participants;
+  if (!DecodePaxosAccept(Slice(msg.payload), &t, &ballot, &value, &voter,
+                         &participants) ||
+      voter == 0) {
+    return;  // one-way: malformed votes are dropped
+  }
+  stats().Incr(m_votes_);
+  if (config_.log->SealedValue(t.Pack()) != nullptr) {
+    // Already decided and reclaimed; the home no longer tallies this
+    // transaction, so there is nobody to ack.
+    stats().Incr(m_sealed_answers_);
+    return;
+  }
+  CommitAcceptorEntry& e = config_.log->At(t, voter);
+  if (e.born == 0) e.born = sim()->Now();
+  // A respawned participant replays its vote: the first force already made
+  // it durable, so the reply is idempotent — re-ack (the original ack may
+  // have died with the home's old incarnation) without a second force.
+  if (e.has_value && e.accepted_ballot == ballot && e.value == value) {
+    stats().Incr(m_duplicate_votes_);
+    QueueVoteAck(t, voter);
+    return;
+  }
+  if (ballot < e.promised) {
+    // A recovery proposer already usurped this instance; the vote is void.
+    stats().Incr(m_rejections_);
+    return;
+  }
+  e.promised = ballot > e.promised ? ballot : e.promised;
+  e.accepted_ballot = ballot;
+  e.has_value = true;
+  e.value = value;
+  if (!participants.empty()) e.participants = participants;
+  if (config_.force_latency <= 0) {
+    QueueVoteAck(t, voter);
+    return;
+  }
+  SetTimer(config_.force_latency, [this, t, voter]() { QueueVoteAck(t, voter); });
+}
+
+void CommitAcceptor::HandleReclaim(const net::Message& msg) {
+  std::vector<std::pair<uint64_t, Disposition>> txns;
+  if (!DecodePaxosReclaim(Slice(msg.payload), &txns)) return;
+  for (const auto& [packed, d] : txns) {
+    config_.log->Seal(packed, d);
+    stats().Incr(m_reclaims_);
+  }
+}
+
+void CommitAcceptor::QueueVoteAck(const Transid& t, uint16_t voter) {
+  pending_acks_[t.Pack()].insert(voter);
+  if (!ack_flush_armed_) {
+    ack_flush_armed_ = true;
+    // Delay 0: fires this same instant, after every force completion
+    // scheduled for it — so votes forced together ride one ack message.
+    SetTimer(0, [this]() { FlushVoteAcks(); });
+  }
+}
+
+void CommitAcceptor::FlushVoteAcks() {
+  ack_flush_armed_ = false;
+  auto pending = std::move(pending_acks_);
+  pending_acks_.clear();
+  for (const auto& [packed, voters] : pending) {
+    Transid t = Transid::Unpack(packed);
+    PaxosVoteAck ack;
+    ack.transid = t;
+    ack.acceptor_index = config_.index;
+    ack.voters.assign(voters.begin(), voters.end());
+    // Stamp the transaction on the one-way send so per-transaction message
+    // accounting attributes it.
+    set_current_transid(packed);
+    Send(net::Address(t.home_node, "$TMP"), kTmfPaxosVoteAck,
+         EncodePaxosVoteAck(ack));
+    set_current_transid(0);
+  }
+}
+
+void CommitAcceptor::ArmSweep() {
+  SetTimer(config_.sweep_interval, [this]() {
+    if (IsPrimary()) Sweep();
+    ArmSweep();
+  });
+}
+
+void CommitAcceptor::Sweep() {
+  CommitAcceptorLog& log = *config_.log;
+  stats().Record(m_log_instances_, static_cast<int64_t>(log.entries.size()));
+  const SimTime now = sim()->Now();
+  // Distinct aged transactions; the home answers per transaction.
+  uint64_t last = 0;
+  bool have_last = false;
+  for (const auto& [key, e] : log.entries) {
+    const uint64_t packed = key.first;
+    if (have_last && packed == last) continue;
+    last = packed;
+    have_last = true;
+    if (e.born == 0 || now - e.born < config_.sweep_age) continue;
+    if (!sweep_in_flight_.insert(packed).second) continue;
+    Transid t = Transid::Unpack(packed);
+    os::CallOptions opt;
+    opt.timeout = config_.sweep_interval;
+    Call(net::Address(t.home_node, "$TMP"), kTmfResolveTxn,
+         EncodeResolveTxn(t, /*recovering=*/false),
+         [this, packed](const Status& s, const net::Message& reply) {
+           sweep_in_flight_.erase(packed);
+           Disposition d;
+           if (s.ok() && DecodeDisposition(Slice(reply.payload), &d) &&
+               d != Disposition::kUnknown) {
+             config_.log->Seal(packed, d);
+             stats().Incr(m_reclaims_);
+           }
+         },
+         opt);
+  }
 }
 
 void CommitAcceptor::ReplyForced(const net::Message& msg, Bytes payload) {
@@ -107,47 +283,63 @@ struct PhaseTally {
   uint32_t best_accepted_ballot = 0;
   Disposition adopted = Disposition::kUnknown;
   bool have_adopted = false;
+  int adopted_count = 0;  ///< replies reporting best_accepted_ballot
+  std::vector<net::NodeId> participants;
   bool fired = false;
 };
 
 }  // namespace
 
-void RunPaxosRound(os::Process* proc, const PaxosRoundConfig& cfg,
-                   const Transid& t, uint32_t attempt, Disposition proposed,
-                   bool skip_prepare, std::function<void(Disposition)> done) {
-  const int n = static_cast<int>(cfg.acceptor_nodes.size());
+void RunPaxosRoundEx(os::Process* proc, const PaxosRoundConfig& cfg,
+                     const Transid& t, uint32_t attempt, Disposition proposed,
+                     bool skip_prepare,
+                     std::function<void(const PaxosRoundOutcome&)> done) {
+  const auto endpoints = cfg.Endpoints();
+  const int n = static_cast<int>(endpoints.size());
   const int majority = n / 2 + 1;
   if (n == 0) {
-    done(Disposition::kUnknown);
+    done(PaxosRoundOutcome{});
     return;
   }
   const uint32_t ballot = MakePaxosBallot(attempt, proc->node()->id());
+  const uint16_t voter = cfg.voter;
   os::CallOptions opt;
   opt.timeout = cfg.call_timeout;
 
-  auto start_accept = [proc, cfg, t, ballot, n, majority, opt,
-                       done](Disposition value) {
+  auto start_accept = [proc, endpoints, t, ballot, voter, n, majority, opt,
+                       done](Disposition value,
+                             std::vector<net::NodeId> participants) {
     auto tally = std::make_shared<PhaseTally>();
-    for (net::NodeId a : cfg.acceptor_nodes) {
-      proc->Call(net::Address(a, cfg.acceptor_process), kTmfPaxosAccept,
-                 EncodePaxosAccept(t, ballot, value),
-                 [tally, n, majority, value, done](const Status& s,
-                                                   const net::Message& reply) {
+    for (const auto& [node, name] : endpoints) {
+      proc->Call(net::Address(node, name), kTmfPaxosAccept,
+                 EncodePaxosAccept(t, ballot, value, voter, participants),
+                 [tally, n, majority, value, participants, done](
+                     const Status& s, const net::Message& reply) {
                    if (tally->fired) return;
                    ++tally->responses;
                    PaxosAcceptReply r;
-                   if (s.ok() && DecodePaxosAcceptReply(Slice(reply.payload),
-                                                        &r) &&
-                       r.accepted) {
-                     ++tally->yes;
+                   if (s.ok() &&
+                       DecodePaxosAcceptReply(Slice(reply.payload), &r)) {
+                     if (r.sealed) {
+                       tally->fired = true;
+                       PaxosRoundOutcome o;
+                       o.value = r.sealed_value;
+                       o.sealed = true;
+                       done(o);
+                       return;
+                     }
+                     if (r.accepted) ++tally->yes;
                    }
                    if (tally->yes >= majority) {
                      // The value is chosen: a majority holds it durably.
                      tally->fired = true;
-                     done(value);
+                     PaxosRoundOutcome o;
+                     o.value = value;
+                     o.participants = participants;
+                     done(o);
                    } else if (tally->responses == n) {
                      tally->fired = true;
-                     done(Disposition::kUnknown);
+                     done(PaxosRoundOutcome{});
                    }
                  },
                  opt);
@@ -155,41 +347,140 @@ void RunPaxosRound(os::Process* proc, const PaxosRoundConfig& cfg,
   };
 
   if (skip_prepare) {
-    start_accept(proposed);
+    start_accept(proposed, {});
     return;
   }
 
   auto tally = std::make_shared<PhaseTally>();
-  for (net::NodeId a : cfg.acceptor_nodes) {
+  for (const auto& [node, name] : endpoints) {
     proc->Call(
-        net::Address(a, cfg.acceptor_process), kTmfPaxosPrepare,
-        EncodePaxosPrepare(t, ballot),
+        net::Address(node, name), kTmfPaxosPrepare,
+        EncodePaxosPrepare(t, ballot, voter),
         [tally, n, majority, proposed, start_accept, done](
             const Status& s, const net::Message& reply) {
           if (tally->fired) return;
           ++tally->responses;
           PaxosPrepareReply r;
-          if (s.ok() && DecodePaxosPrepareReply(Slice(reply.payload), &r) &&
-              r.granted) {
-            ++tally->yes;
-            if (r.has_value && r.accepted_ballot >= tally->best_accepted_ballot) {
-              tally->best_accepted_ballot = r.accepted_ballot;
-              tally->adopted = r.value;
-              tally->have_adopted = true;
+          if (s.ok() && DecodePaxosPrepareReply(Slice(reply.payload), &r)) {
+            if (r.sealed) {
+              tally->fired = true;
+              PaxosRoundOutcome o;
+              o.value = r.sealed_value;
+              o.sealed = true;
+              done(o);
+              return;
+            }
+            if (r.granted) {
+              ++tally->yes;
+              if (r.has_value &&
+                  r.accepted_ballot >= tally->best_accepted_ballot) {
+                if (r.accepted_ballot == tally->best_accepted_ballot &&
+                    tally->have_adopted) {
+                  ++tally->adopted_count;
+                } else {
+                  tally->adopted_count = 1;
+                }
+                tally->best_accepted_ballot = r.accepted_ballot;
+                tally->adopted = r.value;
+                tally->have_adopted = true;
+                if (!r.participants.empty()) {
+                  tally->participants = r.participants;
+                }
+              } else if (!r.participants.empty() &&
+                         tally->participants.empty()) {
+                tally->participants = r.participants;
+              }
             }
           }
           if (tally->yes >= majority) {
+            tally->fired = true;
+            if (tally->adopted_count >= majority) {
+              // The prepare quorum itself proves the value chosen — a
+              // majority reports the same accepted ballot (a ballot holds
+              // one value, so same ballot at a majority = chosen). No
+              // accept phase needed: the resolver is a learner here.
+              PaxosRoundOutcome o;
+              o.value = tally->adopted;
+              o.participants = tally->participants;
+              done(o);
+              return;
+            }
             // A promise quorum stands; propose the value of the highest
             // accepted ballot it revealed, else our own.
-            tally->fired = true;
-            start_accept(tally->have_adopted ? tally->adopted : proposed);
+            start_accept(tally->have_adopted ? tally->adopted : proposed,
+                         tally->participants);
           } else if (tally->responses == n) {
             tally->fired = true;
-            done(Disposition::kUnknown);
+            done(PaxosRoundOutcome{});
           }
         },
         opt);
   }
+}
+
+void RunPaxosRound(os::Process* proc, const PaxosRoundConfig& cfg,
+                   const Transid& t, uint32_t attempt, Disposition proposed,
+                   bool skip_prepare, std::function<void(Disposition)> done) {
+  RunPaxosRoundEx(proc, cfg, t, attempt, proposed, skip_prepare,
+                  [done](const PaxosRoundOutcome& o) { done(o.value); });
+}
+
+void ResolvePaxosOutcome(os::Process* proc, const PaxosRoundConfig& cfg,
+                         const Transid& t, uint32_t attempt, bool fast_path,
+                         std::function<void(Disposition)> done) {
+  PaxosRoundConfig home_cfg = cfg;
+  home_cfg.voter = fast_path ? t.home_node : 0;
+  RunPaxosRoundEx(
+      proc, home_cfg, t, attempt, Disposition::kAborted, /*skip_prepare=*/false,
+      [proc, cfg, t, attempt, fast_path, done](const PaxosRoundOutcome& o) {
+        if (o.sealed || o.value != Disposition::kCommitted || !fast_path) {
+          done(o.value);
+          return;
+        }
+        // Chosen Prepared on the home-voter instance. The transaction
+        // committed iff every participant's instance also chose Prepared;
+        // settle them in parallel (still proposing abort — a participant
+        // that never voted must not be allowed to later).
+        if (o.participants.empty()) {
+          done(Disposition::kCommitted);
+          return;
+        }
+        struct VoterTally {
+          int remaining = 0;
+          bool unknown = false;
+          bool fired = false;
+        };
+        auto tally = std::make_shared<VoterTally>();
+        tally->remaining = static_cast<int>(o.participants.size());
+        for (net::NodeId p : o.participants) {
+          PaxosRoundConfig vcfg = cfg;
+          vcfg.voter = p;
+          RunPaxosRoundEx(
+              proc, vcfg, t, attempt, Disposition::kAborted,
+              /*skip_prepare=*/false,
+              [tally, done](const PaxosRoundOutcome& vo) {
+                if (tally->fired) return;
+                if (vo.sealed) {
+                  tally->fired = true;
+                  done(vo.value);
+                  return;
+                }
+                if (vo.value == Disposition::kAborted) {
+                  // One voter's instance chose Aborted: commit is
+                  // impossible, the transaction aborted.
+                  tally->fired = true;
+                  done(Disposition::kAborted);
+                  return;
+                }
+                if (vo.value == Disposition::kUnknown) tally->unknown = true;
+                if (--tally->remaining == 0) {
+                  tally->fired = true;
+                  done(tally->unknown ? Disposition::kUnknown
+                                      : Disposition::kCommitted);
+                }
+              });
+        }
+      });
 }
 
 }  // namespace encompass::tmf

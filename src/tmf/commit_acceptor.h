@@ -1,22 +1,33 @@
 // CommitAcceptor: the acceptor half of Paxos Commit (Gray & Lamport,
-// "Consensus on Transaction Commit"), specialised to this codebase's
-// decision-replication form. Each distributed transaction is one consensus
-// instance whose value is the home TMP's commit/abort decision. The home
-// proposes at ballot (0, home) — its prepare phase rode the kTmfPhase1
-// fan-out for free — and the commit point becomes "a majority of acceptors
-// durably accepted kCommitted" instead of the home's MAT force. Recovery
-// proposers (in-doubt participants, ROLLFORWARD, a respawned home) run full
-// prepare+accept rounds at ballots (attempt >= 1, proposer), adopting the
-// value of the highest accepted ballot a majority reveals and defaulting to
-// abort when none was accepted, so any live majority can settle an in-doubt
-// transaction without waiting for the home to return.
+// "Consensus on Transaction Commit"), specialised to this codebase's two
+// deployment forms. In the decision-replication form (PR 9) each distributed
+// transaction is one consensus instance whose value is the home TMP's
+// commit/abort decision; the home proposes at ballot (0, home) — its prepare
+// phase rode the kTmfPhase1 fan-out for free — and the commit point becomes
+// "a majority of acceptors durably accepted kCommitted" instead of the
+// home's MAT force. In the fast-path form (the paper's F+1-message
+// topology) every participant runs its own instance, keyed (transid, voter
+// node): participants send one-way prepared-votes straight to the acceptors
+// (the vote to a co-located acceptor never crosses the network), acceptors
+// ack forced votes directly to the home, and the transaction commits when
+// every voter's instance chose Prepared. Recovery proposers (in-doubt
+// participants, ROLLFORWARD, a respawned home) run full prepare+accept
+// rounds at ballots (attempt >= 1, proposer), adopting the value of the
+// highest accepted ballot a majority reveals and defaulting to abort when
+// none was accepted, so any live majority can settle an in-doubt
+// transaction without waiting for the home to return. Decided instances are
+// garbage-collected once phase 2 landed everywhere; a bounded ring of
+// sealed final dispositions answers resolvers that arrive late.
 
 #ifndef ENCOMPASS_TMF_COMMIT_ACCEPTOR_H_
 #define ENCOMPASS_TMF_COMMIT_ACCEPTOR_H_
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "os/process_pair.h"
@@ -24,21 +35,63 @@
 
 namespace encompass::tmf {
 
-/// Durable acceptor state of one consensus instance (one transaction).
+/// Durable acceptor state of one consensus instance. Legacy deployments key
+/// one instance per transaction (voter 0); the fast path keys one per
+/// (transaction, voter node).
 struct CommitAcceptorEntry {
   uint32_t promised = 0;         ///< highest ballot promised
   uint32_t accepted_ballot = 0;  ///< ballot of the accepted value (0 = none)
   bool has_value = false;
   Disposition value = Disposition::kUnknown;
+  /// Fast path, home-voter instance only: the participant set the home's
+  /// vote carried (what a resolver must settle before declaring commit).
+  std::vector<net::NodeId> participants;
+  /// When the instance was created (drives the orphan sweep).
+  SimTime born = 0;
 };
 
 /// The acceptor's forced log. It lives in NodeStorage next to the MAT, so it
 /// survives process takeover and total node crashes; every granting mutation
 /// is charged a force latency before the reply leaves the acceptor.
 struct CommitAcceptorLog {
-  std::map<uint64_t, CommitAcceptorEntry> entries;
+  /// Live instances, keyed (packed transid, voter node; voter 0 = legacy).
+  std::map<std::pair<uint64_t, uint16_t>, CommitAcceptorEntry> entries;
 
-  CommitAcceptorEntry& At(const Transid& t) { return entries[t.Pack()]; }
+  /// Final transaction dispositions of reclaimed instances, bounded FIFO:
+  /// a resolver of a GC'd transaction gets the sealed decision instead of
+  /// (unsoundly) re-running consensus against an empty instance.
+  std::map<uint64_t, Disposition> sealed;
+  std::deque<uint64_t> sealed_order;
+  size_t sealed_cap = 4096;
+
+  /// High-water mark of live instances (the boundedness headline).
+  size_t peak_instances = 0;
+
+  CommitAcceptorEntry& At(const Transid& t, uint16_t voter = 0) {
+    CommitAcceptorEntry& e = entries[{t.Pack(), voter}];
+    if (entries.size() > peak_instances) peak_instances = entries.size();
+    return e;
+  }
+
+  const Disposition* SealedValue(uint64_t packed) const {
+    auto it = sealed.find(packed);
+    return it == sealed.end() ? nullptr : &it->second;
+  }
+
+  /// Drops every instance of `packed` and records its final disposition.
+  void Seal(uint64_t packed, Disposition d) {
+    auto it = entries.lower_bound({packed, 0});
+    while (it != entries.end() && it->first.first == packed) {
+      it = entries.erase(it);
+    }
+    if (sealed.emplace(packed, d).second) {
+      sealed_order.push_back(packed);
+      while (sealed_order.size() > sealed_cap) {
+        sealed.erase(sealed_order.front());
+        sealed_order.pop_front();
+      }
+    }
+  }
 };
 
 struct CommitAcceptorConfig {
@@ -47,10 +100,20 @@ struct CommitAcceptorConfig {
   /// durability the commit point leans on). Rejections touch no state and
   /// reply immediately.
   SimDuration force_latency = Millis(8);
+  /// Index k of this $ACCEPT.<k> pair within the acceptor group — the bit
+  /// this acceptor sets in the home's fast-path vote tally.
+  uint8_t index = 0;
+  /// Orphan sweep: > 0 arms a periodic scan that asks the home TMP for the
+  /// disposition of instances older than `sweep_age` (reclaims whose
+  /// broadcast this acceptor missed). 0 = off (legacy deployments).
+  SimDuration sweep_interval = 0;
+  SimDuration sweep_age = Seconds(4);
 };
 
-/// The $ACCEPT process pair, registered on the 2F+1 acceptor nodes of a
-/// paxos deployment.
+/// The $ACCEPT process pair(s), registered on the acceptor nodes of a paxos
+/// deployment — one pair per node in the legacy form, `$ACCEPT.<k>` pairs
+/// spread round-robin across all nodes under the fast path (so
+/// commit_replication may exceed the node count).
 class CommitAcceptor : public os::PairedProcess {
  public:
   explicit CommitAcceptor(CommitAcceptorConfig config) : config_(config) {}
@@ -64,20 +127,58 @@ class CommitAcceptor : public os::PairedProcess {
  private:
   void HandlePrepare(const net::Message& msg);
   void HandleAccept(const net::Message& msg);
+  void HandleVote(const net::Message& msg);
+  void HandleReclaim(const net::Message& msg);
   void ReplyForced(const net::Message& msg, Bytes payload);
+  /// Adds (t, voter) to the per-transaction ack bundle and arms the
+  /// same-instant flush: votes whose forces complete together reach the
+  /// home as one kTmfPaxosVoteAck.
+  void QueueVoteAck(const Transid& t, uint16_t voter);
+  void FlushVoteAcks();
+  void ArmSweep();
+  void Sweep();
 
   CommitAcceptorConfig config_;
   sim::MetricId m_prepares_, m_accepts_, m_rejections_;
+  sim::MetricId m_votes_, m_duplicate_votes_, m_reclaims_, m_sealed_answers_;
+  sim::MetricId m_log_instances_;
+  std::map<uint64_t, std::set<uint16_t>> pending_acks_;
+  bool ack_flush_armed_ = false;
+  std::set<uint64_t> sweep_in_flight_;
 };
 
-/// Where a proposer finds the acceptor set.
+/// Where a proposer finds the acceptor set. `endpoints` (node, process name)
+/// wins when non-empty — the fast path's multi-pair placement; otherwise
+/// the legacy one-$ACCEPT-per-node derivation from `acceptor_nodes`.
 struct PaxosRoundConfig {
   std::vector<net::NodeId> acceptor_nodes;
   std::string acceptor_process = "$ACCEPT";
+  std::vector<std::pair<net::NodeId, std::string>> endpoints;
+  /// Consensus-instance key this round settles (0 = legacy decision
+  /// instance; fast-path rounds name a voter node).
+  uint16_t voter = 0;
   SimDuration call_timeout = Seconds(2);
+
+  std::vector<std::pair<net::NodeId, std::string>> Endpoints() const {
+    if (!endpoints.empty()) return endpoints;
+    std::vector<std::pair<net::NodeId, std::string>> out;
+    out.reserve(acceptor_nodes.size());
+    for (net::NodeId n : acceptor_nodes) out.emplace_back(n, acceptor_process);
+    return out;
+  }
 };
 
-/// Runs one Paxos round for transaction `t` at ballot
+/// What one Paxos round learned.
+struct PaxosRoundOutcome {
+  Disposition value = Disposition::kUnknown;
+  /// The instance was already reclaimed: `value` is the transaction's final
+  /// sealed disposition and no further voter instances need settling.
+  bool sealed = false;
+  /// Participant set revealed by the home-voter instance's accepted value.
+  std::vector<net::NodeId> participants;
+};
+
+/// Runs one Paxos round for instance (t, cfg.voter) at ballot
 /// MakePaxosBallot(attempt, proc->node()->id()): an optional prepare phase
 /// (skipped only for the home's attempt-0 proposal, whose promise rode
 /// phase 1), then the accept phase over every acceptor. `done` fires exactly
@@ -85,9 +186,29 @@ struct PaxosRoundConfig {
 /// acceptors at this ballot (the chosen value — possibly adopted from an
 /// earlier proposer), kUnknown when the round failed (majority unreachable
 /// or outpaced by a higher ballot) and the caller should escalate `attempt`.
+/// A sealed reply from any acceptor short-circuits the round with the final
+/// transaction disposition.
+void RunPaxosRoundEx(os::Process* proc, const PaxosRoundConfig& cfg,
+                     const Transid& t, uint32_t attempt, Disposition proposed,
+                     bool skip_prepare,
+                     std::function<void(const PaxosRoundOutcome&)> done);
+
+/// Legacy wrapper: value-only callback.
 void RunPaxosRound(os::Process* proc, const PaxosRoundConfig& cfg,
                    const Transid& t, uint32_t attempt, Disposition proposed,
                    bool skip_prepare, std::function<void(Disposition)> done);
+
+/// Universal in-doubt resolution against the acceptors, shared by in-doubt
+/// participants, ROLLFORWARD, and respawned homes. Legacy form: one
+/// abort-proposing round on the decision instance. Fast path: an
+/// abort-proposing round on the home-voter instance first — a chosen
+/// Prepared there reveals the participant set, whose voter instances are
+/// then settled in parallel (all Prepared => committed, any Aborted =>
+/// aborted, any failed round => kUnknown, caller retries at a higher
+/// attempt). Sealed answers short-circuit everything.
+void ResolvePaxosOutcome(os::Process* proc, const PaxosRoundConfig& cfg,
+                         const Transid& t, uint32_t attempt, bool fast_path,
+                         std::function<void(Disposition)> done);
 
 }  // namespace encompass::tmf
 

@@ -39,7 +39,7 @@ void NodeRecoveryProcess::OnStart() {
   for (const auto& pv : planned_) {
     for (const Transid& t : pv.plan.unresolved) {
       if (t.home_node == node()->id()) {
-        if (!config_.acceptor_nodes.empty()) {
+        if (PaxosAvailable()) {
           // Paxos Commit: the commit point is external, so "no local MAT
           // record" proves nothing. Seal the instance at the acceptors —
           // the abort-proposing round either fixes abort durably or adopts
@@ -103,7 +103,7 @@ void NodeRecoveryProcess::Negotiate(const Transid& t) {
            Settle(t, d);
            return;
          }
-         if (!s.ok() && !config_.acceptor_nodes.empty()) {
+         if (!s.ok() && PaxosAvailable()) {
            // Home unreachable; under Paxos Commit any live acceptor
            // majority answers in its stead — no waiting for the home.
            ResolvePaxos(t);
@@ -124,20 +124,29 @@ void NodeRecoveryProcess::ResolvePaxos(const Transid& t) {
   PaxosRoundConfig cfg;
   cfg.acceptor_nodes = config_.acceptor_nodes;
   cfg.acceptor_process = config_.acceptor_process;
+  cfg.endpoints = config_.acceptor_endpoints;
   cfg.call_timeout = config_.resolve_timeout;
+  auto settled = [this, t](Disposition chosen) {
+    auto it = pending_.find(t);
+    if (it == pending_.end()) return;
+    it->second.in_flight = false;
+    if (chosen == Disposition::kUnknown) {
+      RetryLater(t);
+      return;
+    }
+    stats().Incr(m_paxos_resolves_);
+    Settle(t, chosen);
+  };
+  if (config_.paxos_fast_path) {
+    // Fast path: per-voter instances. ResolvePaxosOutcome settles the home
+    // instance first (revealing the participant set), then each voter's.
+    ResolvePaxosOutcome(this, cfg, t, it->second.paxos_attempt++,
+                        /*fast_path=*/true, std::move(settled));
+    return;
+  }
   RunPaxosRound(this, cfg, t, it->second.paxos_attempt++,
                 Disposition::kAborted, /*skip_prepare=*/false,
-                [this, t](Disposition chosen) {
-                  auto it = pending_.find(t);
-                  if (it == pending_.end()) return;
-                  it->second.in_flight = false;
-                  if (chosen == Disposition::kUnknown) {
-                    RetryLater(t);
-                    return;
-                  }
-                  stats().Incr(m_paxos_resolves_);
-                  Settle(t, chosen);
-                });
+                std::move(settled));
 }
 
 void NodeRecoveryProcess::Settle(const Transid& t, Disposition d) {

@@ -30,6 +30,8 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "audit/audit_trail.h"
@@ -66,6 +68,11 @@ struct NodeRecoveryConfig {
   /// home to return. Empty (default) = negotiate with homes only (2PC).
   std::vector<net::NodeId> acceptor_nodes;
   std::string acceptor_process = "$ACCEPT";
+  /// Fast path: resolution must settle per-voter instances (the home's
+  /// first — it names the participants — then theirs) at the explicit
+  /// endpoint placement instead of one decision instance.
+  bool paxos_fast_path = false;
+  std::vector<std::pair<net::NodeId, std::string>> acceptor_endpoints;
   /// Fired once with the per-volume reports when every volume is rebuilt.
   /// May tear down this process.
   std::function<void(const std::vector<RollforwardReport>&)> on_done;
@@ -111,6 +118,11 @@ class NodeRecoveryProcess : public os::Process {
 
   void NegotiateAll();
   void Negotiate(const Transid& t);
+  /// Paxos Commit is configured in either placement form.
+  bool PaxosAvailable() const {
+    return !config_.acceptor_nodes.empty() ||
+           !config_.acceptor_endpoints.empty();
+  }
   void ResolvePaxos(const Transid& t);
   void Settle(const Transid& t, Disposition d);
   void RetryLater(const Transid& t);

@@ -55,6 +55,17 @@ enum TmfTag : uint32_t {
   // durably accepted kCommitted", not the home MAT force.
   kTmfPaxosPrepare = net::kTagTmf + 14,  ///< phase 1a: promise a ballot
   kTmfPaxosAccept = net::kTagTmf + 15,   ///< phase 2a: accept a value
+
+  // Paxos Commit fast path (the paper's F+1-message topology): every
+  // participant runs its own consensus instance, keyed (transid, voter
+  // node), and sends its phase-2a prepared-vote directly to the acceptors —
+  // one-way, no reply — so the commit point is one WAN delay from the
+  // participants' prepares instead of two. Acceptors ack durably-forced
+  // votes straight to the home TMP (bundled per transaction), and the home
+  // reclaims decided instances once phase 2 landed everywhere.
+  kTmfPaxosVote = net::kTagTmf + 16,     ///< one-way voter -> acceptor
+  kTmfPaxosVoteAck = net::kTagTmf + 17,  ///< one-way acceptor -> home TMP
+  kTmfPaxosReclaim = net::kTagTmf + 18,  ///< one-way home -> acceptor (GC)
 };
 
 /// One row of a kTmfListTxns reply.
@@ -224,19 +235,29 @@ inline bool DecodePhase1Ballot(const Slice& payload, uint32_t* ballot) {
   return GetFixed64(&in, &packed) && GetFixed32(&in, ballot);
 }
 
-inline Bytes EncodePaxosPrepare(const Transid& t, uint32_t ballot) {
+/// Under the fast path every participant runs its own consensus instance,
+/// keyed by (transid, voter node). Voter 0 names the legacy single
+/// decision-replication instance, and a voter-0 encoding appends no trailing
+/// bytes, so pre-fast-path wire traffic is byte-identical.
+inline Bytes EncodePaxosPrepare(const Transid& t, uint32_t ballot,
+                                uint16_t voter = 0) {
   Bytes out;
   PutFixed64(&out, t.Pack());
   PutFixed32(&out, ballot);
+  if (voter != 0) PutFixed16(&out, voter);
   return out;
 }
 
 inline bool DecodePaxosPrepare(const Slice& payload, Transid* t,
-                               uint32_t* ballot) {
+                               uint32_t* ballot, uint16_t* voter = nullptr) {
   Slice in = payload;
   uint64_t packed;
   if (!GetFixed64(&in, &packed) || !GetFixed32(&in, ballot)) return false;
   *t = Transid::Unpack(packed);
+  if (voter != nullptr) {
+    *voter = 0;
+    if (in.size() >= 2) GetFixed16(&in, voter);
+  }
   return true;
 }
 
@@ -247,6 +268,14 @@ struct PaxosPrepareReply {
   uint32_t accepted_ballot = 0;  ///< ballot of the accepted value (0 = none)
   bool has_value = false;
   Disposition value = Disposition::kUnknown;
+  /// Fast-path extension: participant set carried by the home's accepted
+  /// vote (resolvers learn which voter instances to settle from it).
+  std::vector<net::NodeId> participants;
+  /// Fast-path extension: the instance was garbage-collected after the
+  /// transaction's final disposition landed everywhere; `sealed_value` is
+  /// that final transaction disposition (not a per-voter value).
+  bool sealed = false;
+  Disposition sealed_value = Disposition::kUnknown;
 };
 
 inline Bytes EncodePaxosPrepareReply(const PaxosPrepareReply& r) {
@@ -256,6 +285,14 @@ inline Bytes EncodePaxosPrepareReply(const PaxosPrepareReply& r) {
   PutFixed32(&out, r.accepted_ballot);
   PutFixed8(&out, r.has_value ? 1 : 0);
   PutFixed8(&out, static_cast<uint8_t>(r.value));
+  // The extension block is appended only when it carries information, so a
+  // legacy (voter-0, never-sealed) reply keeps the pre-fast-path bytes.
+  if (r.sealed || !r.participants.empty()) {
+    PutFixed8(&out, r.sealed ? 1 : 0);
+    PutFixed8(&out, static_cast<uint8_t>(r.sealed_value));
+    PutFixed8(&out, static_cast<uint8_t>(r.participants.size()));
+    for (net::NodeId p : r.participants) PutFixed16(&out, p);
+  }
   return out;
 }
 
@@ -271,21 +308,54 @@ inline bool DecodePaxosPrepareReply(const Slice& payload,
   r->granted = granted != 0;
   r->has_value = has_value != 0;
   r->value = static_cast<Disposition>(value);
+  r->participants.clear();
+  r->sealed = false;
+  r->sealed_value = Disposition::kUnknown;
+  if (!in.empty()) {
+    uint8_t sealed, sealed_value, npart;
+    if (!GetFixed8(&in, &sealed) || !GetFixed8(&in, &sealed_value) ||
+        !GetFixed8(&in, &npart)) {
+      return false;
+    }
+    r->sealed = sealed != 0;
+    if (r->sealed) {
+      if (sealed_value > 1) return false;  // a seal is always a decision
+      r->sealed_value = static_cast<Disposition>(sealed_value);
+    }
+    for (uint8_t i = 0; i < npart; ++i) {
+      uint16_t p;
+      if (!GetFixed16(&in, &p)) return false;
+      r->participants.push_back(p);
+    }
+  }
   // An accepted value is always a decision; kUnknown never travels as one.
   return !r->has_value || r->value != Disposition::kUnknown;
 }
 
+/// Also the kTmfPaxosVote payload: a fast-path vote is a phase-2a accept
+/// sent one-way, with the voter's instance key appended, and — on the home's
+/// vote only — the participant set the resolvers will need.
 inline Bytes EncodePaxosAccept(const Transid& t, uint32_t ballot,
-                               Disposition value) {
+                               Disposition value, uint16_t voter = 0,
+                               const std::vector<net::NodeId>& participants =
+                                   {}) {
   Bytes out;
   PutFixed64(&out, t.Pack());
   PutFixed32(&out, ballot);
   PutFixed8(&out, static_cast<uint8_t>(value));
+  if (voter != 0) {
+    PutFixed16(&out, voter);
+    PutFixed8(&out, static_cast<uint8_t>(participants.size()));
+    for (net::NodeId p : participants) PutFixed16(&out, p);
+  }
   return out;
 }
 
 inline bool DecodePaxosAccept(const Slice& payload, Transid* t,
-                              uint32_t* ballot, Disposition* value) {
+                              uint32_t* ballot, Disposition* value,
+                              uint16_t* voter = nullptr,
+                              std::vector<net::NodeId>* participants =
+                                  nullptr) {
   Slice in = payload;
   uint64_t packed;
   uint8_t v;
@@ -295,6 +365,17 @@ inline bool DecodePaxosAccept(const Slice& payload, Transid* t,
   }
   *t = Transid::Unpack(packed);
   *value = static_cast<Disposition>(v);
+  if (voter != nullptr) *voter = 0;
+  if (participants != nullptr) participants->clear();
+  if (voter != nullptr && in.size() >= 3) {
+    uint8_t npart;
+    if (!GetFixed16(&in, voter) || !GetFixed8(&in, &npart)) return false;
+    for (uint8_t i = 0; i < npart; ++i) {
+      uint16_t p;
+      if (!GetFixed16(&in, &p)) return false;
+      if (participants != nullptr) participants->push_back(p);
+    }
+  }
   return true;
 }
 
@@ -302,12 +383,19 @@ inline bool DecodePaxosAccept(const Slice& payload, Transid* t,
 struct PaxosAcceptReply {
   bool accepted = false;
   uint32_t promised = 0;
+  /// Fast-path extension: see PaxosPrepareReply::sealed.
+  bool sealed = false;
+  Disposition sealed_value = Disposition::kUnknown;
 };
 
 inline Bytes EncodePaxosAcceptReply(const PaxosAcceptReply& r) {
   Bytes out;
   PutFixed8(&out, r.accepted ? 1 : 0);
   PutFixed32(&out, r.promised);
+  if (r.sealed) {
+    PutFixed8(&out, 1);
+    PutFixed8(&out, static_cast<uint8_t>(r.sealed_value));
+  }
   return out;
 }
 
@@ -318,6 +406,87 @@ inline bool DecodePaxosAcceptReply(const Slice& payload, PaxosAcceptReply* r) {
     return false;
   }
   r->accepted = accepted != 0;
+  r->sealed = false;
+  r->sealed_value = Disposition::kUnknown;
+  if (!in.empty()) {
+    uint8_t sealed, sealed_value;
+    if (!GetFixed8(&in, &sealed) || !GetFixed8(&in, &sealed_value) ||
+        (sealed != 0 && sealed_value > 1)) {
+      return false;
+    }
+    r->sealed = sealed != 0;
+    if (r->sealed) r->sealed_value = static_cast<Disposition>(sealed_value);
+  }
+  return true;
+}
+
+/// kTmfPaxosVoteAck: an acceptor tells the home TMP which voters' votes it
+/// has durably forced — bundled, so votes forced at the same instant cost
+/// one message.
+struct PaxosVoteAck {
+  Transid transid;
+  uint8_t acceptor_index = 0;  ///< k of $ACCEPT.<k>: the home's tally bit
+  std::vector<uint16_t> voters;
+};
+
+inline Bytes EncodePaxosVoteAck(const PaxosVoteAck& a) {
+  Bytes out;
+  PutFixed64(&out, a.transid.Pack());
+  PutFixed8(&out, a.acceptor_index);
+  PutFixed8(&out, static_cast<uint8_t>(a.voters.size()));
+  for (uint16_t v : a.voters) PutFixed16(&out, v);
+  return out;
+}
+
+inline bool DecodePaxosVoteAck(const Slice& payload, PaxosVoteAck* a) {
+  Slice in = payload;
+  uint64_t packed;
+  uint8_t n;
+  if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &a->acceptor_index) ||
+      !GetFixed8(&in, &n)) {
+    return false;
+  }
+  a->transid = Transid::Unpack(packed);
+  a->voters.clear();
+  for (uint8_t i = 0; i < n; ++i) {
+    uint16_t v;
+    if (!GetFixed16(&in, &v)) return false;
+    a->voters.push_back(v);
+  }
+  return true;
+}
+
+/// kTmfPaxosReclaim: the home garbage-collects decided instances once the
+/// final disposition landed on every participant. Batched — one message
+/// reclaims every transaction that drained since the last flush — and
+/// deliberately sent without a transid stamp (it belongs to no single
+/// transaction's message budget).
+inline Bytes EncodePaxosReclaim(
+    const std::vector<std::pair<uint64_t, Disposition>>& txns) {
+  Bytes out;
+  PutVarint32(&out, static_cast<uint32_t>(txns.size()));
+  for (const auto& [packed, d] : txns) {
+    PutFixed64(&out, packed);
+    PutFixed8(&out, static_cast<uint8_t>(d));
+  }
+  return out;
+}
+
+inline bool DecodePaxosReclaim(
+    const Slice& payload, std::vector<std::pair<uint64_t, Disposition>>* txns) {
+  Slice in = payload;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return false;
+  if (static_cast<uint64_t>(n) * 9 > in.size()) return false;
+  txns->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t packed;
+    uint8_t d;
+    if (!GetFixed64(&in, &packed) || !GetFixed8(&in, &d) || d > 1) {
+      return false;
+    }
+    txns->emplace_back(packed, static_cast<Disposition>(d));
+  }
   return true;
 }
 

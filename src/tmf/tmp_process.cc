@@ -1,5 +1,6 @@
 #include "tmf/tmp_process.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -62,6 +63,11 @@ void TmpProcess::OnPairAttach() {
   m_.paxos_resolved_commits = stats.RegisterCounter("tmf.paxos_resolved_commits");
   m_.paxos_resolved_aborts = stats.RegisterCounter("tmf.paxos_resolved_aborts");
   m_.paxos_seals = stats.RegisterCounter("tmf.paxos_seals");
+  m_.paxos_votes_cast = stats.RegisterCounter("tmf.paxos_votes_cast");
+  m_.paxos_fast_commit_points =
+      stats.RegisterCounter("tmf.paxos_fast_commit_points");
+  m_.paxos_fallbacks = stats.RegisterCounter("tmf.paxos_fallbacks");
+  m_.paxos_reclaims_sent = stats.RegisterCounter("tmf.paxos_reclaims_sent");
   m_.indoubt_hold_us = stats.RegisterHistogram("tmf.indoubt_hold_us");
   m_.commit_latency_us = stats.RegisterHistogram("tmf.commit_latency_us");
   for (int from = 0; from < kNumTxnStates; ++from) {
@@ -109,6 +115,12 @@ bool TmpProcess::GetTxnState(const Transid& t, TxnState* state) const {
 }
 
 void TmpProcess::OnRequest(const net::Message& msg) {
+  if (msg.tag == kTmfPaxosVoteAck) {
+    // One-way fast-path vote ack: no reply path, a backup member drops it
+    // (the acks re-arrive after a takeover re-runs phase 1).
+    if (IsPrimary()) HandlePaxosVoteAck(msg);
+    return;
+  }
   if (!IsPrimary()) {
     Reply(msg, Status::Unavailable("backup tmp"));
     return;
@@ -320,7 +332,14 @@ void TmpProcess::HandleEnd(const net::Message& msg) {
     if (ok && txn->state == TxnState::kEnding) {
       CompleteCommit(transid);
     } else if (txn->state == TxnState::kEnding) {
-      StartAbort(transid, "phase 1 failed");
+      if (FastPathFor(*txn)) {
+        // The home's vote may already sit forced at F+1 acceptors: a
+        // unilateral abort could contradict a chosen Prepared. Settle the
+        // voter instances at a usurping ballot instead.
+        StartPaxosFallback(transid);
+      } else {
+        StartAbort(transid, "phase 1 failed");
+      }
     }
   });
 }
@@ -444,6 +463,15 @@ void TmpProcess::HandlePhase1(const net::Message& msg) {
     }
     // Affirmative reply: from here on this node holds the transaction's
     // locks until the final disposition arrives (in-doubt).
+    // Fast path: the affirmative vote also goes straight to the acceptors —
+    // this participant's phase-2a message, forced at F+1 acceptors and
+    // acked to the home, which is how the commit point skips the home's
+    // accept round.
+    if (config_.paxos_fast_path &&
+        config_.commit_protocol == CommitProtocol::kPaxos &&
+        txn->home_ballot != 0) {
+      CastVote(txn);
+    }
     Reply(request, Status::Ok());
   });
 }
@@ -472,6 +500,15 @@ void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
     finish();
     return;
   }
+  // Fast path, home side: the home's own prepared-vote leaves the moment
+  // its local audit forces complete — it does not wait for the children's
+  // phase-1 replies. The children's votes travel to the acceptors
+  // concurrently; that overlap is the saved WAN round trip.
+  const bool fast_vote = FastPathFor(*txn);
+  const Transid transid = txn->transid;
+  auto audit_left = std::make_shared<int>(
+      static_cast<int>(config_.audit_processes.size()));
+  if (fast_vote && *audit_left == 0) CastVote(txn);
   os::CallOptions force_opt;
   force_opt.timeout = config_.force_timeout;
   force_opt.retries = 2;
@@ -479,8 +516,13 @@ void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
     stats().Incr(m_.audit_forces);
     Trace(sim::TraceEventKind::kAuditForce, packed);
     Call(net::Address(node()->id(), name), audit::kAuditForce, {},
-         [failed, finish](const Status& s, const net::Message&) {
+         [this, failed, finish, audit_left, fast_vote, transid](
+             const Status& s, const net::Message&) {
            if (!s.ok()) *failed = true;
+           if (fast_vote && --*audit_left == 0 && !*failed) {
+             TxnEntry* t = FindTxn(transid);
+             if (t != nullptr && t->state == TxnState::kEnding) CastVote(t);
+           }
            finish();
          },
          force_opt);
@@ -497,8 +539,15 @@ void TmpProcess::RunPhase1(TxnEntry* txn, std::function<void(bool)> done) {
   for (net::NodeId child : txn->children) {
     stats().Incr(m_.phase1_sent);
     Call(Tmp(child), kTmfPhase1, p1_payload,
-         [failed, finish](const Status& s, const net::Message&) {
-           if (!s.ok()) *failed = true;
+         [this, failed, finish, fast_vote, transid, child](
+             const Status& s, const net::Message&) {
+           if (!s.ok()) {
+             *failed = true;
+           } else if (fast_vote) {
+             // The affirmative reply is the child's prepared-vote — force
+             // it into this node's co-located acceptors on its behalf.
+             DepositChildVote(transid, child);
+           }
            finish();
          },
          p1_opt);
@@ -509,6 +558,14 @@ void TmpProcess::CompleteCommit(const Transid& transid) {
   TxnEntry* txn = FindTxn(transid);
   if (txn == nullptr || txn->state != TxnState::kEnding) return;
   if (PaxosEnabledFor(*txn)) {
+    if (config_.paxos_fast_path) {
+      // Fast path: the commit point is the forced-vote ack tally
+      // (HandlePaxosVoteAck), which usually fires before phase 1 even
+      // finishes. Reaching here with the transaction still ending means
+      // some voter's F+1 acks are missing — arm the fallback rounds.
+      ArmPaxosFallbackTimer(transid);
+      return;
+    }
     // Paxos Commit: the commit point is a majority of acceptors durably
     // accepting the decision, not the home MAT force below.
     StartPaxosCommit(transid);
@@ -565,6 +622,13 @@ void TmpProcess::CommitPointReached(const Transid& transid) {
   // not impede END-TRANSACTION completion on the home node).
   NotifyLocalDiscs(transid,
                    static_cast<uint8_t>(discprocess::DiscTxnState::kEnded));
+  // Fast-path GC: once every child has acked its phase-2 delivery no
+  // resolver will ever need the voter instances — queue them for
+  // reclamation at the acceptors.
+  if (config_.paxos_fast_path && PaxosEnabledFor(*txn)) {
+    reclaim_waiting_[transid.Pack()] =
+        ReclaimEntry{Disposition::kCommitted, ReclaimMaskFor(*txn)};
+  }
   for (net::NodeId child : txn->children) {
     QueueSafeDelivery(child, kTmfPhase2, transid);
   }
@@ -580,14 +644,16 @@ bool TmpProcess::PaxosEnabledFor(const TxnEntry& txn) const {
   // Only distributed transactions have an in-doubt window to shrink;
   // single-node commits keep the home MAT force as their commit point.
   return config_.commit_protocol == CommitProtocol::kPaxos &&
-         !config_.acceptor_nodes.empty() && txn.is_home &&
-         !txn.children.empty();
+         (!config_.acceptor_nodes.empty() ||
+          !config_.acceptor_endpoints.empty()) &&
+         txn.is_home && !txn.children.empty();
 }
 
 PaxosRoundConfig TmpProcess::PaxosConfig() const {
   PaxosRoundConfig cfg;
   cfg.acceptor_nodes = config_.acceptor_nodes;
   cfg.acceptor_process = config_.acceptor_process;
+  cfg.endpoints = config_.acceptor_endpoints;
   cfg.call_timeout = config_.paxos_round_timeout;
   return cfg;
 }
@@ -635,8 +701,15 @@ void TmpProcess::MaybePaxosEscalate(const Transid& transid, TxnEntry* txn) {
   // Usurping its ballot with an abort-proposing round would cancel commits
   // that were about to succeed; only transactions that have already waited
   // out a full interval are genuinely stuck.
-  if (txn->indoubt_since == 0 ||
-      sim()->Now() - txn->indoubt_since < config_.indoubt_resolve_interval) {
+  if (txn->indoubt_since == 0) {
+    // A takeover reconstructed this entry already in kEnding, so the
+    // volatile clock was lost. Restart it here rather than leave the entry
+    // permanently un-escalatable: it waits out one fresh interval, then
+    // the acceptors settle it like any other stuck transaction.
+    txn->indoubt_since = sim()->Now();
+    return;
+  }
+  if (sim()->Now() - txn->indoubt_since < config_.indoubt_resolve_interval) {
     return;
   }
   StartPaxosResolve(transid);
@@ -646,57 +719,357 @@ void TmpProcess::StartPaxosResolve(const Transid& transid) {
   TxnEntry* txn = FindTxn(transid);
   if (txn == nullptr || txn->state != TxnState::kEnding || txn->is_home) return;
   if (txn->paxos_round_in_flight) return;
-  if (config_.acceptor_nodes.empty()) return;
+  if (config_.acceptor_nodes.empty() && config_.acceptor_endpoints.empty()) {
+    return;
+  }
   txn->paxos_round_in_flight = true;
   // Never re-use the home's initial attempt: a usurping ballot must outrank
   // it so the quorum intersection exposes any accepted value.
   uint32_t floor = (txn->home_ballot >> 16) + 1;
   if (txn->paxos_attempt < floor) txn->paxos_attempt = floor;
   stats().Incr(m_.paxos_rounds);
-  RunPaxosRound(
-      this, PaxosConfig(), transid, txn->paxos_attempt, Disposition::kAborted,
-      /*skip_prepare=*/false, [this, transid](Disposition chosen) {
-        TxnEntry* txn = FindTxn(transid);
-        if (txn == nullptr) return;
-        txn->paxos_round_in_flight = false;
-        if (txn->state != TxnState::kEnding) return;
-        if (chosen == Disposition::kCommitted) {
-          stats().Incr(m_.paxos_resolved_commits);
-          ApplyRemoteCommit(transid, txn);
-        } else if (chosen == Disposition::kAborted) {
-          stats().Incr(m_.paxos_resolved_aborts);
-          StartAbort(transid, "in-doubt resolved by acceptor majority");
-        } else {
-          ++txn->paxos_attempt;  // retried on the next resolve tick
-        }
-      });
+  auto settle = [this, transid](Disposition chosen) {
+    TxnEntry* txn = FindTxn(transid);
+    if (txn == nullptr) return;
+    txn->paxos_round_in_flight = false;
+    if (txn->state != TxnState::kEnding) return;
+    if (chosen == Disposition::kCommitted) {
+      stats().Incr(m_.paxos_resolved_commits);
+      ApplyRemoteCommit(transid, txn);
+    } else if (chosen == Disposition::kAborted) {
+      stats().Incr(m_.paxos_resolved_aborts);
+      StartAbort(transid, "in-doubt resolved by acceptor majority");
+    } else {
+      ++txn->paxos_attempt;  // retried on the next resolve tick
+    }
+  };
+  if (config_.paxos_fast_path) {
+    // Fast path: the outcome is spread over per-voter instances — settle
+    // the home's instance first (it names the participants), then theirs.
+    ResolvePaxosOutcome(this, PaxosConfig(), transid, txn->paxos_attempt,
+                        /*fast_path=*/true, std::move(settle));
+    return;
+  }
+  RunPaxosRound(this, PaxosConfig(), transid, txn->paxos_attempt,
+                Disposition::kAborted,
+                /*skip_prepare=*/false, std::move(settle));
 }
 
 void TmpProcess::SealDecision(const Transid& t) {
   if (config_.commit_protocol != CommitProtocol::kPaxos ||
-      config_.acceptor_nodes.empty()) {
+      (config_.acceptor_nodes.empty() && config_.acceptor_endpoints.empty())) {
     return;
   }
   if (!paxos_sealing_.insert(t).second) return;  // round already in flight
   uint32_t& attempt = paxos_seal_attempt_[t];
   if (attempt == 0) attempt = 1;
   stats().Incr(m_.paxos_rounds);
-  RunPaxosRound(
-      this, PaxosConfig(), t, attempt++, Disposition::kAborted,
-      /*skip_prepare=*/false, [this, t](Disposition chosen) {
-        paxos_sealing_.erase(t);
-        if (chosen == Disposition::kUnknown) return;  // resealed on next query
-        paxos_seal_attempt_.erase(t);
-        if (FindTxn(t) != nullptr) return;  // tracked meanwhile: live pipeline
-        if (LookupDisposition(t) != Disposition::kUnknown) return;  // recorded
-        stats().Incr(m_.paxos_seals);
-        if (config_.monitor_trail != nullptr) {
-          config_.monitor_trail->AppendForced(audit::CompletionRecord{
-              t, chosen == Disposition::kCommitted
-                     ? audit::Completion::kCommitted
-                     : audit::Completion::kAborted});
+  auto sealed = [this, t](Disposition chosen) {
+    paxos_sealing_.erase(t);
+    if (chosen == Disposition::kUnknown) return;  // resealed on next query
+    paxos_seal_attempt_.erase(t);
+    if (FindTxn(t) != nullptr) return;  // tracked meanwhile: live pipeline
+    if (LookupDisposition(t) != Disposition::kUnknown) return;  // recorded
+    stats().Incr(m_.paxos_seals);
+    if (config_.monitor_trail != nullptr) {
+      config_.monitor_trail->AppendForced(audit::CompletionRecord{
+          t, chosen == Disposition::kCommitted ? audit::Completion::kCommitted
+                                               : audit::Completion::kAborted});
+    }
+  };
+  if (config_.paxos_fast_path) {
+    ResolvePaxosOutcome(this, PaxosConfig(), t, attempt++,
+                        /*fast_path=*/true, std::move(sealed));
+    return;
+  }
+  RunPaxosRound(this, PaxosConfig(), t, attempt++, Disposition::kAborted,
+                /*skip_prepare=*/false, std::move(sealed));
+}
+
+// ---------------------------------------------------------------------------
+// Paxos Commit fast path
+// ---------------------------------------------------------------------------
+
+bool TmpProcess::FastPathFor(const TxnEntry& txn) const {
+  return config_.paxos_fast_path && PaxosEnabledFor(txn);
+}
+
+std::vector<size_t> TmpProcess::VoteTargetIndices(
+    net::NodeId voter, net::NodeId home,
+    const std::set<net::NodeId>& prefer) const {
+  const auto eps = PaxosConfig().Endpoints();
+  const size_t quorum = eps.size() / 2 + 1;  // F+1 of 2F+1
+  // Any F+1 subset works for safety (it intersects every resolver's F+1
+  // prepare quorum), so pick the cheapest: co-located pairs cost no network
+  // message at all, a pair on the home node acks home-locally, and a pair
+  // on a participant node gets reclaimed for free when phase 2 lands there.
+  auto rank = [&eps, voter, home, &prefer](size_t i) {
+    if (eps[i].first == voter) return 0;
+    if (eps[i].first == home) return 1;
+    if (prefer.count(eps[i].first) != 0) return 2;
+    return 3;
+  };
+  std::vector<size_t> idx(eps.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&rank](size_t a, size_t b) { return rank(a) < rank(b); });
+  if (idx.size() > quorum) idx.resize(quorum);
+  return idx;
+}
+
+uint32_t TmpProcess::ReclaimMaskFor(const TxnEntry& txn) const {
+  const auto eps = PaxosConfig().Endpoints();
+  const size_t n = eps.size();
+  const uint32_t all = n >= 32 ? ~0u : (1u << n) - 1;
+  const net::NodeId home = txn.transid.home_node;
+  uint32_t mask;
+  if (txn.paxos_attempt > 0) {
+    // A fallback/resolve round fans its accept phase out to the whole
+    // group, so instances may exist anywhere.
+    mask = all;
+  } else {
+    mask = 0;
+    static const std::set<net::NodeId> kNone;
+    for (size_t i : VoteTargetIndices(home, home, txn.children)) {
+      mask |= (1u << i);
+    }
+    for (net::NodeId child : txn.children) {
+      for (size_t i : VoteTargetIndices(child, home, kNone)) mask |= (1u << i);
+    }
+    mask &= all;
+  }
+  // Pairs on participant nodes seal themselves the instant phase 2 (or the
+  // abort) lands there — ReclaimLocalAcceptors — so the home only flushes
+  // to its own pairs (free) and, after a fallback, to bystander nodes.
+  for (size_t k = 0; k < n; ++k) {
+    if (txn.children.count(eps[k].first) != 0) mask &= ~(1u << k);
+  }
+  return mask;
+}
+
+void TmpProcess::CastVote(TxnEntry* txn) {
+  const Transid t = txn->transid;
+  // Home: ballot (0, home) — the same implicit promise the legacy path
+  // rides on phase 1. Child: the home's piggybacked ballot. Every voter
+  // instance thus lives at one known ballot, and any recovery proposal at
+  // attempt >= 1 outranks them all.
+  const uint32_t ballot =
+      txn->is_home ? MakePaxosBallot(0, node()->id()) : txn->home_ballot;
+  if (ballot == 0) return;
+  std::vector<net::NodeId> participants;
+  if (txn->is_home) {
+    participants.assign(txn->children.begin(), txn->children.end());
+  }
+  Bytes vote = EncodePaxosAccept(t, ballot, Disposition::kCommitted,
+                                 node()->id(), participants);
+  const auto eps = PaxosConfig().Endpoints();
+  static const std::set<net::NodeId> kNone;
+  const std::set<net::NodeId>& prefer = txn->is_home ? txn->children : kNone;
+  // Stamped with the transid so per-transaction message accounting sees the
+  // (cross-node) votes even when causal tracing is off.
+  set_current_transid(t.Pack());
+  for (size_t i : VoteTargetIndices(node()->id(), t.home_node, prefer)) {
+    // A child's home-node copies travel as its affirmative phase-1 reply:
+    // the home re-materialises the vote locally (DepositChildVote), so a
+    // separate cross-node vote message would just be a duplicate.
+    if (!txn->is_home && eps[i].first == t.home_node) continue;
+    stats().Incr(m_.paxos_votes_cast);
+    Send(net::Address(eps[i].first, eps[i].second), kTmfPaxosVote, vote);
+  }
+  set_current_transid(0);
+}
+
+void TmpProcess::DepositChildVote(const Transid& transid, net::NodeId child) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding || !txn->is_home ||
+      !FastPathFor(*txn) || config_.colocated_acceptors.empty()) {
+    return;
+  }
+  // The child's vote, bit-for-bit what CastVote would have sent here: same
+  // ballot (0, home) it read off phase 1, value Prepared. Written straight
+  // into the co-located pairs' durable logs with HandleVote's exact
+  // semantics — durable immediately, usurped ballots rejected, tally
+  // credit delayed by the forced-write latency. A direct mutation inside
+  // an event this TMP already runs: no message hop and no intermediate
+  // events, so it cannot perturb event ordering in either engine.
+  const uint32_t ballot = MakePaxosBallot(0, node()->id());
+  static const std::set<net::NodeId> kNone;
+  uint32_t bits = 0;
+  for (size_t i : VoteTargetIndices(child, transid.home_node, kNone)) {
+    for (const auto& ca : config_.colocated_acceptors) {
+      if (ca.index != i) continue;
+      if (ca.log->SealedValue(transid.Pack()) != nullptr) continue;
+      CommitAcceptorEntry& e = ca.log->At(transid, child);
+      if (e.born == 0) e.born = sim()->Now();
+      if (e.has_value && e.accepted_ballot == ballot &&
+          e.value == Disposition::kCommitted) {
+        bits |= (1u << ca.index);  // replay: the first force stands
+        continue;
+      }
+      if (ballot < e.promised) continue;  // usurped by a recovery proposer
+      e.promised = ballot > e.promised ? ballot : e.promised;
+      e.accepted_ballot = ballot;
+      e.has_value = true;
+      e.value = Disposition::kCommitted;
+      stats().Incr(m_.paxos_votes_cast);
+      bits |= (1u << ca.index);
+    }
+  }
+  if (bits == 0) return;
+  SetTimer(config_.mat_force_latency, [this, transid, child, bits]() {
+    TxnEntry* t = FindTxn(transid);
+    if (t == nullptr || t->state != TxnState::kEnding || !t->is_home) return;
+    t->vote_acks[child] |= bits;
+    CheckVoteTally(t);
+  });
+}
+
+void TmpProcess::HandlePaxosVoteAck(const net::Message& msg) {
+  PaxosVoteAck ack;
+  if (!DecodePaxosVoteAck(Slice(msg.payload), &ack)) return;
+  TxnEntry* txn = FindTxn(ack.transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding || !txn->is_home ||
+      !FastPathFor(*txn)) {
+    return;  // decided meanwhile (or a stale replay): the ack is moot
+  }
+  for (uint16_t voter : ack.voters) {
+    txn->vote_acks[voter] |= (1u << ack.acceptor_index);
+  }
+  CheckVoteTally(txn);
+}
+
+void TmpProcess::CheckVoteTally(TxnEntry* txn) {
+  const size_t acceptors = PaxosConfig().Endpoints().size();
+  const size_t needed = acceptors / 2 + 1;
+  auto prepared = [&](uint16_t voter) {
+    auto it = txn->vote_acks.find(voter);
+    if (it == txn->vote_acks.end()) return false;
+    uint32_t bits = it->second;
+    size_t count = 0;
+    while (bits != 0) {
+      bits &= bits - 1;
+      ++count;
+    }
+    return count >= needed;
+  };
+  if (!prepared(node()->id())) return;
+  for (net::NodeId child : txn->children) {
+    if (!prepared(child)) return;
+  }
+  // Every voter's Prepared is forced at F+1 acceptors: any future
+  // resolver's quorum must reveal each of them, so the outcome is fixed —
+  // this tally is the commit point, one WAN delay after END arrived.
+  stats().Incr(m_.paxos_commit_points);
+  stats().Incr(m_.paxos_fast_commit_points);
+  CommitPointReached(txn->transid);
+}
+
+void TmpProcess::ArmPaxosFallbackTimer(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding) return;
+  if (txn->paxos_fallback_timer != 0) return;
+  txn->paxos_fallback_timer =
+      SetTimer(config_.paxos_retry_interval, [this, transid]() {
+        TxnEntry* txn = FindTxn(transid);
+        if (txn == nullptr) return;
+        txn->paxos_fallback_timer = 0;
+        if (txn->state != TxnState::kEnding) return;
+        StartPaxosFallback(transid);
+      });
+}
+
+void TmpProcess::StartPaxosFallback(const Transid& transid) {
+  TxnEntry* txn = FindTxn(transid);
+  if (txn == nullptr || txn->state != TxnState::kEnding) return;
+  if (txn->paxos_round_in_flight) return;
+  txn->paxos_round_in_flight = true;
+  if (txn->paxos_attempt == 0) txn->paxos_attempt = 1;
+  stats().Incr(m_.paxos_fallbacks);
+  stats().Incr(m_.paxos_rounds);
+  // Some voter's F+1 acks never materialised (an acceptor died, a vote was
+  // lost, a child answered phase 1 negatively). The home may not abort
+  // unilaterally — its own Prepared may already be chosen — so it settles
+  // every voter instance with abort-proposing rounds at a usurping ballot
+  // and adopts whatever they fix.
+  ResolvePaxosOutcome(
+      this, PaxosConfig(), transid, txn->paxos_attempt, /*fast_path=*/true,
+      [this, transid](Disposition chosen) {
+        TxnEntry* txn = FindTxn(transid);
+        if (txn == nullptr) return;
+        txn->paxos_round_in_flight = false;
+        if (txn->state != TxnState::kEnding) return;
+        if (chosen == Disposition::kCommitted) {
+          stats().Incr(m_.paxos_commit_points);
+          CommitPointReached(transid);
+        } else if (chosen == Disposition::kAborted) {
+          stats().Incr(m_.paxos_adopted_aborts);
+          StartAbort(transid, "paxos fast path: abort fixed by fallback");
+        } else {
+          // Exponential backoff: during an outage no amount of re-proposing
+          // settles the instances, and each retry costs prepare/accept
+          // fan-outs — so double the pause per failed attempt (capped at
+          // 2s, roughly the shortest heal window worth waiting for).
+          ++txn->paxos_attempt;
+          const uint32_t shift = std::min(txn->paxos_attempt, 4u);
+          SimDuration delay = config_.paxos_retry_interval << shift;
+          if (delay > Seconds(2)) delay = Seconds(2);
+          SetTimer(delay, [this, transid]() { StartPaxosFallback(transid); });
         }
       });
+}
+
+void TmpProcess::MaybeQueueReclaim(const Transid& transid) {
+  auto it = reclaim_waiting_.find(transid.Pack());
+  if (it == reclaim_waiting_.end()) return;
+  for (const SafeDelivery& d : safe_queue_) {
+    if (d.transid == transid) return;  // still draining
+  }
+  reclaim_pending_.emplace_back(it->first, it->second);
+  reclaim_waiting_.erase(it);
+  if (reclaim_flush_armed_) return;
+  reclaim_flush_armed_ = true;
+  SetTimer(config_.paxos_reclaim_interval, [this]() { FlushReclaims(); });
+}
+
+void TmpProcess::FlushReclaims() {
+  reclaim_flush_armed_ = false;
+  if (reclaim_pending_.empty() || !IsPrimary()) return;
+  // Targeted one-way flush: each acceptor gets only the transactions whose
+  // ReclaimMaskFor() bit names it — an acceptor that no vote (and no
+  // fallback accept) ever reached holds no instance, so a reclaim there
+  // would be a wasted message. Sent outside any transaction's trace (each
+  // batch spans several). An acceptor that misses its flush — down or
+  // partitioned — reclaims through its own orphan sweep instead.
+  const auto eps = PaxosConfig().Endpoints();
+  std::vector<std::vector<std::pair<uint64_t, Disposition>>> batches(
+      eps.size());
+  for (const auto& [packed, entry] : reclaim_pending_) {
+    for (size_t k = 0; k < eps.size(); ++k) {
+      if (entry.endpoint_mask & (1u << k)) {
+        batches[k].emplace_back(packed, entry.disposition);
+      }
+    }
+  }
+  reclaim_pending_.clear();
+  WithTraceContext(sim::TraceContext{}, [this, &eps, &batches]() {
+    for (size_t k = 0; k < eps.size(); ++k) {
+      if (batches[k].empty()) continue;
+      stats().Incr(m_.paxos_reclaims_sent);
+      Send(net::Address(eps[k].first, eps[k].second), kTmfPaxosReclaim,
+           EncodePaxosReclaim(batches[k]));
+    }
+  });
+}
+
+void TmpProcess::ReclaimLocalAcceptors(const Transid& transid, Disposition d) {
+  // The disposition just landed on this node, so every co-located pair's
+  // instances are sealed in place — a direct mutation of the shared durable
+  // log, no message and no event. This is why ReclaimMaskFor() strips
+  // participant-node bits from the home's network flush. Empty (every
+  // non-fast-path deployment) makes this a no-op.
+  for (const auto& ca : config_.colocated_acceptors) {
+    ca.log->Seal(transid.Pack(), d);
+  }
 }
 
 void TmpProcess::HandlePhase2(const net::Message& msg) {
@@ -727,6 +1100,7 @@ void TmpProcess::ApplyRemoteCommit(const Transid& transid, TxnEntry* txn) {
     config_.monitor_trail->AppendForced(
         audit::CompletionRecord{transid, audit::Completion::kCommitted});
   }
+  if (!txn->is_home) ReclaimLocalAcceptors(transid, Disposition::kCommitted);
   if (txn->state == TxnState::kActive) SetState(txn, TxnState::kEnding);
   SetState(txn, TxnState::kEnded);
   NotifyLocalDiscs(transid,
@@ -768,6 +1142,21 @@ void TmpProcess::StartAbort(const Transid& transid, const std::string& reason) {
   LOG_DEBUG << DebugName() << " aborting " << transid.ToString() << ": " << reason;
   stats().Incr(m_.aborts_started);
   Trace(sim::TraceEventKind::kAbortStart, transid.Pack());
+  // Fast-path GC: an ending home transaction may already have voter
+  // instances forced at the acceptors (its own or its children's votes) —
+  // reclaim them once the abort safe-deliveries drain. Aborts straight out
+  // of kActive never voted, so there is nothing to reclaim.
+  if (config_.paxos_fast_path && txn->state == TxnState::kEnding &&
+      PaxosEnabledFor(*txn)) {
+    reclaim_waiting_[transid.Pack()] =
+        ReclaimEntry{Disposition::kAborted, ReclaimMaskFor(*txn)};
+  }
+  // Participant-side GC: an abort here is either authoritative (the parent
+  // or an acceptor majority said so) or pre-vote (this node never voted and,
+  // aborting, never will) — both fix the transaction's fate, so co-located
+  // acceptors can seal their instances now. Late vote replays bounce off
+  // the sealed record.
+  if (!txn->is_home) ReclaimLocalAcceptors(transid, Disposition::kAborted);
   SetState(txn, TxnState::kAborting);
   // Locks stay held during backout; DISCPROCESSes reject new work for the
   // transaction. Children learn via safe-delivery.
@@ -874,7 +1263,8 @@ void TmpProcess::HandleResolveTxn(const net::Message& msg) {
   TxnEntry* txn = FindTxn(t);
   if (txn == nullptr) {
     if (config_.commit_protocol == CommitProtocol::kPaxos &&
-        !config_.acceptor_nodes.empty()) {
+        (!config_.acceptor_nodes.empty() ||
+         !config_.acceptor_endpoints.empty())) {
       // Under Paxos Commit the absent MAT record proves nothing: the commit
       // point lives at the acceptors, and this TMP may have been respawned
       // after a majority accepted commit but before the home learned it.
@@ -941,7 +1331,21 @@ void TmpProcess::ResolveIndoubts() {
   }
   for (const Transid& t : indoubt) {
     if (t.home_node == node()->id()) continue;  // home resolves locally
-    if (TxnEntry* probing = FindTxn(t)) probing->resolve_in_flight = true;
+    TxnEntry* probing = FindTxn(t);
+    if (probing == nullptr) continue;
+    if (config_.paxos_fast_path &&
+        config_.commit_protocol == CommitProtocol::kPaxos &&
+        !config_.acceptor_endpoints.empty()) {
+      // Fast path: the acceptor log, not the home, owns the commit record,
+      // so the per-tick kTmfResolveTxn probe is a wasted cross-node call —
+      // it either times out against a dead home (the common reason the
+      // window exists at all) or answers what an acceptor round settles
+      // authoritatively anyway. Escalate straight to the acceptors; the
+      // grace gate inside keeps healthy mid-flight commits un-usurped.
+      MaybePaxosEscalate(t, probing);
+      continue;
+    }
+    probing->resolve_in_flight = true;
     stats().Incr(m_.resolves_sent);
     os::CallOptions opt;
     // Diagnose a dead home within one resolve tick, not after the full
@@ -1146,6 +1550,7 @@ void TmpProcess::TrySafeDeliveries() {
                  PutFixed32(&ckpt, tag);
                  PutFixed64(&ckpt, transid.Pack());
                  SendCheckpoint(std::move(ckpt));
+                 MaybeQueueReclaim(transid);
                } else {
                  qit->in_flight = false;
                }
@@ -1288,8 +1693,12 @@ void TmpProcess::OnTakeover() {
     RunPhase1(FindTxn(transid), [this, transid](bool ok) {
       TxnEntry* txn = FindTxn(transid);
       if (txn == nullptr) return;
-      if (ok && txn->state == TxnState::kEnding) CompleteCommit(transid);
-      else if (txn->state == TxnState::kEnding) StartAbort(transid, "takeover");
+      if (ok && txn->state == TxnState::kEnding) {
+        CompleteCommit(transid);
+      } else if (txn->state == TxnState::kEnding) {
+        if (FastPathFor(*txn)) StartPaxosFallback(transid);
+        else StartAbort(transid, "takeover");
+      }
     });
   }
   for (const auto& transid : aborting) {

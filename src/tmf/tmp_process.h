@@ -20,6 +20,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "audit/audit_trail.h"
@@ -97,6 +98,40 @@ struct TmpConfig {
   std::string acceptor_process = "$ACCEPT";
   SimDuration paxos_round_timeout = Seconds(2);    ///< per acceptor call
   SimDuration paxos_retry_interval = Millis(200);  ///< pacing between rounds
+  /// The paper's F+1-message fast path: every participant sends its
+  /// phase-2a prepared-vote straight to the acceptors (a co-located
+  /// acceptor makes that a local forced write, not a network message) and
+  /// the home's commit point becomes its tally of forced-vote acks — one
+  /// WAN delay instead of two. Requires `acceptor_endpoints`. Off by
+  /// default so pre-existing deployments keep byte-identical traces.
+  bool paxos_fast_path = false;
+  /// Fast-path acceptor placement: (node, pair name) of every $ACCEPT.<k>
+  /// pair. A node may host several pairs, so commit_replication = 2F+1
+  /// works on clusters smaller than 2F+1. Order defines each pair's tally
+  /// bit (index k). Non-empty overrides `acceptor_nodes` everywhere.
+  std::vector<std::pair<net::NodeId, std::string>> acceptor_endpoints;
+  /// Fast path: the $ACCEPT.<k> logs that live on this TMP's own node,
+  /// wired by the deployment (`index` is the pair's tally bit k). The logs
+  /// sit in the same durable NodeStorage the acceptor pairs write, so the
+  /// TMP can mutate them directly — deposit a child's phase-1 vote
+  /// (DepositChildVote) or seal decided instances the moment the
+  /// disposition lands locally (ReclaimLocalAcceptors) — as plain function
+  /// calls inside events it already runs: no messages, no new events, and
+  /// therefore byte-identical scheduling across the sequential and
+  /// parallel engines by construction.
+  struct ColocatedAcceptor {
+    size_t index = 0;
+    CommitAcceptorLog* log = nullptr;
+  };
+  std::vector<ColocatedAcceptor> colocated_acceptors;
+  /// How long the home batches decided-instance reclamations before
+  /// flushing kTmfPaxosReclaim to the acceptors that actually hold voter
+  /// instances (fast path). Longer batching means fewer reclaim messages
+  /// at the price of a higher acceptor-log peak.
+  SimDuration paxos_reclaim_interval = Millis(250);
+  /// Orphan-sweep cadence handed to fast-path CommitAcceptor pairs by the
+  /// deployment (0 disables the sweep).
+  SimDuration acceptor_sweep_interval = Seconds(1);
   /// Record how long non-home participants keep locks in-doubt (the
   /// `tmf.indoubt_hold_us` histogram). Off by default so deployments that
   /// don't ask for it keep byte-identical stats snapshots; the chaos
@@ -171,6 +206,13 @@ class TmpProcess : public os::PairedProcess {
     bool paxos_round_in_flight = false;
     bool resolve_in_flight = false;    ///< outstanding in-doubt probe to home
     uint32_t home_ballot = 0;  ///< ballot piggybacked on phase 1 (non-home)
+    /// Fast path, home only: per-voter bitmask of acceptor indices whose
+    /// forced-vote acks arrived. Volatile like pending_acks — a takeover
+    /// re-runs phase 1, votes replay idempotently, acks re-arrive.
+    std::map<uint16_t, uint32_t> vote_acks;
+    /// Fast path, home only: the fallback round is armed (phase 1 finished
+    /// but the ack tally had not fired yet).
+    uint64_t paxos_fallback_timer = 0;
     // When this entry entered kEnding. Non-home: feeds tmf.indoubt_hold_us
     // when the in-doubt window closes. Home: feeds tmf.commit_latency_us at
     // the commit point. Volatile: a takeover restarts the clock,
@@ -253,6 +295,62 @@ class TmpProcess : public os::PairedProcess {
   /// presumed abort never contradicts a majority-accepted commit.
   void SealDecision(const Transid& t);
 
+  // -- Paxos Commit fast path ---------------------------------------------------------
+  /// True when `txn` commits through the F+1-message fast path (votes go
+  /// straight to the acceptors; the commit point is the home's ack tally).
+  bool FastPathFor(const TxnEntry& txn) const;
+  /// Sends this node's prepared-vote for `txn` one-way to its vote
+  /// targets. Home: ballot (0, home) carrying the direct-participant set.
+  /// Child: the home ballot that rode phase 1, skipping home-node targets
+  /// — the home deposits the child's vote there itself (see
+  /// DepositChildVote), so the child's affirmative phase-1 reply is the
+  /// only cross-node message its vote costs.
+  void CastVote(TxnEntry* txn);
+  /// A child's affirmative phase-1 reply IS its prepared-vote: the vote's
+  /// bytes are deterministic in (transid, home ballot, voter), so the home
+  /// writes it straight into its co-located acceptor logs (the shared
+  /// durable NodeStorage — the same forced write HandleVote performs,
+  /// with the tally credit delayed by the force latency) instead of the
+  /// child shipping a second cross-node message.
+  void DepositChildVote(const Transid& transid, net::NodeId child);
+  /// The F+1 acceptors `voter`'s vote goes to, as acceptor_endpoints
+  /// indices: the voter's co-located pairs first (a local forced write,
+  /// not a network message), the home node's pairs next (their acks are
+  /// then home-local), then pairs on `prefer` nodes (the home passes its
+  /// participant set so its spill-over copies land where reclaims are
+  /// free), the rest in index order. Any F+1 subset intersects every
+  /// resolver's F+1 prepare quorum. Deterministic in the arguments, so
+  /// the home can recompute any child's target set for the reclaim mask.
+  std::vector<size_t> VoteTargetIndices(
+      net::NodeId voter, net::NodeId home,
+      const std::set<net::NodeId>& prefer) const;
+  /// Bitmask (bit k = endpoint k) of every acceptor that may hold a voter
+  /// instance for `txn` and is NOT covered by a participant node's local
+  /// reclaim (see ReclaimLocalAcceptors): the union of VoteTargetIndices
+  /// over {home} ∪ children — widened to all endpoints once a fallback
+  /// round ran (its accept fan-out touches the whole group) — minus every
+  /// child-node bit.
+  uint32_t ReclaimMaskFor(const TxnEntry& txn) const;
+  /// Participant-side GC: when the final disposition lands here (phase 2,
+  /// an abort, or an acceptor-resolved outcome) every co-located acceptor
+  /// log is sealed in place — a direct mutation of the shared durable
+  /// store, zero messages and zero events.
+  void ReclaimLocalAcceptors(const Transid& transid, Disposition d);
+  void HandlePaxosVoteAck(const net::Message& msg);
+  /// Commit point check: every voter ({home} ∪ children) durably accepted
+  /// at F+1 acceptors.
+  void CheckVoteTally(TxnEntry* txn);
+  /// Arms the stall fallback once phase 1 finished but acks are missing.
+  void ArmPaxosFallbackTimer(const Transid& transid);
+  /// Fast-path recovery at the home: full abort-proposing rounds at a
+  /// usurping ballot on every voter instance (all Prepared => commit, any
+  /// Aborted => abort, else retry).
+  void StartPaxosFallback(const Transid& transid);
+  /// GC: queues a decided transaction's instances for reclamation once its
+  /// phase-2 / abort safe-deliveries all drained.
+  void MaybeQueueReclaim(const Transid& transid);
+  void FlushReclaims();
+
   // -- Orphaned-lock sweep ------------------------------------------------------------
   // A DISCPROCESS can end up holding locks under a transid no TMP tracks:
   // an operation retried transparently across a participant node's crash
@@ -300,6 +398,8 @@ class TmpProcess : public os::PairedProcess {
     sim::MetricId orphan_lock_commits, orphan_lock_aborts;
     sim::MetricId paxos_rounds, paxos_commit_points, paxos_adopted_aborts;
     sim::MetricId paxos_resolved_commits, paxos_resolved_aborts, paxos_seals;
+    sim::MetricId paxos_votes_cast, paxos_fast_commit_points, paxos_fallbacks;
+    sim::MetricId paxos_reclaims_sent;
     sim::MetricId indoubt_hold_us;    // histogram
     sim::MetricId commit_latency_us;  // histogram
     sim::MetricId transition[kNumTxnStates][kNumTxnStates];
@@ -328,6 +428,19 @@ class TmpProcess : public os::PairedProcess {
   /// rejected by its own earlier promise).
   std::set<Transid> paxos_sealing_;
   std::map<Transid, uint32_t> paxos_seal_attempt_;
+
+  /// Fast-path GC (home only, volatile: a lost reclaim is caught by the
+  /// acceptors' orphan sweep). Decided transactions waiting for their
+  /// safe-delivery drain, then the batched per-acceptor reclaim flush —
+  /// each entry carries the ReclaimMaskFor() bitmask of acceptors that
+  /// may hold its instances, so untouched acceptors get no message.
+  struct ReclaimEntry {
+    Disposition disposition;
+    uint32_t endpoint_mask;
+  };
+  std::map<uint64_t, ReclaimEntry> reclaim_waiting_;
+  std::vector<std::pair<uint64_t, ReclaimEntry>> reclaim_pending_;
+  bool reclaim_flush_armed_ = false;
 
   /// One committer waiting for its commit record to reach the MAT.
   struct MatWaiter {

@@ -83,13 +83,22 @@ TEST(PaxosDefaultsTest, TwoPhaseRemainsTheDefault) {
   EXPECT_TRUE(cfg.acceptor_nodes.empty());
   EXPECT_EQ(cfg.acceptor_process, "$ACCEPT");
   EXPECT_FALSE(cfg.track_indoubt_hold);
+  // PR-10 knobs stay off until asked for: no direct voting, no explicit
+  // endpoint placement, no message accounting — pre-PR traces byte-identical.
+  EXPECT_FALSE(cfg.paxos_fast_path);
+  EXPECT_TRUE(cfg.acceptor_endpoints.empty());
+  EXPECT_FALSE(net::NetworkConfig{}.track_messages);
 
   tmf::NodeRecoveryConfig rcfg;
   EXPECT_TRUE(rcfg.acceptor_nodes.empty());
   EXPECT_EQ(rcfg.retry_backoff_cap, Seconds(8));
+  EXPECT_FALSE(rcfg.paxos_fast_path);
+  EXPECT_TRUE(rcfg.acceptor_endpoints.empty());
 
   ChaosCampaignConfig ccfg;
   EXPECT_EQ(ccfg.commit_protocol, tmf::CommitProtocol::kTwoPhase);
+  EXPECT_FALSE(ccfg.paxos_fast_path);
+  EXPECT_FALSE(ccfg.track_messages);
 
   // A default (2PC) campaign must never touch the acceptor path.
   ccfg.seed = 5;
@@ -211,8 +220,12 @@ struct Rig {
   TestClient* client = nullptr;
   std::unique_ptr<tmf::FileSystem> fs;
 
-  Rig(uint64_t seed, int nodes, bool paxos, SimDuration resolve_interval = 0)
-      : sim(seed), deploy(&sim), bounded_(resolve_interval > 0) {
+  Rig(uint64_t seed, int nodes, bool paxos, SimDuration resolve_interval = 0,
+      bool fast_path = false, int replication = 3, int workers = 0)
+      // The fast path's periodic acceptor sweep keeps the event queue alive
+      // forever, so those rigs must settle with bounded runs too.
+      : sim(seed, workers), deploy(&sim),
+        bounded_(resolve_interval > 0 || fast_path) {
     for (int n = 1; n <= nodes; ++n) {
       NodeSpec spec;
       spec.id = static_cast<net::NodeId>(n);
@@ -222,9 +235,18 @@ struct Rig {
       spec.tmp_config.indoubt_resolve_interval = resolve_interval;
       if (paxos) {
         spec.tmp_config.commit_protocol = tmf::CommitProtocol::kPaxos;
-        for (int a = 1; a <= 3 && a <= nodes; ++a) {
-          spec.tmp_config.acceptor_nodes.push_back(
-              static_cast<net::NodeId>(a));
+        if (fast_path) {
+          spec.tmp_config.paxos_fast_path = true;
+          for (int k = 0; k < replication; ++k) {
+            spec.tmp_config.acceptor_endpoints.emplace_back(
+                static_cast<net::NodeId>(k % nodes + 1),
+                "$ACCEPT." + std::to_string(k));
+          }
+        } else {
+          for (int a = 1; a <= 3 && a <= nodes; ++a) {
+            spec.tmp_config.acceptor_nodes.push_back(
+                static_cast<net::NodeId>(a));
+          }
         }
       }
       deploy.AddNode(spec);
@@ -313,9 +335,10 @@ TEST(PaxosOracleTest, CoordinatorCrashBetweenPhasesResolvesViaAcceptors) {
   rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
                       tmf::EncodeTransidPayload(Transid::Unpack(t)), t);
   auto accepted = [&](net::NodeId n) {
+    // Decision-replication instances live under voter 0 of the re-keyed log.
     auto& entries =
         rig.deploy.GetNode(n)->storage().acceptor_log.entries;
-    auto it = entries.find(t);
+    auto it = entries.find({t, uint16_t{0}});
     return it != entries.end() && it->second.has_value &&
            it->second.value == tmf::Disposition::kCommitted;
   };
@@ -352,6 +375,227 @@ TEST(PaxosOracleTest, CoordinatorCrashBetweenPhasesResolvesViaAcceptors) {
   for (const auto& v : violations) {
     ADD_FAILURE() << "txn " << v.transid << ": " << v.detail;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Paxos Commit fast path (PR 10)
+// ---------------------------------------------------------------------------
+
+ChaosCampaignConfig FastPathCampaignConfig(uint64_t seed) {
+  ChaosCampaignConfig cfg = PaxosCampaignConfig(seed);
+  cfg.paxos_fast_path = true;
+  return cfg;
+}
+
+// The fast-path storm suite: the same PR-4 schedules the 2PC and
+// decision-replication campaigns survive, now with every participant voting
+// its prepared state straight to the acceptors and the home reclaiming the
+// instances afterwards. Same invariants, plus the acceptor log must stay
+// bounded — its high-water tracks in-flight transactions, not throughput.
+class ChaosFastPathTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosFastPathTest, SurvivesSeed) {
+  const uint64_t seed = GetParam();
+  ChaosCampaignResult r = RunChaosCampaign(FastPathCampaignConfig(seed));
+  EXPECT_GE(r.schedule.faults.size(), 5u) << "seed " << seed;
+  EXPECT_GE(r.node_crashes, 1u) << "seed " << seed;
+  EXPECT_GT(r.txns_started, 0u) << "seed " << seed;
+  EXPECT_GT(r.txns_committed, 0u) << "seed " << seed;
+  ExpectSurvived(r, seed);
+  EXPECT_GT(r.acceptor_log_peak, 0u) << "seed " << seed;
+  EXPECT_LT(r.acceptor_log_peak, 100u)
+      << "seed " << seed << ": acceptor log grew with throughput, not load";
+  EXPECT_LT(r.acceptor_log_final, 32u)
+      << "seed " << seed << ": GC left instances behind";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFastPathTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// The fast-path storm — coordinator crashes included — replays
+// byte-identically across the engine settings.
+TEST(ChaosFastPathParallelTest, SameSeedSameStormAtAnyWorkerCount) {
+  ChaosCampaignConfig cfg = FastPathCampaignConfig(7);
+  cfg.parallel_workers = 0;
+  ChaosCampaignResult base = RunChaosCampaign(cfg);
+  ExpectSurvived(base, 7);
+  for (int workers : {1, 2, 4}) {
+    cfg.parallel_workers = workers;
+    ChaosCampaignResult r = RunChaosCampaign(cfg);
+    EXPECT_EQ(r.journal, base.journal) << "workers=" << workers;
+    EXPECT_EQ(r.txns_started, base.txns_started) << "workers=" << workers;
+    EXPECT_EQ(r.txns_committed, base.txns_committed) << "workers=" << workers;
+    EXPECT_EQ(r.txns_aborted, base.txns_aborted) << "workers=" << workers;
+    EXPECT_EQ(r.txns_unknown, base.txns_unknown) << "workers=" << workers;
+    EXPECT_EQ(r.balance_sum, base.balance_sum) << "workers=" << workers;
+    EXPECT_EQ(r.recoveries_completed, base.recoveries_completed)
+        << "workers=" << workers;
+    EXPECT_EQ(r.acceptor_log_final, base.acceptor_log_final)
+        << "workers=" << workers;
+  }
+}
+
+// Coordinator crash mid-fast-path, replayed at several engine worker
+// counts: the home dies after the participants' votes reached the acceptor
+// logs but before its own MAT saw the commit point. The participant's
+// in-doubt tick must settle against the surviving acceptors (home instance
+// first — it names the voters — then each voter's), and the home's own
+// recovery must adopt the same outcome.
+class FastPathOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastPathOracleTest, CoordinatorCrashMidFastPathResolvesViaAcceptors) {
+  const int workers = GetParam();
+  Rig rig(11, 3, /*paxos=*/true, /*resolve_interval=*/Millis(500),
+          /*fast_path=*/true, /*replication=*/3, workers);
+  rig.SpawnClient(1);
+  uint64_t t = rig.Begin(1);
+
+  AtomicityOracle oracle;
+  oracle.RegisterIntent(t, "m1",
+                        {{1, "$DATA1", "mark1"}, {2, "$DATA2", "mark2"}});
+  rig.Insert(t, "mark1", "m1");
+  rig.Insert(t, "mark2", "m1");
+
+  // END; crash the home once node 2's co-located acceptor holds the
+  // prepared votes of both voters (the log mutates before the force-delayed
+  // vote ack leaves, so the home cannot have tallied its commit point yet).
+  rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                      tmf::EncodeTransidPayload(Transid::Unpack(t)), t);
+  auto voted = [&](net::NodeId n, const std::string& name, uint16_t voter) {
+    auto& logs = rig.deploy.GetNode(n)->storage().acceptor_logs;
+    auto log = logs.find(name);
+    if (log == logs.end()) return false;
+    auto it = log->second.entries.find({t, voter});
+    return it != log->second.entries.end() && it->second.has_value &&
+           it->second.value == tmf::Disposition::kCommitted;
+  };
+  for (int i = 0;
+       i < 4000 && !(voted(2, "$ACCEPT.1", 1) && voted(2, "$ACCEPT.1", 2));
+       ++i) {
+    rig.sim.RunFor(Micros(100));
+  }
+  ASSERT_TRUE(voted(2, "$ACCEPT.1", 1) && voted(2, "$ACCEPT.1", 2));
+  ASSERT_EQ(rig.MatLookup(1, t), -1) << "home reached its MAT before crash; "
+                                        "the window closed too late";
+  rig.deploy.CrashNode(1);
+
+  // The participant resolves against the surviving acceptor majority.
+  rig.sim.RunFor(Seconds(5));
+  EXPECT_EQ(rig.MatLookup(2, t), 1);
+  EXPECT_EQ(rig.deploy.GetNode(2)->disc("$DATA2")->locks().held_count(), 0u);
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.paxos_resolved_commits"), 1);
+
+  // Home recovery adopts the committed outcome from the acceptors.
+  bool recovered = false;
+  rig.deploy.RecoverNode(1, [&](const std::vector<tmf::RollforwardReport>&) {
+    recovered = true;
+  });
+  rig.sim.RunFor(Seconds(10));
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(rig.MatLookup(1, t), 1);
+  EXPECT_GE(rig.sim.GetStats().Counter("recovery.paxos_resolves"), 1);
+
+  auto violations = oracle.Check(&rig.deploy);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << "txn " << v.transid << ": " << v.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, FastPathOracleTest,
+                         ::testing::Values(1, 2, 4));
+
+// GC vs the late resolver: after the home reclaims a committed
+// transaction's voter instances, the acceptor logs hold no live instance —
+// a resolver arriving later must be answered from the sealed ring, not by
+// (unsoundly) abort-fixing a fresh empty instance.
+TEST(FastPathGcTest, SealedDecisionAnswersLateResolver) {
+  Rig rig(19, 3, /*paxos=*/true, /*resolve_interval=*/Millis(500),
+          /*fast_path=*/true);
+  rig.SpawnClient(1);
+  uint64_t t = rig.Begin(1);
+  rig.Insert(t, "mark1", "m1");
+  rig.Insert(t, "mark2", "m1");
+  auto* e = rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                                tmf::EncodeTransidPayload(Transid::Unpack(t)),
+                                t);
+  // Commit, phase 2, acks, then the 100ms reclaim flush — 2s covers it all.
+  rig.sim.RunFor(Seconds(2));
+  ASSERT_TRUE(e->done && e->status.ok()) << e->status.ToString();
+  EXPECT_EQ(rig.MatLookup(1, t), 1);
+  EXPECT_EQ(rig.MatLookup(2, t), 1);
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.paxos_fast_commit_points"), 1);
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.paxos_reclaims_sent"), 1);
+
+  // Every live voter instance of t is gone; the decision is sealed.
+  bool sealed_somewhere = false;
+  for (int n = 1; n <= 3; ++n) {
+    for (const auto& [name, log] :
+         rig.deploy.GetNode(static_cast<net::NodeId>(n))
+             ->storage().acceptor_logs) {
+      (void)name;
+      for (const auto& [key, entry] : log.entries) {
+        (void)entry;
+        EXPECT_NE(key.first, t) << "live instance survived GC";
+      }
+      auto it = log.sealed.find(t);
+      if (it != log.sealed.end()) {
+        sealed_somewhere = true;
+        EXPECT_EQ(it->second, tmf::Disposition::kCommitted);
+      }
+    }
+  }
+  EXPECT_TRUE(sealed_somewhere);
+
+  // The race's losing side: a resolver that shows up after GC.
+  tmf::PaxosRoundConfig cfg;
+  for (int k = 0; k < 3; ++k) {
+    cfg.endpoints.emplace_back(static_cast<net::NodeId>(k % 3 + 1),
+                               "$ACCEPT." + std::to_string(k));
+  }
+  tmf::Disposition chosen = tmf::Disposition::kUnknown;
+  tmf::ResolvePaxosOutcome(rig.client, cfg, Transid::Unpack(t), /*attempt=*/5,
+                           /*fast_path=*/true,
+                           [&](tmf::Disposition d) { chosen = d; });
+  rig.sim.RunFor(Seconds(2));
+  EXPECT_EQ(chosen, tmf::Disposition::kCommitted)
+      << "late resolver did not get the sealed decision";
+}
+
+// Multi-pair placement: a 3-node cluster fields commit_replication = 5 by
+// hosting two `$ACCEPT.<k>` pairs on nodes 1 and 2. F+1 = 3 votes per voter
+// still reach a co-located-first quorum, the tally still needs a majority
+// of all five logs per voter, and GC seals across every pair.
+TEST(FastPathPlacementTest, FiveAcceptorsOnThreeNodes) {
+  Rig rig(23, 3, /*paxos=*/true, /*resolve_interval=*/Millis(500),
+          /*fast_path=*/true, /*replication=*/5);
+  // Placement k % 3 + 1: node 1 hosts pairs {0, 3}, node 2 {1, 4}, node 3
+  // {2}.
+  EXPECT_EQ(rig.deploy.GetNode(1)->storage().acceptor_logs.size(), 2u);
+  EXPECT_EQ(rig.deploy.GetNode(2)->storage().acceptor_logs.size(), 2u);
+  EXPECT_EQ(rig.deploy.GetNode(3)->storage().acceptor_logs.size(), 1u);
+  ASSERT_TRUE(rig.deploy.GetNode(1)->storage().acceptor_logs.count(
+      "$ACCEPT.0"));
+  ASSERT_TRUE(rig.deploy.GetNode(1)->storage().acceptor_logs.count(
+      "$ACCEPT.3"));
+
+  rig.SpawnClient(1);
+  uint64_t t = rig.Begin(1);
+  rig.Insert(t, "mark1", "m1");
+  rig.Insert(t, "mark2", "m1");
+  auto* e = rig.client->CallRaw(net::Address(1, "$TMP"), tmf::kTmfEnd,
+                                tmf::EncodeTransidPayload(Transid::Unpack(t)),
+                                t);
+  rig.sim.RunFor(Seconds(2));
+  ASSERT_TRUE(e->done && e->status.ok()) << e->status.ToString();
+  EXPECT_EQ(rig.MatLookup(1, t), 1);
+  EXPECT_EQ(rig.MatLookup(2, t), 1);
+  EXPECT_GE(rig.sim.GetStats().Counter("tmf.paxos_fast_commit_points"), 1);
+  // Both of node 1's pairs took part and were sealed independently: two
+  // distinct durable logs, not one shared one.
+  const auto& logs1 = rig.deploy.GetNode(1)->storage().acceptor_logs;
+  EXPECT_TRUE(logs1.at("$ACCEPT.0").sealed.count(t));
+  EXPECT_TRUE(logs1.at("$ACCEPT.3").sealed.count(t));
+  EXPECT_GT(logs1.at("$ACCEPT.0").peak_instances, 0u);
 }
 
 // ---------------------------------------------------------------------------
